@@ -1,0 +1,923 @@
+(* Benchmark harness: one target per table/figure of the paper's
+   evaluation (Section V), regenerating each series from the PM cost
+   model (simulated nanoseconds) or, for Figure 7, from the multicore
+   simulator's makespan.  `main.exe --help` lists targets; the default
+   runs everything at a scaled-down size.
+
+   Absolute numbers differ from the paper (our substrate is a
+   simulator, not a Haswell testbed with Quartz); the *shapes* — who
+   wins, crossover points, scaling knees — are the reproduction
+   targets and are recorded against the paper in EXPERIMENTS.md. *)
+
+module Arena = Ff_pmem.Arena
+module Config = Ff_pmem.Config
+module Stats = Ff_pmem.Stats
+module Storelog = Ff_pmem.Storelog
+module Prng = Ff_util.Prng
+module Table = Ff_util.Table
+module Mcsim = Ff_mcsim.Mcsim
+module Locks = Ff_index.Locks
+module Intf = Ff_index.Intf
+module W = Ff_workload.Workload
+module Tree = Ff_fastfair.Tree
+module Tpcc = Ff_tpcc.Tpcc
+
+(* ------------------------------------------------------------------ *)
+(* Scales (overridable via CLI)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let scale = ref 1.0
+
+let sc n = max 16 (int_of_float (float_of_int n *. !scale))
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let arena ?(config = Config.default) words = Arena.create ~config ~words ()
+
+type maker = { label : string; build : Arena.t -> Intf.ops }
+
+let fastfair ?(node_bytes = 512) ?(mode = Ff_fastfair.Node.Linear)
+    ?(policy = Tree.Fair) ?(lock = Locks.Single) ?(leaf_locks = false) () =
+  {
+    label =
+      (match (policy, leaf_locks) with
+      | Tree.Fair, false -> "fast+fair"
+      | Tree.Fair, true -> "ff+leaflock"
+      | Tree.Logged, _ -> "fast+log");
+    build =
+      (fun a ->
+        Tree.ops
+          (Tree.create ~node_bytes ~mode ~split_policy:policy ~lock_mode:lock
+             ~leaf_read_locks:leaf_locks a));
+  }
+
+let wbtree ?(node_bytes = 1024) () =
+  {
+    label = "wb+tree";
+    build = (fun a -> Ff_wbtree.Wbtree.ops (Ff_wbtree.Wbtree.create ~node_bytes a));
+  }
+
+let fptree ?(leaf_bytes = 1024) ?(lock = Locks.Single) () =
+  {
+    label = "fp-tree";
+    build =
+      (fun a -> Ff_fptree.Fptree.ops (Ff_fptree.Fptree.create ~leaf_bytes ~lock_mode:lock a));
+  }
+
+let wort () =
+  { label = "wort"; build = (fun a -> Ff_wort.Wort.ops (Ff_wort.Wort.create a)) }
+
+let skiplist ?(lock = Locks.Single) () =
+  {
+    label = "skiplist";
+    build =
+      (fun a ->
+        let s = Ff_skiplist.Skiplist.create a in
+        Ff_skiplist.Skiplist.set_lock_mode s lock;
+        Ff_skiplist.Skiplist.ops s);
+  }
+
+let blink ?(lock = Locks.Single) () =
+  {
+    label = "b-link";
+    build = (fun a -> Ff_blink.Blink.ops (Ff_blink.Blink.create ~lock_mode:lock a));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Measurement helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let us_per_op a n = float_of_int (Stats.total_ns (Arena.total_stats a)) /. float_of_int n /. 1000.
+
+let kops a n =
+  let ns = Stats.total_ns (Arena.total_stats a) in
+  if ns = 0 then 0. else float_of_int n /. (float_of_int ns /. 1e9) /. 1000.
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: linear vs binary search across node sizes                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  print_endline "== Figure 3: linear vs binary search, by node size (us/op) ==";
+  print_endline "   (1M random keys in the paper; scaled here; PM = DRAM latency)";
+  let n = sc 100_000 in
+  let tbl =
+    Table.create
+      [ "node"; "lin-insert"; "bin-insert"; "lin-search"; "bin-search" ]
+  in
+  List.iter
+    (fun node_bytes ->
+      let cell mode phase =
+        let a = arena (n * 48) in
+        let rng = Prng.create 1 in
+        let keys = W.distinct_uniform rng ~n ~space:(8 * n) in
+        let t = (fastfair ~node_bytes ~mode ()).build a in
+        (match phase with
+        | `Insert ->
+            Arena.reset_stats a;
+            W.load_keys t keys
+        | `Search ->
+            W.load_keys t keys;
+            Arena.reset_stats a;
+            Array.iter (fun k -> ignore (t.Intf.search k)) keys);
+        us_per_op a n
+      in
+      Table.add_floats tbl
+        (string_of_int node_bytes ^ "B")
+        [
+          cell Ff_fastfair.Node.Linear `Insert;
+          cell Ff_fastfair.Node.Binary `Insert;
+          cell Ff_fastfair.Node.Linear `Search;
+          cell Ff_fastfair.Node.Binary `Search;
+        ])
+    [ 256; 512; 1024; 2048; 4096 ];
+  Table.print tbl
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: range query speedup over SkipList                         *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  print_endline "== Figure 4: range-query speedup over SkipList (read latency 300ns) ==";
+  print_endline "   (10M keys / 1KB nodes in the paper; scaled here)";
+  let n = sc 200_000 in
+  let space = 8 * n in
+  let queries = 20 in
+  let config = Config.pm ~read_ns:300 ~write_ns:300 () in
+  let makers =
+    [
+      fastfair ~node_bytes:1024 ();
+      fptree ();
+      wbtree ();
+      wort ();
+      skiplist ();
+    ]
+  in
+  let ratios = [ 0.1; 0.5; 1.0; 3.0; 5.0 ] in
+  (* time per (maker, ratio) *)
+  let times =
+    List.map
+      (fun m ->
+        let a = arena ~config (n * 56) in
+        let t = m.build a in
+        let rng = Prng.create 2 in
+        let keys = W.distinct_uniform rng ~n ~space in
+        W.load_keys t keys;
+        let per_ratio =
+          List.map
+            (fun r ->
+              let width = int_of_float (float_of_int space *. r /. 100.) in
+              Arena.reset_stats a;
+              let qrng = Prng.create 3 in
+              for _ = 1 to queries do
+                let lo = 1 + Prng.int qrng (space - width) in
+                t.Intf.range lo (lo + width) (fun _ _ -> ())
+              done;
+              us_per_op a queries)
+            ratios
+        in
+        (m.label, per_ratio))
+      makers
+  in
+  let skip_times = List.assoc "skiplist" times in
+  let tbl = Table.create ("ratio%" :: List.map (fun (l, _) -> l) times) in
+  List.iteri
+    (fun i r ->
+      Table.add_floats tbl
+        (Printf.sprintf "%.1f" r)
+        (List.map (fun (_, ts) -> List.nth skip_times i /. List.nth ts i) times))
+    ratios;
+  Table.print tbl;
+  print_endline "   (values are speedups: higher = faster than SkipList)"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: latency sweeps                                            *)
+(* ------------------------------------------------------------------ *)
+
+let insert_makers () =
+  [
+    fastfair ();
+    fastfair ~policy:Tree.Logged ();
+    fptree ();
+    wbtree ();
+    wort ();
+    skiplist ();
+  ]
+
+let search_makers () =
+  [ fastfair (); fptree (); wbtree (); wort (); skiplist () ]
+
+let fig5a () =
+  print_endline "== Figure 5(a): insertion-time breakdown (us/op) by PM latency ==";
+  let n = sc 100_000 in
+  let space = 8 * n in
+  List.iter
+    (fun lat ->
+      Printf.printf "-- read/write latency %d ns --\n" lat;
+      let config = Config.pm ~read_ns:lat ~write_ns:lat () in
+      let tbl = Table.create [ "index"; "clflush"; "search"; "update"; "total" ] in
+      List.iter
+        (fun m ->
+          let a = arena ~config (n * 56) in
+          let t = m.build a in
+          let rng = Prng.create 4 in
+          let keys = W.distinct_uniform rng ~n ~space in
+          let half = n / 2 in
+          Array.iteri (fun i k -> if i < half then t.Intf.insert k (W.value_of k)) keys;
+          Arena.reset_stats a;
+          Array.iteri (fun i k -> if i >= half then t.Intf.insert k (W.value_of k)) keys;
+          let s = Arena.total_stats a in
+          let ops = float_of_int (n - half) *. 1000. in
+          let flush = float_of_int (s.Stats.flush_ns + s.Stats.fence_ns) /. ops in
+          let search = float_of_int s.Stats.search_ns /. ops in
+          let update = float_of_int (s.Stats.update_ns + s.Stats.other_ns) /. ops in
+          Table.add_floats tbl m.label [ flush; search; update; flush +. search +. update ])
+        (insert_makers ());
+      Table.print tbl)
+    [ 120; 300; 600; 900 ]
+
+let latency_sweep ~title ~latencies ~config_of ~makers ~run =
+  print_endline title;
+  let tbl = Table.create ("ns" :: List.map (fun m -> m.label) (makers ())) in
+  List.iter
+    (fun lat ->
+      let row =
+        List.map
+          (fun m ->
+            let config = config_of lat in
+            run config m)
+          (makers ())
+      in
+      Table.add_floats tbl (string_of_int lat) row)
+    latencies;
+  Table.print tbl
+
+let fig5b () =
+  let n = sc 100_000 in
+  let space = 8 * n in
+  latency_sweep
+    ~title:"== Figure 5(b): search time (us/op) vs PM read latency =="
+    ~latencies:[ 120; 300; 600; 900 ]
+    ~config_of:(fun lat -> Config.pm ~read_ns:lat ~write_ns:300 ())
+    ~makers:search_makers
+    ~run:(fun config m ->
+      let a = arena ~config (n * 56) in
+      let t = m.build a in
+      let rng = Prng.create 5 in
+      let keys = W.distinct_uniform rng ~n ~space in
+      W.load_keys t keys;
+      let probes = min n (sc 50_000) in
+      Arena.reset_stats a;
+      for i = 0 to probes - 1 do
+        ignore (t.Intf.search keys.(i * (n / probes)))
+      done;
+      us_per_op a probes)
+
+let fig5c () =
+  let n = sc 100_000 in
+  let space = 8 * n in
+  latency_sweep
+    ~title:"== Figure 5(c): insert time (us/op) vs PM write latency (TSO) =="
+    ~latencies:[ 120; 300; 600; 900 ]
+    ~config_of:(fun lat -> Config.pm ~read_ns:120 ~write_ns:lat ())
+    ~makers:insert_makers
+    ~run:(fun config m ->
+      let a = arena ~config (n * 56) in
+      let t = m.build a in
+      let rng = Prng.create 6 in
+      let keys = W.distinct_uniform rng ~n ~space in
+      let half = n / 2 in
+      Array.iteri (fun i k -> if i < half then t.Intf.insert k (W.value_of k)) keys;
+      Arena.reset_stats a;
+      Array.iteri (fun i k -> if i >= half then t.Intf.insert k (W.value_of k)) keys;
+      us_per_op a (n - half))
+
+let fig5d () =
+  let n = sc 100_000 in
+  let space = 8 * n in
+  let makers () =
+    [
+      fastfair ();
+      fptree ~leaf_bytes:256 ();
+      wbtree ~node_bytes:256 ();
+      wort ();
+      skiplist ();
+    ]
+  in
+  latency_sweep
+    ~title:
+      "== Figure 5(d): insert time (us/op) vs write latency, non-TSO (ARM dmb; \
+       256B wB+/FP nodes) =="
+    ~latencies:[ 100; 700; 1000; 1300; 1600 ]
+    ~config_of:(fun lat -> { (Config.arm ~read_ns:100 ~write_ns:lat ()) with max_threads = 4 })
+    ~makers
+    ~run:(fun config m ->
+      let a = arena ~config (n * 56) in
+      let t = m.build a in
+      let rng = Prng.create 7 in
+      let keys = W.distinct_uniform rng ~n ~space in
+      let half = n / 2 in
+      Array.iteri (fun i k -> if i < half then t.Intf.insert k (W.value_of k)) keys;
+      Arena.reset_stats a;
+      Array.iteri (fun i k -> if i >= half then t.Intf.insert k (W.value_of k)) keys;
+      us_per_op a (n - half))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: TPC-C                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  print_endline "== Figure 6: TPC-C throughput (simulated Kops/sec), latency 300/300 ==";
+  let txns = sc 4000 in
+  let config = Config.pm ~read_ns:300 ~write_ns:300 () in
+  let makers = [ fastfair (); fptree (); wbtree (); wort (); skiplist () ] in
+  let mixes = [ ("W1", Tpcc.w1); ("W2", Tpcc.w2); ("W3", Tpcc.w3); ("W4", Tpcc.w4) ] in
+  let tbl = Table.create ("mix" :: List.map (fun m -> m.label) makers) in
+  List.iter
+    (fun (mix_name, mix) ->
+      let row =
+        List.map
+          (fun m ->
+            let a = arena ~config (txns * 1600) in
+            let idx = m.build a in
+            let t = Tpcc.load ~arena:a idx Tpcc.default_config in
+            Arena.reset_stats a;
+            Tpcc.run t mix ~txns;
+            kops a txns)
+          makers
+      in
+      Table.add_floats tbl mix_name row)
+    mixes;
+  Table.print tbl
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: multithreaded scalability (simulated 16-core machine)     *)
+(* ------------------------------------------------------------------ *)
+
+type sim_ix = {
+  sl : string;
+  sbuild : Arena.t -> Intf.ops;
+  searchable : bool; (* appears in (a) and (c) *)
+}
+
+let fig7_makers () =
+  [
+    { sl = "fast+fair"; sbuild = (fastfair ~lock:Locks.Sim ()).build; searchable = true };
+    {
+      sl = "ff+leaflock";
+      sbuild = (fastfair ~lock:Locks.Sim ~leaf_locks:true ()).build;
+      searchable = true;
+    };
+    { sl = "fp-tree"; sbuild = (fptree ~lock:Locks.Sim ()).build; searchable = true };
+    { sl = "b-link"; sbuild = (blink ~lock:Locks.Sim ()).build; searchable = true };
+    { sl = "skiplist"; sbuild = (skiplist ~lock:Locks.Sim ()).build; searchable = true };
+  ]
+
+let fig7_run ~workload ~threads ~preload ~total_ops ix =
+  let config = { Config.default with Config.write_latency_ns = 300; max_threads = 64 } in
+  let a = arena ~config ((preload + total_ops) * 60) in
+  let t = ix.sbuild a in
+  let rng = Prng.create 11 in
+  let keys = W.distinct_uniform rng ~n:(preload + total_ops) ~space:(16 * (preload + total_ops)) in
+  (* Preload inside a single simulated thread (Sim locks). *)
+  ignore
+    (Mcsim.run ~cores:16 ~arena:a
+       [| (fun _ -> Array.iteri (fun i k -> if i < preload then t.Intf.insert k (W.value_of k)) keys) |]);
+  (* contention_ns ~ the time a std::mutex critical section owns the
+     lock's cache line; quantum keeps interleaving reasonably fine. *)
+  let per = total_ops / threads in
+  let body tid =
+    let r = Prng.create (100 + tid) in
+    match workload with
+    | `Search ->
+        for _ = 1 to per do
+          ignore (t.Intf.search keys.(Prng.int r preload))
+        done
+    | `Insert ->
+        let base = preload + (tid * per) in
+        for i = 0 to per - 1 do
+          let k = keys.(base + i) in
+          t.Intf.insert k (W.value_of k)
+        done
+    | `Mixed ->
+        (* per thread: groups of 16 searches, 4 inserts, 1 delete *)
+        let base = preload + (tid * per) in
+        let inserted = ref 0 in
+        let g = ref 0 in
+        while (16 + 4 + 1) * !g < per do
+          for _ = 1 to 16 do
+            ignore (t.Intf.search keys.(Prng.int r preload))
+          done;
+          for _ = 1 to 4 do
+            if base + !inserted < preload + total_ops then begin
+              let k = keys.(base + !inserted) in
+              t.Intf.insert k (W.value_of k);
+              incr inserted
+            end
+          done;
+          ignore (t.Intf.delete keys.(Prng.int r preload));
+          incr g
+        done
+  in
+  let outcome =
+    Mcsim.run ~cores:16 ~quantum_ns:150 ~lock_ns:20 ~contention_ns:100 ~arena:a
+      (Array.init threads (fun _ -> body))
+  in
+  let ops = per * threads in
+  if outcome.Mcsim.makespan_ns = 0 then 0.
+  else float_of_int ops /. (float_of_int outcome.Mcsim.makespan_ns /. 1e9) /. 1000.
+
+let fig7 () =
+  print_endline "== Figure 7: scalability on 16 simulated cores (Kops/sec) ==";
+  let preload = sc 30_000 in
+  let total_ops = sc 16_000 in
+  let threads_list = [ 1; 2; 4; 8; 16; 32 ] in
+  List.iter
+    (fun (name, workload, filter) ->
+      Printf.printf "-- %s --\n" name;
+      let makers = List.filter filter (fig7_makers ()) in
+      let tbl = Table.create ("threads" :: List.map (fun m -> m.sl) makers) in
+      List.iter
+        (fun threads ->
+          let row =
+            List.map (fun ix -> fig7_run ~workload ~threads ~preload ~total_ops ix) makers
+          in
+          Table.add_floats tbl (string_of_int threads) row)
+        threads_list;
+      Table.print tbl)
+    [
+      ("(a) search", `Search, fun ix -> ix.searchable);
+      ("(b) insert", `Insert, fun ix -> ix.sl <> "ff+leaflock");
+      ("(c) mixed 16:4:1", `Mixed, fun ix -> ix.searchable);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Section 5.2 text: clflush counts                                    *)
+(* ------------------------------------------------------------------ *)
+
+let stats_target () =
+  print_endline "== clflush statistics (paper Section 5.2/5.4 text) ==";
+  let n = sc 50_000 in
+  let space = 8 * n in
+  let tbl = Table.create [ "index"; "flush/insert"; "fence/insert" ] in
+  List.iter
+    (fun m ->
+      let a = arena (n * 56) in
+      let t = m.build a in
+      let rng = Prng.create 8 in
+      let keys = W.distinct_uniform rng ~n ~space in
+      let half = n / 2 in
+      Array.iteri (fun i k -> if i < half then t.Intf.insert k (W.value_of k)) keys;
+      Arena.reset_stats a;
+      Array.iteri (fun i k -> if i >= half then t.Intf.insert k (W.value_of k)) keys;
+      let s = Arena.total_stats a in
+      let ops = float_of_int (n - half) in
+      Table.add_floats tbl m.label
+        [ float_of_int s.Stats.flushes /. ops; float_of_int s.Stats.fences /. ops ])
+    (insert_makers ());
+  Table.print tbl;
+  print_endline
+    "   paper: FAST+FAIR ~4.2 flushes/insert at 512B nodes (worst case 8);\n\
+    \   wB+-tree ~1.7x FAST+FAIR; FP-tree 4.8 vs 4.2"
+
+(* ------------------------------------------------------------------ *)
+(* Section 5.7: recoverability                                         *)
+(* ------------------------------------------------------------------ *)
+
+let crash_target () =
+  print_endline "== Recoverability (Section 5.7): crash-point sweep + recovery cost ==";
+  let n = sc 5_000 in
+  let a0 = arena (n * 80) in
+  let t0 = Tree.create ~node_bytes:256 a0 in
+  let rng = Prng.create 9 in
+  let keys = W.distinct_uniform rng ~n ~space:(8 * n) in
+  Array.iter (fun k -> Tree.insert t0 ~key:k ~value:(W.value_of k)) keys;
+  Arena.drain a0;
+  (* Crash a batch of inserts and deletes (with splits) at sampled
+     store points; count tolerance. *)
+  let batch tc =
+    for i = 1 to 20 do
+      Tree.insert tc ~key:((16 * n) + i) ~value:(W.value_of ((16 * n) + i))
+    done;
+    for i = 0 to 9 do
+      ignore (Tree.delete tc keys.(i))
+    done
+  in
+  let probe =
+    let c = Arena.clone a0 in
+    let tc = Tree.open_existing ~node_bytes:256 c in
+    let b = Arena.store_count c in
+    batch tc;
+    Arena.store_count c - b
+  in
+  let points = ref 0 and tolerated = ref 0 and recovered = ref 0 in
+  let step = max 1 (probe / 200) in
+  let k = ref 0 in
+  while !k <= probe do
+    incr points;
+    let c = Arena.clone a0 in
+    let tc = Tree.open_existing ~node_bytes:256 c in
+    Arena.set_crash_plan c (Arena.After_stores (Arena.store_count c + !k));
+    (try batch tc with Arena.Crashed -> ());
+    Arena.power_fail c (Storelog.Random_eviction (Prng.create !k));
+    let tc = Tree.open_existing ~node_bytes:256 c in
+    (* keys 10.. were never deleted; they must stay readable *)
+    let pre_ok = ref true in
+    Array.iteri
+      (fun i key ->
+        if i >= 10 && Tree.search tc key <> Some (W.value_of key) then pre_ok := false)
+      keys;
+    if !pre_ok then incr tolerated;
+    Tree.recover tc;
+    if Ff_fastfair.Invariant.check tc = [] then incr recovered;
+    k := !k + step
+  done;
+  Printf.printf
+    "crash points: %d | readable pre-recovery: %d | sound post-recovery: %d\n"
+    !points !tolerated !recovered;
+  (* Recovery-cost comparison: FAST+FAIR reattaches instantly; FP-tree
+     rebuilds its DRAM inner levels. *)
+  let nrec = sc 50_000 in
+  let ff_ns =
+    let a = arena (nrec * 56) in
+    let t = Tree.create a in
+    let keys = W.distinct_uniform (Prng.create 10) ~n:nrec ~space:(8 * nrec) in
+    Array.iter (fun k -> Tree.insert t ~key:k ~value:(W.value_of k)) keys;
+    Arena.power_fail a Storelog.Keep_all;
+    let t = Tree.open_existing a in
+    Arena.reset_stats a;
+    Tree.recover ~lazy_:true t;
+    Stats.total_ns (Arena.total_stats a)
+  in
+  let fp_ns =
+    let a = arena (nrec * 56) in
+    let t = Ff_fptree.Fptree.create a in
+    let keys = W.distinct_uniform (Prng.create 10) ~n:nrec ~space:(8 * nrec) in
+    Array.iter (fun k -> Ff_fptree.Fptree.insert t ~key:k ~value:(W.value_of k)) keys;
+    Arena.power_fail a Storelog.Keep_all;
+    let t = Ff_fptree.Fptree.open_existing a in
+    Arena.reset_stats a;
+    Ff_fptree.Fptree.recover t;
+    Stats.total_ns (Arena.total_stats a)
+  in
+  Printf.printf
+    "recovery cost at %d keys: FAST+FAIR (lazy) %d ns | FP-tree inner rebuild %d ns\n"
+    nrec ff_ns fp_ns
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks (wall-clock)                               *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  print_endline "== Bechamel wall-clock microbenchmarks (host time, ns/op) ==";
+  let open Bechamel in
+  let open Toolkit in
+  let n = 20_000 in
+  let mk_loaded maker =
+    let a = arena (n * 60) in
+    let t = maker.build a in
+    let keys = W.distinct_uniform (Prng.create 12) ~n ~space:(8 * n) in
+    W.load_keys t keys;
+    (t, keys)
+  in
+  let search_test maker =
+    let t, keys = mk_loaded maker in
+    let i = ref 0 in
+    Test.make ~name:(maker.label ^ "-search")
+      (Staged.stage (fun () ->
+           i := (!i + 1) mod n;
+           ignore (t.Intf.search keys.(!i))))
+  in
+  let insert_test maker =
+    let t, _ = mk_loaded maker in
+    let i = ref (16 * n) in
+    Test.make ~name:(maker.label ^ "-insert")
+      (Staged.stage (fun () ->
+           incr i;
+           t.Intf.insert !i (W.value_of !i)))
+  in
+  let range_test maker =
+    let t, _ = mk_loaded maker in
+    let i = ref 0 in
+    Test.make ~name:(maker.label ^ "-range100")
+      (Staged.stage (fun () ->
+           i := (!i + 997) mod (7 * n);
+           let c = ref 0 in
+           t.Intf.range !i (!i + 800) (fun _ _ -> incr c)))
+  in
+  let tests =
+    Test.make_grouped ~name:"ops"
+      [
+        search_test (fastfair ());
+        insert_test (fastfair ());
+        range_test (fastfair ());
+        search_test (wbtree ());
+        search_test (fptree ());
+        search_test (wort ());
+        search_test (skiplist ());
+      ]
+  in
+  let benchmark () =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 10) () in
+    let raw = Benchmark.all cfg instances tests in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  let results = benchmark () in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> Printf.printf "%-24s %10.1f ns/op\n" name est
+      | Some [] | None -> Printf.printf "%-24s (no estimate)\n" name)
+    results
+
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design choices isolated                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  print_endline "== Ablations ==";
+  let n = sc 50_000 in
+  let space = 8 * n in
+
+  (* 1. Store ordering: FAST vs a naive unordered shift, crash states. *)
+  print_endline "-- (1) FAST store ordering vs naive shift: crash-state corruption --";
+  let count_violations insert_fn =
+    let module L = Ff_fastfair.Layout in
+    let module Node = Ff_fastfair.Node in
+    let l = L.make ~node_bytes:256 in
+    let a0 = Arena.create ~words:(1 lsl 14) () in
+    let node = Arena.alloc a0 l.L.node_words in
+    Node.init a0 l node ~level:0 ~leftmost:0 ~low:0;
+    let keys = [ 10; 20; 30; 40; 50; 60; 70 ] in
+    List.iter
+      (fun k -> Node.insert_nonfull a0 l node ~key:k ~value:(W.value_of k) ~mode:Node.Linear)
+      keys;
+    Arena.drain a0;
+    let total =
+      let c = Arena.clone a0 in
+      let b = Arena.store_count c in
+      insert_fn c l node;
+      Arena.store_count c - b
+    in
+    let bad = ref 0 and states = ref 0 in
+    for k = 0 to total do
+      incr states;
+      let c = Arena.clone a0 in
+      Arena.set_crash_plan c (Arena.After_stores (Arena.store_count c + k));
+      (try insert_fn c l node with Arena.Crashed -> ());
+      Arena.power_fail c Storelog.Keep_all;
+      if
+        not
+          (List.for_all
+             (fun key -> Node.search c l node ~mode:Node.Linear key = Some (W.value_of key))
+             keys)
+      then incr bad
+    done;
+    (!bad, !states)
+  in
+  let fast_bad, states =
+    count_violations (fun a l n ->
+        Ff_fastfair.Node.insert_nonfull a l n ~key:25 ~value:(W.value_of 25)
+          ~mode:Ff_fastfair.Node.Linear)
+  in
+  let naive_bad, _ =
+    count_violations (fun a l n ->
+        Ff_fastfair.Node.insert_nonfull_unordered a l n ~key:25 ~value:(W.value_of 25))
+  in
+  Printf.printf "FAST ordering : %d corrupted of %d crash states\n" fast_bad states;
+  Printf.printf "naive shift   : %d corrupted of %d crash states\n\n" naive_bad states;
+
+  (* 2. Bulk load vs incremental insertion. *)
+  print_endline "-- (2) bulk load vs incremental insertion --";
+  let rng = Prng.create 21 in
+  let keys = W.distinct_uniform rng ~n ~space in
+  let pairs = Array.map (fun k -> (k, W.value_of k)) keys in
+  let a1 = arena (n * 56) in
+  Arena.reset_stats a1;
+  let t1 = Tree.create a1 in
+  Array.iter (fun k -> Tree.insert t1 ~key:k ~value:(W.value_of k)) keys;
+  let s1 = Arena.total_stats a1 in
+  let a2 = arena (n * 56) in
+  Arena.reset_stats a2;
+  let _t2 = Ff_fastfair.Bulk.load a2 pairs in
+  let s2 = Arena.total_stats a2 in
+  Printf.printf "incremental: %8d flushes, %7.2f ms simulated\n" s1.Stats.flushes
+    (float_of_int (Stats.total_ns s1) /. 1e6);
+  Printf.printf "bulk load  : %8d flushes, %7.2f ms simulated\n\n" s2.Stats.flushes
+    (float_of_int (Stats.total_ns s2) /. 1e6);
+
+  (* 3. Compaction payoff for range scans after mass deletes. *)
+  print_endline "-- (3) compaction after mass deletes: range-scan cost --";
+  let a3 = arena (n * 56) in
+  let t3 = Tree.create ~node_bytes:256 a3 in
+  for k = 1 to n do
+    Tree.insert t3 ~key:k ~value:(W.value_of k)
+  done;
+  for k = 1 to n do
+    if k mod 8 <> 0 then ignore (Tree.delete t3 k)
+  done;
+  let scan () =
+    Arena.reset_stats a3;
+    let c = ref 0 in
+    Tree.range t3 ~lo:1 ~hi:n (fun _ _ -> incr c);
+    (float_of_int (Stats.total_ns (Arena.total_stats a3)) /. 1e6, !c)
+  in
+  let before_ms, cnt = scan () in
+  let freed = Ff_fastfair.Compact.compact t3 in
+  let after_ms, cnt2 = scan () in
+  Printf.printf "before compact: %7.2f ms for %d keys\n" before_ms cnt;
+  Printf.printf "after  compact: %7.2f ms for %d keys (%d nodes freed)\n\n" after_ms cnt2
+    freed;
+
+  (* 4. MLP/prefetch discount: why linear search beats binary. *)
+  print_endline "-- (4) sequential-prefetch discount vs linear/binary search (1KB nodes) --";
+  List.iter
+    (fun mlp ->
+      (* small line cache so the tree does not fit and misses dominate *)
+      let config =
+        { (Config.pm ~read_ns:300 ~write_ns:300 ()) with
+          Config.mlp_factor = mlp; cache_lines = 512 }
+      in
+      let time mode =
+        let a = arena ~config (n * 56) in
+        let t = (fastfair ~node_bytes:1024 ~mode ()).build a in
+        let rng = Prng.create 22 in
+        let ks = W.distinct_uniform rng ~n ~space in
+        W.load_keys t ks;
+        Arena.reset_stats a;
+        Array.iter (fun k -> ignore (t.Intf.search k)) ks;
+        us_per_op a n
+      in
+      Printf.printf "mlp_factor %d: linear %.3f us, binary %.3f us\n" mlp
+        (time Ff_fastfair.Node.Linear) (time Ff_fastfair.Node.Binary))
+    [ 1; 2; 4; 8 ];
+  print_endline ""
+
+
+(* ------------------------------------------------------------------ *)
+(* Extension: YCSB-style skewed workloads                              *)
+(* ------------------------------------------------------------------ *)
+
+let ycsb () =
+  print_endline "== Extension: YCSB-style Zipfian workloads (us/op, latency 300/300) ==";
+  let n = sc 100_000 in
+  let ops = sc 50_000 in
+  let space = 4 * n in
+  let config = Config.pm ~read_ns:300 ~write_ns:300 () in
+  let makers () = [ fastfair (); fptree (); wbtree (); wort (); skiplist () ] in
+  let workloads =
+    [
+      ("A 50r/50u", fun rng t keys ->
+          for _ = 1 to ops do
+            let k = keys.(Prng.int rng n) in
+            if Prng.bool rng then ignore (t.Intf.search k)
+            else t.Intf.insert k (W.value_of k)
+          done);
+      ("B 95r/5u", fun rng t keys ->
+          for _ = 1 to ops do
+            let k = keys.(Prng.int rng n) in
+            if Prng.int rng 100 < 95 then ignore (t.Intf.search k)
+            else t.Intf.insert k (W.value_of k)
+          done);
+      ("C 100r", fun rng t keys ->
+          for _ = 1 to ops do
+            ignore (t.Intf.search keys.(Prng.int rng n))
+          done);
+      ("E scans", fun rng t keys ->
+          for _ = 1 to ops / 50 do
+            let k = keys.(Prng.int rng n) in
+            let c = ref 0 in
+            t.Intf.range k (k + (space / n * 100)) (fun _ _ -> incr c)
+          done);
+    ]
+  in
+  let tbl = Table.create ("workload" :: List.map (fun m -> m.label) (makers ())) in
+  List.iter
+    (fun (wname, run_w) ->
+      let row =
+        List.map
+          (fun m ->
+            let a = arena ~config (n * 56) in
+            let t = m.build a in
+            let rng = Prng.create 31 in
+            let keys = W.distinct_uniform rng ~n ~space in
+            W.load_keys t keys;
+            (* zipfian access pattern over loaded keys *)
+            let z = Ff_util.Zipf.create ~n ~theta:0.99 in
+            let zrng = Prng.create 32 in
+            let hot = Array.init n (fun _ -> keys.(Ff_util.Zipf.sample z zrng)) in
+            Arena.reset_stats a;
+            run_w (Prng.create 33) t hot;
+            let opcount = if wname = "E scans" then ops / 50 else ops in
+            us_per_op a opcount)
+          (makers ())
+      in
+      Table.add_floats tbl wname row)
+    workloads;
+  Table.print tbl;
+  print_endline "   (Zipfian theta = 0.99 over the loaded keys)"
+
+
+(* ------------------------------------------------------------------ *)
+(* Extension: per-operation latency distributions                      *)
+(* ------------------------------------------------------------------ *)
+
+let latencies () =
+  print_endline "== Extension: per-op simulated latency distribution (ns), latency 300/300 ==";
+  let n = sc 100_000 in
+  let probes = sc 20_000 in
+  let space = 8 * n in
+  let config = Config.pm ~read_ns:300 ~write_ns:300 () in
+  let tbl =
+    Table.create
+      [ "index"; "search p50"; "search p99"; "search max"; "insert p50"; "insert p99" ]
+  in
+  List.iter
+    (fun m ->
+      let a = arena ~config (n * 60) in
+      let t = m.build a in
+      let rng = Prng.create 41 in
+      let keys = W.distinct_uniform rng ~n ~space in
+      W.load_keys t keys;
+      let h_search = Ff_util.Histogram.create () in
+      let h_insert = Ff_util.Histogram.create () in
+      let snap () = Stats.total_ns (Arena.total_stats a) in
+      for i = 0 to probes - 1 do
+        let before = snap () in
+        ignore (t.Intf.search keys.(i * (n / probes)));
+        Ff_util.Histogram.add h_search (snap () - before)
+      done;
+      for i = 0 to (probes / 4) - 1 do
+        let k = space + (2 * i) + 1 in
+        let before = snap () in
+        t.Intf.insert k (W.value_of k);
+        Ff_util.Histogram.add h_insert (snap () - before)
+      done;
+      Table.add_row tbl
+        [
+          m.label;
+          string_of_int (Ff_util.Histogram.percentile h_search 50.);
+          string_of_int (Ff_util.Histogram.percentile h_search 99.);
+          string_of_int (Ff_util.Histogram.max_sample h_search);
+          string_of_int (Ff_util.Histogram.percentile h_insert 50.);
+          string_of_int (Ff_util.Histogram.percentile h_insert 99.);
+        ])
+    [ fastfair (); fptree (); wbtree (); wort (); skiplist () ];
+  Table.print tbl;
+  print_endline
+    "   (tails: FAIR splits / skiplist tower rebuilds / wB+ logged splits show in p99+)"
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let targets =
+  [
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5a", fig5a);
+    ("fig5b", fig5b);
+    ("fig5c", fig5c);
+    ("fig5d", fig5d);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("stats", stats_target);
+    ("crash", crash_target);
+    ("ablation", ablation);
+    ("ycsb", ycsb);
+    ("latencies", latencies);
+    ("micro", micro);
+  ]
+
+let () =
+  let selected = ref [] in
+  let spec =
+    [
+      ( "--scale",
+        Arg.Float (fun s -> scale := s),
+        "S  scale workload sizes by S (default 1.0)" );
+    ]
+  in
+  let usage =
+    "main.exe [targets] [--scale S]\ntargets: "
+    ^ String.concat " " (List.map fst targets)
+    ^ " (default: all)"
+  in
+  Arg.parse spec (fun t -> selected := t :: !selected) usage;
+  let selected = if !selected = [] then List.map fst targets else List.rev !selected in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name targets with
+      | Some f ->
+          let s = Unix.gettimeofday () in
+          f ();
+          Printf.printf "[%s done in %.1fs]\n\n%!" name (Unix.gettimeofday () -. s)
+      | None -> Printf.eprintf "unknown target %s\n" name)
+    selected;
+  Printf.printf "total %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,293 @@
+(* ffcli: exercise the persistent indexes from the command line.
+
+   Subcommands:
+     fuzz        random ops cross-checked against a model
+     crash-test  crash-point sweep with recovery validation
+     stats       PM event statistics for a load
+     dump        print the structure of a small FAST+FAIR tree
+     persist     save the persisted PM image to a file and reload it *)
+
+module Arena = Ff_pmem.Arena
+module Config = Ff_pmem.Config
+module Stats = Ff_pmem.Stats
+module Storelog = Ff_pmem.Storelog
+module Prng = Ff_util.Prng
+module Intf = Ff_index.Intf
+module W = Ff_workload.Workload
+module Tree = Ff_fastfair.Tree
+open Cmdliner
+
+let index_names = [ "fastfair"; "wbtree"; "fptree"; "wort"; "skiplist" ]
+
+let build_index name arena =
+  match name with
+  | "fastfair" -> Tree.ops (Tree.create arena)
+  | "wbtree" -> Ff_wbtree.Wbtree.ops (Ff_wbtree.Wbtree.create arena)
+  | "fptree" -> Ff_fptree.Fptree.ops (Ff_fptree.Fptree.create arena)
+  | "wort" -> Ff_wort.Wort.ops (Ff_wort.Wort.create arena)
+  | "skiplist" -> Ff_skiplist.Skiplist.ops (Ff_skiplist.Skiplist.create arena)
+  | other -> invalid_arg ("unknown index: " ^ other)
+
+let mk_arena ?(read_ns = 300) ?(write_ns = 300) words =
+  Arena.create ~config:(Config.pm ~read_ns ~write_ns ()) ~words ()
+
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz index_name ops_count seed =
+  let rng = Prng.create seed in
+  let arena = mk_arena (max (ops_count * 64) (1 lsl 16)) in
+  let t = build_index index_name arena in
+  let model = Hashtbl.create 1024 in
+  let space = max 64 (ops_count / 2) in
+  let mismatches = ref 0 in
+  for step = 1 to ops_count do
+    let k = 1 + Prng.int rng space in
+    (match Prng.int rng 10 with
+    | 0 | 1 ->
+        let expected = Hashtbl.mem model k in
+        let got = t.Intf.delete k in
+        if got <> expected then begin
+          incr mismatches;
+          Printf.printf "step %d: delete %d -> %b, expected %b\n" step k got expected
+        end;
+        Hashtbl.remove model k
+    | 2 | 3 -> (
+        let expected = Hashtbl.find_opt model k in
+        match (t.Intf.search k, expected) with
+        | Some v, Some v' when v = v' -> ()
+        | None, None -> ()
+        | got, _ ->
+            incr mismatches;
+            Printf.printf "step %d: search %d -> %s, expected %s\n" step k
+              (match got with Some v -> string_of_int v | None -> "none")
+              (match expected with Some v -> string_of_int v | None -> "none"))
+    | _ ->
+        t.Intf.insert k (W.value_of k);
+        Hashtbl.replace model k (W.value_of k))
+  done;
+  Hashtbl.iter
+    (fun k v ->
+      if t.Intf.search k <> Some v then begin
+        incr mismatches;
+        Printf.printf "final: key %d wrong\n" k
+      end)
+    model;
+  if !mismatches = 0 then begin
+    Printf.printf "fuzz ok: %d ops on %s, %d live keys\n" ops_count index_name
+      (Hashtbl.length model);
+    0
+  end
+  else begin
+    Printf.printf "fuzz FAILED: %d mismatches\n" !mismatches;
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* crash-test (FAST+FAIR)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let crash_test keys points seed =
+  let arena = Arena.create ~words:(max (keys * 80) (1 lsl 16)) () in
+  let t = Tree.create ~node_bytes:256 arena in
+  let rng = Prng.create seed in
+  let ks = W.distinct_uniform rng ~n:keys ~space:(8 * keys) in
+  Array.iter (fun k -> Tree.insert t ~key:k ~value:(W.value_of k)) ks;
+  Arena.drain arena;
+  let extra = (16 * keys) + 1 in
+  let total =
+    let c = Arena.clone arena in
+    let tc = Tree.open_existing ~node_bytes:256 c in
+    let before = Arena.store_count c in
+    Tree.insert tc ~key:extra ~value:(W.value_of extra);
+    ignore (Tree.delete tc ks.(0));
+    Arena.store_count c - before
+  in
+  let failures = ref 0 in
+  let tested = ref 0 in
+  let step = max 1 (total / max 1 points) in
+  let k = ref 0 in
+  while !k <= total do
+    incr tested;
+    let c = Arena.clone arena in
+    let tc = Tree.open_existing ~node_bytes:256 c in
+    Arena.set_crash_plan c (Arena.After_stores (Arena.store_count c + !k));
+    (try
+       Tree.insert tc ~key:extra ~value:(W.value_of extra);
+       ignore (Tree.delete tc ks.(0))
+     with Arena.Crashed -> ());
+    Arena.power_fail c (Storelog.Random_eviction (Prng.create !k));
+    let tc = Tree.open_existing ~node_bytes:256 c in
+    Tree.recover tc;
+    let ok =
+      Ff_fastfair.Invariant.check tc = []
+      && Array.for_all
+           (fun key -> key = ks.(0) || Tree.search tc key = Some (W.value_of key))
+           ks
+    in
+    if not ok then begin
+      incr failures;
+      Printf.printf "crash point %d: FAILURE\n" !k
+    end;
+    k := !k + step
+  done;
+  Printf.printf "crash-test: %d points over %d stores, %d failures\n" !tested total !failures;
+  if !failures = 0 then 0 else 1
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats index_name keys seed =
+  let arena = mk_arena (max (keys * 64) (1 lsl 16)) in
+  let t = build_index index_name arena in
+  let rng = Prng.create seed in
+  let ks = W.distinct_uniform rng ~n:keys ~space:(8 * keys) in
+  Arena.reset_stats arena;
+  W.load_keys t ks;
+  let s = Arena.total_stats arena in
+  Printf.printf "index: %s, %d inserts\n" index_name keys;
+  Printf.printf "  stores   %10d (%.2f/op)\n" s.Stats.stores
+    (float_of_int s.Stats.stores /. float_of_int keys);
+  Printf.printf "  flushes  %10d (%.2f/op)\n" s.Stats.flushes
+    (float_of_int s.Stats.flushes /. float_of_int keys);
+  Printf.printf "  fences   %10d (%.2f/op)\n" s.Stats.fences
+    (float_of_int s.Stats.fences /. float_of_int keys);
+  Printf.printf "  LLC miss %10d (%.2f/op)\n" s.Stats.line_misses
+    (float_of_int s.Stats.line_misses /. float_of_int keys);
+  Printf.printf "  sim time %10.3f ms (%.3f us/op)\n"
+    (float_of_int (Stats.total_ns s) /. 1e6)
+    (float_of_int (Stats.total_ns s) /. float_of_int keys /. 1000.);
+  0
+
+(* ------------------------------------------------------------------ *)
+(* dump                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let dump keys =
+  let module L = Ff_fastfair.Layout in
+  let module Node = Ff_fastfair.Node in
+  let arena = Arena.create ~words:(1 lsl 16) () in
+  let t = Tree.create ~node_bytes:128 arena in
+  for k = 1 to keys do
+    Tree.insert t ~key:(k * 10) ~value:(W.value_of k)
+  done;
+  let l = Tree.layout t in
+  let rt = Tree.root t in
+  let top = Arena.peek arena (rt + L.off_level) in
+  Printf.printf "height %d, root @%d\n" (top + 1) rt;
+  for level = top downto 0 do
+    Printf.printf "level %d:\n" level;
+    let rec leftmost n =
+      if Arena.peek arena (n + L.off_level) > level then
+        leftmost (Arena.peek arena (n + L.off_leftmost))
+      else n
+    in
+    let rec walk n =
+      if n <> 0 then begin
+        let entries = Node.entries_debug arena l n in
+        Printf.printf "  @%-6d low=%-6d [%s]\n" n
+          (Arena.peek arena (n + L.off_low))
+          (String.concat "; "
+             (List.map (fun (k, p) -> Printf.sprintf "%d->%d" k p) entries));
+        walk (Arena.peek arena (n + L.off_sibling))
+      end
+    in
+    walk (leftmost rt)
+  done;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* persist: save a tree image to disk and reload it                    *)
+(* ------------------------------------------------------------------ *)
+
+let persist keys path =
+  let arena = mk_arena (max (keys * 64) (1 lsl 16)) in
+  let t = Tree.create arena in
+  let rng = Prng.create 1 in
+  let ks = W.distinct_uniform rng ~n:keys ~space:(8 * keys) in
+  W.load_keys (Tree.ops t) ks;
+  Arena.drain arena;
+  Arena.save_to_file arena path;
+  Printf.printf "saved %d keys to %s (%d KiB persisted image)\n" keys path
+    (Arena.capacity arena * 8 / 1024);
+  (* reload as if after a reboot *)
+  let arena2 = Arena.load_from_file path in
+  let t2 = Tree.open_existing arena2 in
+  Tree.recover ~lazy_:true t2;
+  let missing = ref 0 in
+  Array.iter (fun k -> if Tree.search t2 k <> Some (W.value_of k) then incr missing) ks;
+  Sys.remove path;
+  if !missing = 0 then begin
+    Printf.printf "reloaded image: all %d keys present\n" keys;
+    0
+  end
+  else begin
+    Printf.printf "reloaded image: %d keys MISSING\n" !missing;
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let index_arg =
+  let doc = "Index structure: " ^ String.concat ", " index_names ^ "." in
+  Arg.(value & opt (enum (List.map (fun n -> (n, n)) index_names)) "fastfair"
+       & info [ "index"; "i" ] ~docv:"INDEX" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let fuzz_cmd =
+  let ops =
+    Arg.(value & opt int 50_000 & info [ "ops"; "n" ] ~docv:"N" ~doc:"Operation count.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Random operations cross-checked against a hash-table model")
+    Term.(const fuzz $ index_arg $ ops $ seed_arg)
+
+let crash_cmd =
+  let keys =
+    Arg.(value & opt int 2000 & info [ "keys"; "k" ] ~docv:"N" ~doc:"Preloaded keys.")
+  in
+  let points =
+    Arg.(value & opt int 200 & info [ "points"; "p" ] ~docv:"P" ~doc:"Crash points to sample.")
+  in
+  Cmd.v
+    (Cmd.info "crash-test"
+       ~doc:"Crash a FAST+FAIR insert+delete at sampled store points and validate recovery")
+    Term.(const crash_test $ keys $ points $ seed_arg)
+
+let stats_cmd =
+  let keys =
+    Arg.(value & opt int 100_000 & info [ "keys"; "k" ] ~docv:"N" ~doc:"Keys to insert.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"PM event statistics for a bulk load")
+    Term.(const stats $ index_arg $ keys $ seed_arg)
+
+let dump_cmd =
+  let keys =
+    Arg.(value & opt int 30 & info [ "keys"; "k" ] ~docv:"N" ~doc:"Keys to insert.")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Print the node structure of a small FAST+FAIR tree")
+    Term.(const dump $ keys)
+
+let persist_cmd =
+  let keys =
+    Arg.(value & opt int 50_000 & info [ "keys"; "k" ] ~docv:"N" ~doc:"Keys to insert.")
+  in
+  let path =
+    Arg.(value & opt string "/tmp/fastfair.img" & info [ "file"; "f" ] ~docv:"PATH"
+         ~doc:"Image file path.")
+  in
+  Cmd.v
+    (Cmd.info "persist" ~doc:"Save the persisted PM image to a file and reload it")
+    Term.(const persist $ keys $ path)
+
+let () =
+  let info = Cmd.info "ffcli" ~doc:"FAST+FAIR persistent B+-tree playground" in
+  exit (Cmd.eval' (Cmd.group info [ fuzz_cmd; crash_cmd; stats_cmd; dump_cmd; persist_cmd ]))

@@ -1,0 +1,1 @@
+examples/concurrent_readers.ml: Array Ff_fastfair Ff_index Ff_mcsim Ff_pmem Ff_util List Printf

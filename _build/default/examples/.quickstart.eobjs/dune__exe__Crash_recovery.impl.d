@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Ff_fastfair Ff_pmem Ff_util List Printf

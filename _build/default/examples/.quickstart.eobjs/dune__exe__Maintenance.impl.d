@@ -1,0 +1,1 @@
+examples/maintenance.ml: Array Bulk Compact Cursor Ff_fastfair Ff_pmem Filename Invariant Kv List Option Printf String Sys Tree

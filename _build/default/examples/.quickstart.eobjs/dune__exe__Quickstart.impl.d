@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ff_fastfair Ff_pmem Printf

@@ -1,0 +1,1 @@
+examples/tpcc_demo.ml: Ff_fastfair Ff_fptree Ff_pmem Ff_tpcc Ff_wbtree Printf

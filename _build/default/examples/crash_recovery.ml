@@ -1,0 +1,78 @@
+(* Endurable transient inconsistency, live: crash a FAIR node split at
+   every possible 8-byte store, and watch readers tolerate every
+   intermediate state with no log and no recovery pass (the paper's
+   central claim, Sections III and 5.7).
+
+   Run with: dune exec examples/crash_recovery.exe *)
+
+module Arena = Ff_pmem.Arena
+module Storelog = Ff_pmem.Storelog
+module Prng = Ff_util.Prng
+module Tree = Ff_fastfair.Tree
+module Invariant = Ff_fastfair.Invariant
+
+let value_of k = (2 * k) + 1
+
+let () =
+  (* Small nodes (128 B = 4 records) so a single insert triggers a
+     FAIR split with root growth. *)
+  let arena = Arena.create ~words:(1 lsl 16) () in
+  let tree = Tree.create ~node_bytes:128 arena in
+  List.iter (fun k -> Tree.insert tree ~key:k ~value:(value_of k)) [ 10; 20; 30; 40 ];
+  Arena.drain arena;
+  print_endline "base tree: keys {10,20,30,40} in one full 128-byte leaf";
+
+  (* How many stores does 'insert 25' (a full FAIR split) take? *)
+  let total =
+    let c = Arena.clone arena in
+    let t = Tree.open_existing ~node_bytes:128 c in
+    let before = Arena.store_count c in
+    Tree.insert t ~key:25 ~value:(value_of 25);
+    Arena.store_count c - before
+  in
+  Printf.printf "insert 25 forces a node split: %d 8-byte stores\n\n" total;
+
+  let tolerated = ref 0 and atomic = ref 0 and recovered = ref 0 in
+  for k = 0 to total do
+    (* Clone the device, crash before the (k+1)-th store, and lose
+       everything that was not explicitly flushed (plus random
+       evictions). *)
+    let c = Arena.clone arena in
+    let t = Tree.open_existing ~node_bytes:128 c in
+    Arena.set_crash_plan c (Arena.After_stores (Arena.store_count c + k));
+    (try Tree.insert t ~key:25 ~value:(value_of 25) with Arena.Crashed -> ());
+    Arena.power_fail c (Storelog.Random_eviction (Prng.create k));
+
+    (* Reattach with NO recovery: lock-free readers must still see
+       every committed key. *)
+    let t = Tree.open_existing ~node_bytes:128 c in
+    let committed_ok =
+      List.for_all
+        (fun key -> Tree.search t key = Some (value_of key))
+        [ 10; 20; 30; 40 ]
+    in
+    if committed_ok then incr tolerated;
+    (* The in-flight key is all-or-nothing. *)
+    (match Tree.search t 25 with
+    | None -> incr atomic
+    | Some v when v = value_of 25 -> incr atomic
+    | Some _ -> ());
+    (* Lazy recovery: ordinary writers repair as a side effect. *)
+    Tree.recover ~lazy_:true t;
+    Tree.insert t ~key:35 ~value:(value_of 35);
+    ignore (Tree.delete t 35);
+    Tree.recover t;
+    (* eager pass to finish dangling structure for the check *)
+    if Invariant.check t = [] then incr recovered
+  done;
+
+  Printf.printf "crash points enumerated : %d\n" (total + 1);
+  Printf.printf "readers tolerated state : %d / %d (no recovery ran)\n" !tolerated (total + 1);
+  Printf.printf "in-flight key atomic    : %d / %d\n" !atomic (total + 1);
+  Printf.printf "invariants after repair : %d / %d\n" !recovered (total + 1);
+  if !tolerated = total + 1 && !atomic = total + 1 && !recovered = total + 1 then
+    print_endline "\nevery transient state was endurable — no logging needed"
+  else begin
+    print_endline "\nUNEXPECTED: some state was not tolerated";
+    exit 1
+  end

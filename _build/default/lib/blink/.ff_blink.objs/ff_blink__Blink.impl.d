@@ -1,0 +1,1 @@
+lib/blink/blink.ml: Array Ff_index Ff_pmem

@@ -1,0 +1,1 @@
+lib/blink/blink.mli: Ff_index Ff_pmem

@@ -1,0 +1,1 @@
+lib/fastfair/bulk.ml: Array Ff_pmem Hashtbl Layout List Node Tree

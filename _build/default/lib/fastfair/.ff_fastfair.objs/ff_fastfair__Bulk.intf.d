@@ -1,0 +1,1 @@
+lib/fastfair/bulk.mli: Ff_pmem Tree

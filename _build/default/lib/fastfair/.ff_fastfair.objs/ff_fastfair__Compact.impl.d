@@ -1,0 +1,1 @@
+lib/fastfair/compact.ml: Ff_pmem Layout Node Tree

@@ -1,0 +1,1 @@
+lib/fastfair/compact.mli: Layout Tree

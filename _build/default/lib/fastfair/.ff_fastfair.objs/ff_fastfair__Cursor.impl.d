@@ -1,0 +1,1 @@
+lib/fastfair/cursor.ml: Ff_pmem Layout Node Tree

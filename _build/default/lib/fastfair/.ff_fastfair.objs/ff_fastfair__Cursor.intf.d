@@ -1,0 +1,1 @@
+lib/fastfair/cursor.mli: Tree

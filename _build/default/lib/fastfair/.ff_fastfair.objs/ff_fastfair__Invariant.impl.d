@@ -1,0 +1,1 @@
+lib/fastfair/invariant.ml: Ff_pmem Hashtbl Layout List Node Printf String Tree

@@ -1,0 +1,1 @@
+lib/fastfair/invariant.mli: Tree

@@ -1,0 +1,1 @@
+lib/fastfair/kv.ml: Ff_index Ff_pmem Tree

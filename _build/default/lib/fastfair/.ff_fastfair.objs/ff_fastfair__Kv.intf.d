@@ -1,0 +1,1 @@
+lib/fastfair/kv.mli: Ff_index Ff_pmem Tree

@@ -1,0 +1,1 @@
+lib/fastfair/layout.ml: Ff_pmem

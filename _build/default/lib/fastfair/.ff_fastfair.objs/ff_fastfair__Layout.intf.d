@@ -1,0 +1,1 @@
+lib/fastfair/layout.mli: Ff_pmem

@@ -1,0 +1,1 @@
+lib/fastfair/node.ml: Array Ff_pmem Layout List

@@ -1,0 +1,1 @@
+lib/fastfair/node.mli: Ff_pmem Layout

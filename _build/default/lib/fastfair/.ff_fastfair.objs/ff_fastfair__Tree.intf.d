@@ -1,0 +1,1 @@
+lib/fastfair/tree.mli: Ff_index Ff_pmem Layout Node

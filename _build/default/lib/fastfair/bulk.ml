@@ -1,0 +1,115 @@
+module Arena = Ff_pmem.Arena
+module L = Layout
+
+(* Write a fresh private node: header, packed records, count hint.
+   No ordering discipline is needed — nothing is reachable until the
+   final root-slot store. *)
+let build_node a l ~level ~leftmost ~low entries =
+  let n = Arena.alloc a l.L.node_words in
+  Node.init a l n ~level ~leftmost ~low;
+  List.iteri
+    (fun i (k, v) ->
+      L.set_key a n i k;
+      L.set_ptr a n i v)
+    entries;
+  L.set_count_hint a n (List.length entries);
+  n
+
+(* Split a list into chunks of at most [per], preserving order. *)
+let chunk per xs =
+  let rec go acc cur cnt = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if cnt = per then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (cnt + 1) rest
+  in
+  go [] [] 0 xs
+
+(* The first node of a level covers everything to the left. *)
+let relax_first = function
+  | (_, n) :: _ -> fun a -> L.set_low a n 0
+  | [] -> fun _ -> ()
+
+let load ?(node_bytes = 512) ?(fill = 0.85) ?(root_slot = 0) arena pairs =
+  let l = L.make ~node_bytes in
+  let sorted = List.sort compare (Array.to_list pairs) in
+  let rec check_unique = function
+    | (k1, _) :: ((k2, _) :: _ as rest) ->
+        if k1 = k2 then invalid_arg "Bulk.load: duplicate key";
+        check_unique rest
+    | [ _ ] | [] -> ()
+  in
+  check_unique sorted;
+  List.iter
+    (fun (k, v) ->
+      if k <= 0 then invalid_arg "Bulk.load: keys must be positive";
+      if v = 0 then invalid_arg "Bulk.load: values must be nonzero")
+    sorted;
+  let per = min (max 2 (int_of_float (float_of_int l.L.capacity *. fill)))
+              (l.L.capacity - 1) in
+  (* Leaves, left to right. *)
+  let leaves =
+    List.map
+      (fun entries ->
+        let low = match entries with (k, _) :: _ -> k | [] -> 0 in
+        (low, build_node arena l ~level:0 ~leftmost:0 ~low entries))
+      (chunk per sorted)
+  in
+  relax_first leaves arena;
+  (* Stack internal levels until one node remains. *)
+  let rec build level nodes =
+    match nodes with
+    | [] -> build_node arena l ~level:0 ~leftmost:0 ~low:0 []
+    | [ (_, n) ] -> n
+    | _ ->
+        let parents =
+          List.map
+            (fun group ->
+              match group with
+              | (glow, first) :: rest ->
+                  (glow, build_node arena l ~level ~leftmost:first ~low:glow rest)
+              | [] -> assert false)
+            (chunk (per + 1) nodes)
+        in
+        relax_first parents arena;
+        build (level + 1) parents
+  in
+  let root = build 1 leaves in
+  (* Gather nodes per level (depth-first visits each level left to
+     right), chain siblings, persist, publish. *)
+  let by_level = Hashtbl.create 8 in
+  let rec gather n =
+    let lv = L.level arena n in
+    let existing = try Hashtbl.find by_level lv with Not_found -> [] in
+    Hashtbl.replace by_level lv (n :: existing);
+    if lv > 0 then begin
+      gather (L.leftmost arena n);
+      let rec each i =
+        if i < l.L.capacity then begin
+          let p = L.ptr arena n i in
+          if p <> 0 then begin
+            gather p;
+            each (i + 1)
+          end
+        end
+      in
+      each 0
+    end
+  in
+  gather root;
+  Hashtbl.iter
+    (fun _lv nodes ->
+      let rec chain = function
+        | a :: (b :: _ as rest) ->
+            L.set_sibling arena a b;
+            chain rest
+        | [ _ ] | [] -> ()
+      in
+      chain (List.rev nodes))
+    by_level;
+  Hashtbl.iter
+    (fun _ nodes ->
+      List.iter (fun n -> Arena.flush_range arena n l.L.node_words) nodes)
+    by_level;
+  Arena.root_set arena root_slot root;
+  Tree.open_existing ~node_bytes ~root_slot arena

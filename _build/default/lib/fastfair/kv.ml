@@ -1,0 +1,84 @@
+module Arena = Ff_pmem.Arena
+module Intf = Ff_index.Intf
+
+(* Value cells are carved from line-grained allocations; a volatile
+   free list recycles deleted cells (cell reachability is re-derivable
+   from the tree, like the allocator's own metadata). *)
+type t = {
+  tree : Tree.t;
+  arena : Arena.t;
+  mutable pool_line : int;
+  mutable pool_used : int;
+  mutable free_cells : int list;
+}
+
+let make tree arena =
+  { tree; arena; pool_line = 0; pool_used = Arena.words_per_line; free_cells = [] }
+
+let create ?node_bytes ?root_slot arena =
+  make (Tree.create ?node_bytes ?root_slot arena) arena
+
+let open_existing ?node_bytes ?root_slot arena =
+  make (Tree.open_existing ?node_bytes ?root_slot arena) arena
+
+let tree t = t.tree
+
+let alloc_cell t =
+  match t.free_cells with
+  | c :: rest ->
+      t.free_cells <- rest;
+      c
+  | [] ->
+      if t.pool_used = Arena.words_per_line then begin
+        t.pool_line <- Arena.alloc_raw t.arena Arena.words_per_line;
+        t.pool_used <- 0
+      end;
+      let c = t.pool_line + t.pool_used in
+      t.pool_used <- t.pool_used + 1;
+      c
+
+let put t ~key ~value =
+  match Tree.search t.tree key with
+  | Some cell ->
+      (* In-place failure-atomic update of the existing cell. *)
+      Arena.write t.arena cell value;
+      Arena.flush t.arena cell
+  | None ->
+      let cell = alloc_cell t in
+      (* The cell must be durable before the key commits to it. *)
+      Arena.write t.arena cell value;
+      Arena.flush t.arena cell;
+      Tree.insert t.tree ~key ~value:cell
+
+let get t key =
+  match Tree.search t.tree key with
+  | Some cell -> Some (Arena.read t.arena cell)
+  | None -> None
+
+let delete t key =
+  match Tree.search t.tree key with
+  | Some cell ->
+      let removed = Tree.delete t.tree key in
+      if removed then t.free_cells <- cell :: t.free_cells;
+      removed
+  | None -> false
+
+let range t ~lo ~hi f =
+  Tree.range t.tree ~lo ~hi (fun k cell -> f k (Arena.read t.arena cell))
+
+let recover ?lazy_ t =
+  Tree.recover ?lazy_ t.tree;
+  (* Discard the volatile free list: a cell freed before the crash may
+     have been re-committed; reachability decides. *)
+  t.free_cells <- [];
+  t.pool_used <- Arena.words_per_line
+
+let ops t =
+  {
+    Intf.name = "fastfair-kv";
+    insert = (fun k v -> put t ~key:k ~value:v);
+    search = (fun k -> get t k);
+    delete = (fun k -> delete t k);
+    range = (fun lo hi f -> range t ~lo ~hi f);
+    recover = (fun () -> recover t);
+  }

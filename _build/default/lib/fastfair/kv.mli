@@ -1,0 +1,29 @@
+(** Convenience key-value layer without the pointer-uniqueness
+    contract.
+
+    {!Tree} stores caller-provided values directly as the paper's
+    "record pointers", which must be unique and nonzero.  [Kv] lifts
+    that restriction the way the paper's system would be deployed: each
+    value lives in its own persistent cell (written and flushed before
+    the key is committed), and the tree indexes the cell's unique
+    address.  Updates overwrite the cell with one failure-atomic 8-byte
+    store; deletes recycle the cell.
+
+    Cost: one extra PM cell write + flush per first insert of a key,
+    and one dependent cell read per lookup — the price of arbitrary
+    (including duplicate or zero) values. *)
+
+type t
+
+val create : ?node_bytes:int -> ?root_slot:int -> Ff_pmem.Arena.t -> t
+val open_existing : ?node_bytes:int -> ?root_slot:int -> Ff_pmem.Arena.t -> t
+
+val put : t -> key:int -> value:int -> unit
+(** Any value, including 0 and duplicates across keys. *)
+
+val get : t -> int -> int option
+val delete : t -> int -> bool
+val range : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+val recover : ?lazy_:bool -> t -> unit
+val tree : t -> Tree.t
+val ops : t -> Ff_index.Intf.ops

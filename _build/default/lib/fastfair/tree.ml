@@ -1,0 +1,570 @@
+module Arena = Ff_pmem.Arena
+module Stats = Ff_pmem.Stats
+module L = Layout
+module Locks = Ff_index.Locks
+module Intf = Ff_index.Intf
+
+type split_policy = Fair | Logged
+
+type t = {
+  arena : Arena.t;
+  layout : L.t;
+  root_slot : int;
+  mode : Node.search_mode;
+  split_policy : split_policy;
+  locks : Locks.Table.t;
+  leaf_read_locks : bool;
+  root_mutex : Locks.mutex;
+  mutable lazy_pending : bool;
+  clean : (int, unit) Hashtbl.t;
+  mutable log_area : int;
+  mutable trace : string -> unit;
+}
+
+let arena t = t.arena
+let layout t = t.layout
+let root_slot t = t.root_slot
+
+let make_t ?(node_bytes = 512) ?(mode = Node.Linear) ?(split_policy = Fair)
+    ?(lock_mode = Locks.Single) ?(leaf_read_locks = false) ?(root_slot = 0)
+    arena =
+  {
+    arena;
+    layout = L.make ~node_bytes;
+    root_slot;
+    mode;
+    split_policy;
+    locks = Locks.Table.create lock_mode;
+    leaf_read_locks;
+    root_mutex = Locks.make_mutex lock_mode;
+    lazy_pending = false;
+    clean = Hashtbl.create 256;
+    log_area = 0;
+    trace = (fun _ -> ());
+  }
+
+let create ?node_bytes ?mode ?split_policy ?lock_mode ?leaf_read_locks
+    ?root_slot arena =
+  let t =
+    make_t ?node_bytes ?mode ?split_policy ?lock_mode ?leaf_read_locks
+      ?root_slot arena
+  in
+  let a = t.arena and l = t.layout in
+  let root = Arena.alloc a l.L.node_words in
+  Node.init a l root ~level:0 ~leftmost:0 ~low:0;
+  Arena.flush_range a root l.L.node_words;
+  Arena.root_set a t.root_slot root;
+  t
+
+let open_existing ?node_bytes ?mode ?split_policy ?lock_mode ?leaf_read_locks
+    ?root_slot arena =
+  let t =
+    make_t ?node_bytes ?mode ?split_policy ?lock_mode ?leaf_read_locks
+      ?root_slot arena
+  in
+  t.log_area <- Arena.root_get arena (t.root_slot + 1);
+  t
+
+let root t = Arena.root_get t.arena t.root_slot
+
+let set_trace t f = t.trace <- f
+
+(* ------------------------------------------------------------------ *)
+(* Locks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let is_leaf t n = L.is_leaf t.arena n
+
+let wlock t n =
+  if t.leaf_read_locks && is_leaf t n then
+    Locks.wr_lock (Locks.Table.rwlock_of t.locks n)
+  else Locks.lock (Locks.Table.mutex_of t.locks n)
+
+let wunlock t n =
+  if t.leaf_read_locks && is_leaf t n then
+    Locks.wr_unlock (Locks.Table.rwlock_of t.locks n)
+  else Locks.unlock (Locks.Table.mutex_of t.locks n)
+
+let rlock t n =
+  if t.leaf_read_locks then Locks.rd_lock (Locks.Table.rwlock_of t.locks n)
+
+let runlock t n =
+  if t.leaf_read_locks then Locks.rd_unlock (Locks.Table.rwlock_of t.locks n)
+
+(* ------------------------------------------------------------------ *)
+(* Descent with B-link move-right                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Has the current node been split past us, i.e. does the sibling's
+   range cover the key?  The persisted low key is the exact bound;
+   the released C++ code compares the sibling's first entry, which is
+   wrong for the separator gap of internal splits (see Layout.low). *)
+let chain_covers t s key = s <> 0 && L.low t.arena s <= key
+
+let rec move_right t node key =
+  let s = L.sibling t.arena node in
+  if s <> 0 && chain_covers t s key then move_right t s key else node
+
+(* Move right only when the key lies beyond this node's last entry —
+   avoids touching the sibling on the common path. *)
+let move_right_if_beyond t node key =
+  match Node.last_entry t.arena t.layout node with
+  | Some (last, _) when key <= last -> node
+  | Some _ | None -> move_right t node key
+
+let rec to_leaf t node key =
+  let node = move_right_if_beyond t node key in
+  if is_leaf t node then node
+  else to_leaf t (Node.find_child t.arena t.layout node ~mode:t.mode key) key
+
+(* ------------------------------------------------------------------ *)
+(* Lazy recovery hooks (Section 4.2)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Complete an interrupted FAIR split on this node: if its entries
+   overlap the sibling's range, the truncation store never persisted —
+   redo it. *)
+let complete_truncation t node =
+  let a = t.arena and l = t.layout in
+  let s = L.sibling a node in
+  if s <> 0 then
+    match (Node.last_entry a l node, Some (L.low a s, ())) with
+    | Some (last, _), Some (sfk, _) when last >= sfk -> (
+        match
+          let rec find_pos i prev_raw =
+            if i >= l.L.capacity then None
+            else begin
+              let p = L.ptr a node i in
+              if p = 0 then None
+              else if p <> prev_raw && L.key a node i >= sfk then Some i
+              else find_pos (i + 1) p
+            end
+          in
+          find_pos 0 (L.leftmost a node)
+        with
+        | Some pos -> Node.truncate_from a l node pos
+        | None -> ())
+    | (Some _ | None), (Some _ | None) -> ()
+
+let writer_fix_if_pending t node =
+  if t.lazy_pending && not (Hashtbl.mem t.clean node) then begin
+    ignore (Node.writer_fix t.arena t.layout node);
+    complete_truncation t node;
+    Hashtbl.replace t.clean node ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let search t key =
+  let a = t.arena and l = t.layout in
+  Arena.set_phase a Stats.Search;
+  let leaf = to_leaf t (root t) key in
+  (* Algorithm 3 epilogue: on a miss, chase the sibling chain while it
+     can still cover the key. *)
+  let rec at_leaf leaf =
+    rlock t leaf;
+    let v = Node.search a l leaf ~mode:t.mode key in
+    let next =
+      match v with
+      | Some _ -> None
+      | None ->
+          let s = L.sibling a leaf in
+          if s <> 0 && chain_covers t s key then Some s else None
+    in
+    runlock t leaf;
+    match (v, next) with
+    | Some v, _ -> Some v
+    | None, Some s -> at_leaf s
+    | None, None -> None
+  in
+  let r = at_leaf leaf in
+  Arena.set_phase a Stats.Other;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Logged splits (the FAST+Logging baseline)                           *)
+(* ------------------------------------------------------------------ *)
+
+let ensure_log t =
+  if t.log_area = 0 then begin
+    let la = Arena.alloc t.arena (t.layout.L.node_words + Arena.words_per_line) in
+    t.log_area <- la;
+    Arena.root_set t.arena (t.root_slot + 1) la
+  end;
+  t.log_area
+
+let write_split_log t node =
+  let a = t.arena and l = t.layout in
+  let la = ensure_log t in
+  let image = la + Arena.words_per_line in
+  for i = 0 to l.L.node_words - 1 do
+    Arena.write a (image + i) (Arena.read a (node + i))
+  done;
+  Arena.flush_range a image l.L.node_words;
+  Arena.write a la node;
+  Arena.write a (la + 1) 1;
+  Arena.flush a la
+
+let clear_split_log t =
+  let a = t.arena in
+  let la = ensure_log t in
+  Arena.write a (la + 1) 0;
+  Arena.flush a la
+
+let restore_from_log t =
+  let a = t.arena and l = t.layout in
+  let la = Arena.root_get a (t.root_slot + 1) in
+  if la <> 0 && Arena.peek a (la + 1) = 1 then begin
+    t.log_area <- la;
+    let node = Arena.read a la in
+    let image = la + Arena.words_per_line in
+    for i = 0 to l.L.node_words - 1 do
+      Arena.write a (node + i) (Arena.read a (image + i))
+    done;
+    Arena.flush_range a node l.L.node_words;
+    Arena.write a (la + 1) 0;
+    Arena.flush a la
+  end
+  else if la <> 0 then t.log_area <- la
+
+(* ------------------------------------------------------------------ *)
+(* Insertion: FAST in-node, FAIR split, parent update                  *)
+(* ------------------------------------------------------------------ *)
+
+let append_raw t sib j k p =
+  let a = t.arena in
+  L.set_key a sib j k;
+  L.set_ptr a sib j p
+
+(* Split [node] (lock held, node full) and insert the pending (key,
+   value); releases the lock and attaches the new sibling to the
+   parent.  Paper Algorithm 2. *)
+let rec split_and_insert t node key value =
+  let a = t.arena and l = t.layout in
+  let cnt = Node.count a l node in
+  let median = cnt / 2 in
+  let level = L.level a node in
+  let sep = L.key a node median in
+  if t.split_policy = Logged then write_split_log t node;
+  let sib = Arena.alloc a l.L.node_words in
+  if level > 0 then
+    t.trace (Printf.sprintf "split lvl%d node=%d sep=%d sib=%d entries=[%s] pending=%d"
+      level node sep sib
+      (String.concat ";" (List.map (fun (k,_) -> string_of_int k) (Node.entries_debug a l node))) key);
+  let leftmost = if level = 0 then 0 else L.ptr a node median in
+  Node.init a l sib ~level ~leftmost ~low:sep;
+  let start = if level = 0 then median else median + 1 in
+  let j = ref 0 in
+  for i = start to cnt - 1 do
+    append_raw t sib !j (L.key a node i) (L.ptr a node i);
+    incr j
+  done;
+  L.set_count_hint a sib !j;
+  (* While still private, place the pending key if it belongs right. *)
+  if key >= sep then
+    Node.insert_nonfull a l sib ~key ~value ~mode:t.mode;
+  L.set_sibling a sib (L.sibling a node);
+  Arena.flush_range a sib l.L.node_words;
+  (* Commit point: the sibling becomes visible. *)
+  L.set_sibling a node sib;
+  Arena.flush a (node + L.off_sibling);
+  (* In-place truncation of the donor. *)
+  Node.truncate_from a l node median;
+  if key < sep then Node.insert_nonfull a l node ~key ~value ~mode:t.mode;
+  if t.split_policy = Logged then clear_split_log t;
+  wunlock t node;
+  (* Update the parent by traversing from the root (Algorithm 2 l.28). *)
+  insert_at_level t ~level:(level + 1) ~key:sep ~child:sib ~donor:node
+
+(* Generic locked insert into the node covering [key] at its level.
+   For internal nodes, [value] is a child pointer and an existing equal
+   separator means the attachment already happened. *)
+and insert_into_node t node key value ~internal =
+  let a = t.arena and l = t.layout in
+  wlock t node;
+  writer_fix_if_pending t node;
+  let s = L.sibling a node in
+  if s <> 0 && chain_covers t s key then begin
+    (* A concurrent (or interrupted) split moved our range right. *)
+    wunlock t node;
+    insert_into_node t s key value ~internal
+  end
+  else begin
+    Arena.set_phase a Stats.Search;
+    let existing = Node.find_exact a l node key in
+    Arena.set_phase a Stats.Update;
+    match existing with
+    | Some pos ->
+        if not internal then Node.update_value a l node ~pos ~value;
+        wunlock t node
+    | None ->
+        if Node.count a l node < l.L.capacity then begin
+          if internal then
+            t.trace (Printf.sprintf "ins lvl%d key=%d node=%d entries=[%s]"
+              (L.level a node) key node
+              (String.concat ";" (List.map (fun (k,_) -> string_of_int k) (Node.entries_debug a l node))));
+          Node.insert_nonfull a l node ~key ~value ~mode:t.mode;
+          wunlock t node
+        end
+        else split_and_insert t node key value
+  end
+
+(* Insert a separator into the internal level [level], growing the root
+   if the tree is shorter than that. *)
+and insert_at_level t ~level ~key ~child ~donor =
+  let a = t.arena in
+  let rt = root t in
+  if L.level a rt < level then grow_root t ~level ~sep:key ~child ~donor
+  else begin
+    let rec descend n =
+      let n = move_right_if_beyond t n key in
+      if L.level a n = level then n
+      else descend (Node.find_child a t.layout n ~mode:t.mode key)
+    in
+    insert_into_node t (descend rt) key child ~internal:true
+  end
+
+and grow_root t ~level ~sep ~child ~donor =
+  let a = t.arena and l = t.layout in
+  Locks.lock t.root_mutex;
+  let rt = root t in
+  if L.level a rt >= level then begin
+    (* Someone grew the root first; retry as a normal insert. *)
+    Locks.unlock t.root_mutex;
+    insert_at_level t ~level ~key:sep ~child ~donor
+  end
+  else if rt <> donor then begin
+    (* The tree is shorter than [level] but we did not split the root
+       itself: the root's own split is still promoting.  Only that
+       thread may grow the root (its node must become the new root's
+       leftmost child); wait for it and retry. *)
+    Locks.unlock t.root_mutex;
+    Arena.cpu_work a 100;
+    grow_root t ~level ~sep ~child ~donor
+  end
+  else begin
+    let nr = Arena.alloc a l.L.node_words in
+    Node.init a l nr ~level ~leftmost:donor ~low:0;
+    append_raw t nr 0 sep child;
+    L.set_count_hint a nr 1;
+    Arena.flush_range a nr l.L.node_words;
+    Arena.root_set a t.root_slot nr;
+    Locks.unlock t.root_mutex
+  end
+
+let insert t ~key ~value =
+  if key <= 0 then invalid_arg "Tree.insert: key must be positive";
+  if value = 0 then invalid_arg "Tree.insert: value must be nonzero";
+  let a = t.arena in
+  Arena.set_phase a Stats.Search;
+  let leaf = to_leaf t (root t) key in
+  insert_into_node t leaf key value ~internal:false;
+  Arena.set_phase a Stats.Other
+
+(* ------------------------------------------------------------------ *)
+(* Deletion (in-node FAST left shift; no structural rebalance, like    *)
+(* the released implementation)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let delete t key =
+  let a = t.arena and l = t.layout in
+  Arena.set_phase a Stats.Search;
+  let leaf = to_leaf t (root t) key in
+  let rec del leaf =
+    wlock t leaf;
+    writer_fix_if_pending t leaf;
+    let s = L.sibling a leaf in
+    if s <> 0 && chain_covers t s key then begin
+      wunlock t leaf;
+      del s
+    end
+    else begin
+      Arena.set_phase a Stats.Update;
+      let found = Node.delete a l leaf key in
+      wunlock t leaf;
+      found
+    end
+  in
+  let r = del leaf in
+  Arena.set_phase a Stats.Other;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Range scan                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let range t ~lo ~hi f =
+  let a = t.arena and l = t.layout in
+  Arena.set_phase a Stats.Search;
+  let leaf = to_leaf t (root t) lo in
+  let last = ref (lo - 1) in
+  let rec scan node =
+    rlock t node;
+    let cap = l.L.capacity in
+    let beyond = ref false in
+    let rec go i prev_raw =
+      if i < cap && not !beyond then begin
+        let p = L.ptr a node i in
+        if p <> 0 then begin
+          let k = L.key a node i in
+          if p <> prev_raw then begin
+            if k > hi then beyond := true
+            else if k >= lo && k > !last then begin
+              f k p;
+              last := k
+            end
+          end;
+          go (i + 1) p
+        end
+      end
+    in
+    go 0 (L.leftmost a node);
+    let s = L.sibling a node in
+    runlock t node;
+    if (not !beyond) && s <> 0 then scan s
+  in
+  scan leaf;
+  Arena.set_phase a Stats.Other
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let leftmost_of_level t level =
+  let a = t.arena in
+  let rec go n = if L.level a n > level then go (L.leftmost a n) else n in
+  go (root t)
+
+let chain_of t first =
+  let a = t.arena in
+  let rec go n acc = if n = 0 then List.rev acc else go (L.sibling a n) (n :: acc) in
+  go first []
+
+let eager_recover t =
+  let a = t.arena and l = t.layout in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 64 do
+    changed := false;
+    incr rounds;
+    (* Grow the root if it has been split but the new root never
+       committed. *)
+    let rt = root t in
+    (if L.sibling a rt <> 0 then begin
+       let s = L.sibling a rt in
+       changed := true;
+       grow_root t ~level:(L.level a rt + 1) ~sep:(L.low a s) ~child:s ~donor:rt
+     end);
+    let rt = root t in
+    let top = L.level a rt in
+    for level = top downto 0 do
+      let chain = chain_of t (leftmost_of_level t level) in
+      (* Node-local repairs. *)
+      List.iter
+        (fun n ->
+          if Node.writer_fix a l n then changed := true;
+          complete_truncation t n)
+        chain;
+      (* Re-attach dangling siblings: collect children referenced from
+         the parent level, then insert any unreferenced node. *)
+      if level < top then begin
+        let referenced = Hashtbl.create 64 in
+        let parents = chain_of t (leftmost_of_level t (level + 1)) in
+        List.iter
+          (fun p ->
+            Hashtbl.replace referenced (L.leftmost a p) ();
+            List.iter
+              (fun (_, c) -> Hashtbl.replace referenced c ())
+              (Node.entries_debug a l p))
+          parents;
+        List.iteri
+          (fun i n ->
+            if i > 0 && not (Hashtbl.mem referenced n) then begin
+              changed := true;
+              insert_at_level t ~level:(level + 1) ~key:(L.low a n) ~child:n
+                ~donor:n
+            end)
+          chain
+      end
+    done
+  done
+
+let recover ?(lazy_ = false) t =
+  Hashtbl.reset t.clean;
+  if t.split_policy = Logged then restore_from_log t;
+  if lazy_ then t.lazy_pending <- true else eager_recover t
+
+(* ------------------------------------------------------------------ *)
+(* Misc                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let height t = L.level t.arena (root t) + 1
+
+let reachable_nodes t =
+  let a = t.arena in
+  let seen = Hashtbl.create 256 in
+  let acc = ref [] in
+  let rec visit n =
+    if n <> 0 && not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      acc := n :: !acc;
+      let level = Arena.peek a (n + L.off_level) in
+      visit (Arena.peek a (n + L.off_sibling));
+      if level > 0 then begin
+        visit (Arena.peek a (n + L.off_leftmost));
+        List.iter (fun (_, c) -> visit c) (Node.entries_debug a t.layout n)
+      end
+    end
+  in
+  visit (root t);
+  List.rev !acc
+
+let ops t =
+  {
+    Intf.name = "fastfair";
+    insert = (fun k v -> insert t ~key:k ~value:v);
+    search = (fun k -> search t k);
+    delete = (fun k -> delete t k);
+    range = (fun lo hi f -> range t ~lo ~hi f);
+    recover = (fun () -> recover t);
+  }
+
+let min_entry t =
+  let a = t.arena and l = t.layout in
+  let rec leftmost n = if L.is_leaf a n then n else leftmost (L.leftmost a n) in
+  let rec first n =
+    if n = 0 then None
+    else
+      match Node.first_entry a l n with
+      | Some e -> Some e
+      | None -> first (L.sibling a n)
+  in
+  first (leftmost (root t))
+
+let max_entry t =
+  let a = t.arena and l = t.layout in
+  (* rightmost leaf via rightmost children, then the chain's end *)
+  let rec rightmost n =
+    if L.is_leaf a n then n
+    else
+      match Node.last_entry a l n with
+      | Some (_, child) -> rightmost child
+      | None -> rightmost (L.leftmost a n)
+  in
+  let rec chase n best =
+    let best = match Node.last_entry a l n with Some e -> Some e | None -> best in
+    let s = L.sibling a n in
+    if s = 0 then best else chase s best
+  in
+  chase (rightmost (root t)) None
+
+let cardinal t =
+  let a = t.arena and l = t.layout in
+  let rec leftmost n = if L.is_leaf a n then n else leftmost (L.leftmost a n) in
+  let rec go n acc =
+    if n = 0 then acc
+    else go (L.sibling a n) (acc + List.length (Node.entries_debug a l n))
+  in
+  go (leftmost (root t)) 0

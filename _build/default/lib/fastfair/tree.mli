@@ -1,0 +1,92 @@
+(** The FAST+FAIR persistent B+-tree.
+
+    Wraps the node-level FAST algorithms into a full index: B-link
+    style descent over sibling pointers, FAIR in-place node splits
+    (Algorithm 2), non-blocking lock-free reads, root growth, deletes,
+    range scans, and both lazy (writer-driven, Section 4.2) and eager
+    recovery.
+
+    Keys are positive ints; values are nonzero ints and must be unique
+    across the tree (the paper's record-pointer uniqueness, which the
+    duplicate-pointer validity rule depends on).  [insert] of an
+    existing key updates its value in place with a single
+    failure-atomic 8-byte store. *)
+
+type split_policy =
+  | Fair    (** the paper's FAIR in-place rebalance *)
+  | Logged  (** legacy logged split — the "FAST+Logging" baseline of
+                Figure 5 *)
+
+type t
+
+val create :
+  ?node_bytes:int ->
+  ?mode:Node.search_mode ->
+  ?split_policy:split_policy ->
+  ?lock_mode:Ff_index.Locks.mode ->
+  ?leaf_read_locks:bool ->
+  ?root_slot:int ->
+  Ff_pmem.Arena.t ->
+  t
+(** Build a fresh empty tree.  Defaults: 512-byte nodes (the paper's
+    sweet spot), linear search, FAIR splits, single-threaded locks,
+    lock-free reads.  [leaf_read_locks = true] selects the
+    serializable FAST+FAIR+LeafLock variant of Section 4.1.
+    [root_slot] is the arena root slot holding the root pointer. *)
+
+val open_existing :
+  ?node_bytes:int ->
+  ?mode:Node.search_mode ->
+  ?split_policy:split_policy ->
+  ?lock_mode:Ff_index.Locks.mode ->
+  ?leaf_read_locks:bool ->
+  ?root_slot:int ->
+  Ff_pmem.Arena.t ->
+  t
+(** Reattach to a persisted tree (e.g. after {!Ff_pmem.Arena.power_fail});
+    the caller should then run {!recover}. *)
+
+val arena : t -> Ff_pmem.Arena.t
+val layout : t -> Layout.t
+val root_slot : t -> int
+val root : t -> Layout.node
+
+val insert : t -> key:int -> value:int -> unit
+val search : t -> int -> int option
+val delete : t -> int -> bool
+
+val range : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** Ascending leaf-chain scan over [lo, hi], deduplicating the
+    transient repetitions a concurrent shift or an untruncated split
+    donor can produce. *)
+
+val recover : ?lazy_:bool -> t -> unit
+(** Post-crash normalization.  [lazy_ = true] (paper Section 4.2)
+    defers repair to write threads: each node is fixed the first time
+    a writer locks it, and a dangling sibling is re-attached to the
+    parent by the next writer that reaches it through the sibling
+    pointer.  [lazy_ = false] (default) repairs everything eagerly:
+    completes interrupted splits (truncation, parent insertion, root
+    growth) and compacts duplicate-pointer garbage in every reachable
+    node. *)
+
+val ops : t -> Ff_index.Intf.ops
+(** Uniform driver view. *)
+
+val height : t -> int
+val reachable_nodes : t -> Layout.node list
+(** All nodes reachable from the root (uncharged; checker/debug). *)
+
+(**/**)
+
+val set_trace : t -> (string -> unit) -> unit
+(** Debug hook: called with a line per structural event. *)
+
+val min_entry : t -> (int * int) option
+(** Smallest (key, value), or [None] when empty. *)
+
+val max_entry : t -> (int * int) option
+(** Largest (key, value), or [None] when empty. *)
+
+val cardinal : t -> int
+(** Number of keys (leaf-chain walk; uncharged entry counting). *)

@@ -1,0 +1,1 @@
+lib/fptree/fptree.ml: Array Ff_index Ff_pmem Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/fptree/fptree.mli: Ff_index Ff_pmem

@@ -1,0 +1,1 @@
+lib/index/intf.mli:

@@ -1,0 +1,18 @@
+type ops = {
+  name : string;
+  insert : int -> int -> unit;
+  search : int -> int option;
+  delete : int -> bool;
+  range : int -> int -> (int -> int -> unit) -> unit;
+  recover : unit -> unit;
+}
+
+let range_count t lo hi =
+  let n = ref 0 in
+  t.range lo hi (fun _ _ -> incr n);
+  !n
+
+let range_list t lo hi =
+  let acc = ref [] in
+  t.range lo hi (fun k v -> acc := (k, v) :: !acc);
+  List.rev !acc

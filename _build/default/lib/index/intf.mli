@@ -1,0 +1,27 @@
+(** Uniform driver interface over every index structure.
+
+    Keys are positive OCaml ints (the paper's 8-byte integer keys).
+    Values are nonzero ints; like the paper's record pointers, values
+    inserted into one index must be {b unique} — FAST's transient-
+    inconsistency detection relies on pointer uniqueness (Section 3.1),
+    and the common interface imposes the same contract on every
+    comparator for fairness.  [Workload] generators derive unique
+    values from keys. *)
+
+type ops = {
+  name : string;
+  insert : int -> int -> unit;  (** [insert key value] (or update) *)
+  search : int -> int option;
+  delete : int -> bool;  (** true if the key was present *)
+  range : int -> int -> (int -> int -> unit) -> unit;
+      (** [range lo hi f] calls [f key value] for keys in [\[lo, hi\]]
+          in ascending order. *)
+  recover : unit -> unit;
+      (** Reattach/rebuild after a crash ({!Ff_pmem.Arena.power_fail}). *)
+}
+
+val range_count : ops -> int -> int -> int
+(** Number of entries a range query visits. *)
+
+val range_list : ops -> int -> int -> (int * int) list
+(** Materialized range result, ascending. *)

@@ -1,0 +1,1 @@
+lib/mcsim/mcsim.ml: Array Effect Ff_pmem Ff_util Option Queue

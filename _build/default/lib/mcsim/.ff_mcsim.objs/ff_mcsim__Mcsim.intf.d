@@ -1,0 +1,1 @@
+lib/mcsim/mcsim.mli: Ff_pmem Ff_util

@@ -1,0 +1,361 @@
+module Vec = Ff_util.Vec
+module Heap = Ff_util.Heap
+module Prng = Ff_util.Prng
+module Arena = Ff_pmem.Arena
+
+(* ------------------------------------------------------------------ *)
+(* Thread and synchronization object representations                   *)
+(* ------------------------------------------------------------------ *)
+
+type pending =
+  | P_none
+  | P_charged of int  (* suspended after consuming this much time *)
+  | P_blocked         (* parked in some wait queue *)
+  | P_finished
+
+type thread = {
+  thread_tid : int;
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+  mutable pending : pending;
+  mutable end_ns : int;
+}
+
+type mutex = {
+  mutable m_owner : int;
+  m_waiters : thread Queue.t;
+  mutable m_port_free : int;
+  mutable m_port_run : int;
+}
+
+let create_mutex () =
+  { m_owner = -1; m_waiters = Queue.create (); m_port_free = 0; m_port_run = -1 }
+
+type rw_kind = R | W
+
+type rwlock = {
+  mutable readers : int;
+  mutable writer : int;
+  rw_waiters : (thread * rw_kind) Queue.t;
+  mutable rw_port_free : int;
+  mutable rw_port_run : int;
+}
+
+let create_rwlock () =
+  { readers = 0; writer = -1; rw_waiters = Queue.create (); rw_port_free = 0;
+    rw_port_run = -1 }
+
+type gate = { mutable opened : bool; g_waiters : thread Queue.t }
+
+let create_gate () = { opened = false; g_waiters = Queue.create () }
+
+(* ------------------------------------------------------------------ *)
+(* Effects                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type _ Effect.t +=
+  | Charge : int -> unit Effect.t
+  | Lock : mutex -> unit Effect.t
+  | Try_lock : mutex -> bool Effect.t
+  | Unlock : mutex -> unit Effect.t
+  | Rd_lock : rwlock -> unit Effect.t
+  | Rd_unlock : rwlock -> unit Effect.t
+  | Wr_lock : rwlock -> unit Effect.t
+  | Wr_unlock : rwlock -> unit Effect.t
+  | Gate_wait : gate -> unit Effect.t
+  | Gate_open : gate -> unit Effect.t
+  | My_tid : int Effect.t
+
+let charge ns = if ns > 0 then Effect.perform (Charge ns)
+let yield () = Effect.perform (Charge 0)
+let lock m = Effect.perform (Lock m)
+let try_lock m = Effect.perform (Try_lock m)
+let unlock m = Effect.perform (Unlock m)
+let rd_lock l = Effect.perform (Rd_lock l)
+let rd_unlock l = Effect.perform (Rd_unlock l)
+let wr_lock l = Effect.perform (Wr_lock l)
+let wr_unlock l = Effect.perform (Wr_unlock l)
+let gate_wait g = Effect.perform (Gate_wait g)
+let gate_open g = Effect.perform (Gate_open g)
+
+let my_tid () =
+  try Effect.perform My_tid
+  with Effect.Unhandled _ -> failwith "Mcsim.my_tid: not inside Mcsim.run"
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type policy = Fifo | Random of Prng.t
+
+type outcome = { makespan_ns : int; thread_end_ns : int array; events : int }
+
+let run_generation = ref 0
+
+let run ?(cores = 16) ?(quantum_ns = 400) ?(lock_ns = 20) ?contention_ns
+    ?(policy = Fifo) ?arena bodies =
+  let contention_ns = Option.value contention_ns ~default:lock_ns in
+  let n = Array.length bodies in
+  let threads =
+    Array.init n (fun i ->
+        { thread_tid = i; cont = None; pending = P_none; end_ns = 0 })
+  in
+  let runq : thread Vec.t =
+    Vec.create ~dummy:{ thread_tid = -1; cont = None; pending = P_none; end_ns = 0 } ()
+  in
+  Array.iter (Vec.push runq) threads;
+  let take_runnable () =
+    match policy with
+    | Fifo ->
+        let th = Vec.get runq 0 in
+        (* n is tiny (<= 64 threads); O(n) dequeue keeps things simple *)
+        let len = Vec.length runq in
+        for i = 0 to len - 2 do
+          Vec.set runq i (Vec.get runq (i + 1))
+        done;
+        ignore (Vec.pop runq);
+        th
+    | Random rng ->
+        let i = Prng.int rng (Vec.length runq) in
+        let th = Vec.get runq i in
+        let last = Vec.pop runq in
+        if i < Vec.length runq then Vec.set runq i last;
+        th
+  in
+  let events : [ `Free of int | `Wake of thread ] Heap.t = Heap.create () in
+  let idle = ref [] in
+  let now = ref 0 in
+  let nevents = ref 0 in
+  let current = ref threads.(0) in
+  (* Lock-word serialization: each acquire/release is an atomic RMW
+     that owns the lock's cache line for [contention_ns]; concurrent
+     operations on the same lock queue up on this "port".  This is
+     what makes an every-reader-locks design (B-link) saturate while
+     spread-out per-leaf locks stay cheap (paper Figure 7). *)
+  incr run_generation;
+  let generation = !run_generation in
+  let mutex_port (m : mutex) =
+    if m.m_port_run <> generation then begin
+      m.m_port_run <- generation;
+      m.m_port_free <- 0
+    end;
+    let grant = max !now m.m_port_free in
+    m.m_port_free <- grant + contention_ns;
+    lock_ns + (grant - !now)
+  in
+  let rw_port (l : rwlock) =
+    if l.rw_port_run <> generation then begin
+      l.rw_port_run <- generation;
+      l.rw_port_free <- 0
+    end;
+    let grant = max !now l.rw_port_free in
+    l.rw_port_free <- grant + contention_ns;
+    lock_ns + (grant - !now)
+  in
+  let wake th =
+    Vec.push runq th;
+    match !idle with
+    | c :: rest ->
+        idle := rest;
+        Heap.push events !now (`Free c)
+    | [] -> ()
+  in
+  (* Grant the lock/rwlock to waiters in FIFO order. *)
+  let drain_rwlock l =
+    let continue_draining = ref true in
+    while !continue_draining do
+      match Queue.peek_opt l.rw_waiters with
+      | Some (th, R) when l.writer = -1 ->
+          ignore (Queue.pop l.rw_waiters);
+          l.readers <- l.readers + 1;
+          wake th
+      | Some (th, W) when l.writer = -1 && l.readers = 0 ->
+          ignore (Queue.pop l.rw_waiters);
+          l.writer <- th.thread_tid;
+          wake th
+      | Some _ | None -> continue_draining := false
+    done
+  in
+  let handler : type a. a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option =
+    fun eff ->
+      let th = !current in
+      let suspend_charged (k : (unit, unit) Effect.Deep.continuation) ns =
+        th.cont <- Some k;
+        th.pending <- P_charged ns
+      in
+      match eff with
+      | Charge ns -> Some (fun k -> suspend_charged k ns)
+      | Lock m ->
+          Some
+            (fun k ->
+              if m.m_owner = -1 then begin
+                m.m_owner <- th.thread_tid;
+                suspend_charged k (mutex_port m)
+              end
+              else begin
+                Queue.push th m.m_waiters;
+                th.cont <- Some k;
+                th.pending <- P_blocked
+              end)
+      | Try_lock m ->
+          Some
+            (fun k ->
+              if m.m_owner = -1 then begin
+                m.m_owner <- th.thread_tid;
+                Effect.Deep.continue k true
+              end
+              else Effect.Deep.continue k false)
+      | Unlock m ->
+          Some
+            (fun k ->
+              if m.m_owner <> th.thread_tid then
+                failwith "Mcsim.unlock: not the owner";
+              (match Queue.take_opt m.m_waiters with
+              | Some w ->
+                  m.m_owner <- w.thread_tid;
+                  wake w
+              | None -> m.m_owner <- -1);
+              suspend_charged k (mutex_port m))
+      | Rd_lock l ->
+          Some
+            (fun k ->
+              if l.writer = -1 && Queue.is_empty l.rw_waiters then begin
+                l.readers <- l.readers + 1;
+                suspend_charged k (rw_port l)
+              end
+              else begin
+                Queue.push (th, R) l.rw_waiters;
+                th.cont <- Some k;
+                th.pending <- P_blocked
+              end)
+      | Rd_unlock l ->
+          Some
+            (fun k ->
+              assert (l.readers > 0);
+              l.readers <- l.readers - 1;
+              drain_rwlock l;
+              suspend_charged k (rw_port l))
+      | Wr_lock l ->
+          Some
+            (fun k ->
+              if l.writer = -1 && l.readers = 0 && Queue.is_empty l.rw_waiters
+              then begin
+                l.writer <- th.thread_tid;
+                suspend_charged k (rw_port l)
+              end
+              else begin
+                Queue.push (th, W) l.rw_waiters;
+                th.cont <- Some k;
+                th.pending <- P_blocked
+              end)
+      | Wr_unlock l ->
+          Some
+            (fun k ->
+              if l.writer <> th.thread_tid then
+                failwith "Mcsim.wr_unlock: not the writer";
+              l.writer <- -1;
+              drain_rwlock l;
+              suspend_charged k (rw_port l))
+      | Gate_wait g ->
+          Some
+            (fun k ->
+              if g.opened then Effect.Deep.continue k ()
+              else begin
+                Queue.push th g.g_waiters;
+                th.cont <- Some k;
+                th.pending <- P_blocked
+              end)
+      | Gate_open g ->
+          Some
+            (fun k ->
+              g.opened <- true;
+              Queue.iter wake g.g_waiters;
+              Queue.clear g.g_waiters;
+              Effect.Deep.continue k ())
+      | My_tid -> Some (fun k -> Effect.Deep.continue k th.thread_tid)
+      | _ -> None
+  in
+  let start th =
+    Effect.Deep.match_with
+      (fun () -> bodies.(th.thread_tid) th.thread_tid)
+      ()
+      {
+        retc = (fun () -> th.pending <- P_finished);
+        exnc = raise;
+        effc = (fun eff -> handler eff);
+      }
+  in
+  let run_segment th =
+    current := th;
+    (match arena with Some a -> Arena.set_tid a th.thread_tid | None -> ());
+    let acc = ref 0 in
+    let result = ref None in
+    while !result = None do
+      th.pending <- P_none;
+      (match th.cont with
+      | None -> start th
+      | Some k ->
+          th.cont <- None;
+          Effect.Deep.continue k ());
+      (match th.pending with
+      | P_charged ns ->
+          acc := !acc + ns;
+          if !acc >= quantum_ns then result := Some (`Ran !acc)
+      | P_blocked -> result := Some (`Blocked !acc)
+      | P_finished -> result := Some (`Done !acc)
+      | P_none -> assert false);
+      incr nevents
+    done;
+    match !result with Some r -> r | None -> assert false
+  in
+  (match arena with
+  | Some a -> Arena.set_yield_hook a (Some (fun ns -> charge ns))
+  | None -> ());
+  let finished = ref 0 in
+  for c = 0 to cores - 1 do
+    Heap.push events 0 (`Free c)
+  done;
+  let rec loop () =
+    if !finished < n then
+      match Heap.pop events with
+      | None -> failwith "Mcsim.run: deadlock (no runnable thread)"
+      | Some (t, `Wake th) ->
+          now := t;
+          wake th;
+          loop ()
+      | Some (t, `Free c) ->
+          now := t;
+          if Vec.is_empty runq then idle := c :: !idle
+          else begin
+            let th = take_runnable () in
+            (match run_segment th with
+            | `Ran cost ->
+                (* The thread occupies this core until t + cost; it
+                   may not be picked up elsewhere before then. *)
+                Heap.push events (t + cost) (`Wake th);
+                Heap.push events (t + cost) (`Free c)
+            | `Blocked cost -> Heap.push events (t + cost) (`Free c)
+            | `Done cost ->
+                th.end_ns <- t + cost;
+                incr finished;
+                Heap.push events (t + cost) (`Free c));
+          end;
+          loop ()
+  in
+  let cleanup () =
+    match arena with
+    | Some a ->
+        Arena.set_yield_hook a None;
+        Arena.set_tid a 0
+    | None -> ()
+  in
+  (try loop ()
+   with e ->
+     cleanup ();
+     raise e);
+  cleanup ();
+  let makespan = Array.fold_left (fun m th -> max m th.end_ns) 0 threads in
+  {
+    makespan_ns = makespan;
+    thread_end_ns = Array.map (fun th -> th.end_ns) threads;
+    events = !nevents;
+  }

@@ -1,0 +1,80 @@
+(** Deterministic discrete-event multicore simulator.
+
+    The paper's Figure 7 runs 1-32 threads on a 16-vCPU machine; this
+    host has one core, so scalability is reproduced in {e simulated}
+    time.  Logical threads are OCaml 5 effect-handler coroutines that
+    yield at every instrumented PM access (via {!Ff_pmem.Arena}'s
+    yield hook) and at every synchronization operation.  A scheduler
+    multiplexes them over [cores] simulated cores, advancing a
+    simulated clock; mutexes and read/write locks block threads in
+    simulated time, so lock-free readers (FAST+FAIR, SkipList) scale
+    while lock-based readers (B-link, leaf-lock mode) serialize —
+    exactly the mechanism behind the paper's scalability results.
+
+    With [quantum_ns = 1] the scheduler preempts at {e every} memory
+    access, which is how the Section IV suspended-reader interleavings
+    are tested deterministically. *)
+
+(** {1 Synchronization primitives (usable only inside {!run})} *)
+
+type mutex
+
+val create_mutex : unit -> mutex
+val lock : mutex -> unit
+val unlock : mutex -> unit
+val try_lock : mutex -> bool
+
+type rwlock
+
+val create_rwlock : unit -> rwlock
+val rd_lock : rwlock -> unit
+val rd_unlock : rwlock -> unit
+val wr_lock : rwlock -> unit
+val wr_unlock : rwlock -> unit
+
+type gate
+(** A binary event: threads wait until it is opened. *)
+
+val create_gate : unit -> gate
+val gate_wait : gate -> unit
+val gate_open : gate -> unit
+
+val charge : int -> unit
+(** Consume simulated CPU nanoseconds. *)
+
+val yield : unit -> unit
+(** Zero-cost reschedule point. *)
+
+val my_tid : unit -> int
+(** Index of the current logical thread.  @raise Failure outside {!run}. *)
+
+(** {1 Running} *)
+
+type policy =
+  | Fifo  (** deterministic round-robin *)
+  | Random of Ff_util.Prng.t  (** seeded random runnable-thread choice *)
+
+type outcome = {
+  makespan_ns : int;  (** simulated time at which the last thread finished *)
+  thread_end_ns : int array;  (** per-thread completion times *)
+  events : int;  (** scheduler segments executed *)
+}
+
+val run :
+  ?cores:int ->
+  ?quantum_ns:int ->
+  ?lock_ns:int ->
+  ?contention_ns:int ->
+  ?policy:policy ->
+  ?arena:Ff_pmem.Arena.t ->
+  (int -> unit) array ->
+  outcome
+(** [run bodies] executes [bodies.(i) i] as logical thread [i].
+    If [arena] is given, its yield hook and thread id are managed so
+    that all PM costs advance the simulated clock of the running
+    thread.  Defaults: [cores = 16], [quantum_ns = 400],
+    [lock_ns = 20] (cost of an uncontended lock operation),
+    [contention_ns = lock_ns] (every acquire/release owns the lock's
+    cache line for this long, serialized per lock — the cache-line
+    bouncing that makes every-node read locking collapse while
+    per-leaf locking stays cheap).  @raise Failure on deadlock. *)

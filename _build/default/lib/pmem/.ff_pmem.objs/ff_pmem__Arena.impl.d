@@ -1,0 +1,1 @@
+lib/pmem/arena.ml: Array Cachesim Config Fun Hashtbl List Marshal Printf Stats Storelog

@@ -1,0 +1,1 @@
+lib/pmem/arena.mli: Config Stats Storelog

@@ -1,0 +1,1 @@
+lib/pmem/storelog.ml: Array Ff_util Hashtbl List Seq

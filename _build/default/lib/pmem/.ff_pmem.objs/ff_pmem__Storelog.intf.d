@@ -1,0 +1,1 @@
+lib/pmem/storelog.mli: Ff_util

@@ -1,0 +1,282 @@
+exception Crashed
+
+type crash_plan = Never | After_stores of int | After_flushes of int
+
+let words_per_line = 8
+let reserved_words = 64
+
+type ctx = { cache : Cachesim.t; stats : Stats.t }
+
+type t = {
+  config : Config.t;
+  volatile : int array;
+  persisted : int array;
+  log : Storelog.t;
+  ctxs : ctx array;
+  mutable cur : int;
+  mutable epoch : int;
+  mutable stores : int;
+  mutable flushes : int;
+  mutable plan : crash_plan;
+  mutable yield_hook : (int -> unit) option;
+  mutable bump : int;
+  free_lists : (int, int list) Hashtbl.t;
+}
+
+let create ?(config = Config.default) ~words () =
+  let words =
+    (* round up to a line boundary *)
+    (words + words_per_line - 1) / words_per_line * words_per_line
+  in
+  {
+    config;
+    volatile = Array.make words 0;
+    persisted = Array.make words 0;
+    log = Storelog.create ();
+    ctxs =
+      Array.init config.Config.max_threads (fun _ ->
+          { cache = Cachesim.create ~capacity:config.Config.cache_lines; stats = Stats.create () });
+    cur = 0;
+    epoch = 0;
+    stores = 0;
+    flushes = 0;
+    plan = Never;
+    yield_hook = None;
+    bump = reserved_words;
+    free_lists = Hashtbl.create 8;
+  }
+
+let config t = t.config
+let capacity t = Array.length t.volatile
+
+let set_tid t tid =
+  assert (tid >= 0 && tid < Array.length t.ctxs);
+  t.cur <- tid
+
+let tid t = t.cur
+let stats t tid = t.ctxs.(tid).stats
+
+let total_stats t =
+  let acc = Stats.create () in
+  Array.iter (fun c -> Stats.add acc c.stats) t.ctxs;
+  acc
+
+let reset_stats t = Array.iter (fun c -> Stats.reset c.stats) t.ctxs
+
+let set_phase t phase = (t.ctxs.(t.cur).stats).Stats.phase <- phase
+
+let set_yield_hook t hook = t.yield_hook <- hook
+
+(* Charge [ns] to the current phase bucket and run the yield hook. *)
+let charge t ns =
+  let s = t.ctxs.(t.cur).stats in
+  (match s.Stats.phase with
+  | Stats.Search -> s.Stats.search_ns <- s.Stats.search_ns + ns
+  | Stats.Update -> s.Stats.update_ns <- s.Stats.update_ns + ns
+  | Stats.Other -> s.Stats.other_ns <- s.Stats.other_ns + ns);
+  match t.yield_hook with None -> () | Some f -> f ns
+
+let charge_flush t ns =
+  let s = t.ctxs.(t.cur).stats in
+  s.Stats.flush_ns <- s.Stats.flush_ns + ns;
+  match t.yield_hook with None -> () | Some f -> f ns
+
+let charge_fence t ns =
+  let s = t.ctxs.(t.cur).stats in
+  s.Stats.fence_ns <- s.Stats.fence_ns + ns;
+  match t.yield_hook with None -> () | Some f -> f ns
+
+let line_of addr = addr / words_per_line
+
+let check addr t =
+  if addr < 0 || addr >= Array.length t.volatile then
+    invalid_arg (Printf.sprintf "Arena: address %d out of bounds" addr)
+
+let read t addr =
+  check addr t;
+  let ctx = t.ctxs.(t.cur) in
+  let s = ctx.stats in
+  s.Stats.loads <- s.Stats.loads + 1;
+  let cfg = t.config in
+  (match Cachesim.access ctx.cache (line_of addr) with
+  | Cachesim.Hit ->
+      s.Stats.line_hits <- s.Stats.line_hits + 1;
+      charge t cfg.Config.l1_hit_ns
+  | Cachesim.Miss { sequential } ->
+      s.Stats.line_misses <- s.Stats.line_misses + 1;
+      if sequential then begin
+        s.Stats.seq_misses <- s.Stats.seq_misses + 1;
+        charge t (cfg.Config.read_latency_ns / cfg.Config.mlp_factor)
+      end
+      else charge t cfg.Config.read_latency_ns);
+  t.volatile.(addr)
+
+let maybe_crash_on_store t =
+  match t.plan with
+  | After_stores k when t.stores >= k -> raise Crashed
+  | Never | After_stores _ | After_flushes _ -> ()
+
+let maybe_crash_on_flush t =
+  match t.plan with
+  | After_flushes k when t.flushes >= k -> raise Crashed
+  | Never | After_stores _ | After_flushes _ -> ()
+
+let write t addr v =
+  check addr t;
+  maybe_crash_on_store t;
+  t.stores <- t.stores + 1;
+  let ctx = t.ctxs.(t.cur) in
+  let s = ctx.stats in
+  s.Stats.stores <- s.Stats.stores + 1;
+  t.volatile.(addr) <- v;
+  let line = line_of addr in
+  (* Write-allocate: the line is resident after the store. *)
+  ignore (Cachesim.access ctx.cache line);
+  Storelog.record t.log ~addr ~value:v ~line ~epoch:t.epoch;
+  if Storelog.pending t.log > t.config.Config.pending_high_water then
+    Storelog.evict_to t.log ~persisted:t.persisted
+      ~target:(t.config.Config.pending_high_water / 2);
+  charge t t.config.Config.store_ns
+
+let fence t =
+  let s = t.ctxs.(t.cur).stats in
+  s.Stats.fences <- s.Stats.fences + 1;
+  t.epoch <- t.epoch + 1;
+  charge_fence t t.config.Config.fence_ns
+
+let fence_if_not_tso t =
+  match t.config.Config.memory_order with
+  | Config.Tso -> ()
+  | Config.Non_tso -> fence t
+
+let flush t addr =
+  check addr t;
+  maybe_crash_on_flush t;
+  t.flushes <- t.flushes + 1;
+  let s = t.ctxs.(t.cur).stats in
+  s.Stats.flushes <- s.Stats.flushes + 1;
+  s.Stats.fences <- s.Stats.fences + 1;
+  Storelog.flush_line t.log ~persisted:t.persisted (line_of addr);
+  t.epoch <- t.epoch + 1;
+  charge_flush t t.config.Config.write_latency_ns
+
+let flush_range t addr words =
+  let first = line_of addr and last = line_of (addr + words - 1) in
+  for line = first to last do
+    flush t (line * words_per_line)
+  done
+
+let cpu_work t ns = charge t ns
+
+let peek t addr =
+  check addr t;
+  t.volatile.(addr)
+
+let peek_persisted t addr =
+  check addr t;
+  t.persisted.(addr)
+
+(* Allocation: line-aligned bump pointer with per-size free lists.
+   Allocator metadata is volatile; recovery re-derives reachability
+   (see DESIGN.md). *)
+
+let round_to_lines words = (words + words_per_line - 1) / words_per_line * words_per_line
+
+let alloc_raw t words =
+  let words = round_to_lines (max words 1) in
+  match Hashtbl.find_opt t.free_lists words with
+  | Some (addr :: rest) ->
+      Hashtbl.replace t.free_lists words rest;
+      addr
+  | Some [] | None ->
+      let addr = t.bump in
+      if addr + words > Array.length t.volatile then raise Out_of_memory;
+      t.bump <- addr + words;
+      addr
+
+let alloc t words =
+  let addr = alloc_raw t words in
+  let n = round_to_lines (max words 1) in
+  for i = addr to addr + n - 1 do
+    write t i 0
+  done;
+  addr
+
+let free t addr words =
+  let words = round_to_lines (max words 1) in
+  let prev = try Hashtbl.find t.free_lists words with Not_found -> [] in
+  Hashtbl.replace t.free_lists words (addr :: prev)
+
+let used_words t = t.bump - reserved_words
+
+let root_get t slot =
+  assert (slot >= 0 && slot < reserved_words);
+  read t slot
+
+let root_set t slot v =
+  assert (slot >= 0 && slot < reserved_words);
+  write t slot v;
+  flush t slot;
+  fence t
+
+let set_crash_plan t plan = t.plan <- plan
+let store_count t = t.stores
+let flush_count t = t.flushes
+
+let power_fail t mode =
+  Storelog.apply_crash t.log ~persisted:t.persisted mode;
+  Array.blit t.persisted 0 t.volatile 0 (Array.length t.persisted);
+  Array.iter (fun c -> Cachesim.clear c.cache) t.ctxs;
+  t.plan <- Never
+
+let drain t =
+  Storelog.evict_to t.log ~persisted:t.persisted ~target:0
+
+let clone t =
+  drain t;
+  if Storelog.pending t.log > 0 then invalid_arg "Arena.clone: store log not empty";
+  {
+    config = t.config;
+    volatile = Array.copy t.volatile;
+    persisted = Array.copy t.persisted;
+    log = Storelog.create ();
+    ctxs =
+      Array.init t.config.Config.max_threads (fun _ ->
+          {
+            cache = Cachesim.create ~capacity:t.config.Config.cache_lines;
+            stats = Stats.create ();
+          });
+    cur = 0;
+    epoch = t.epoch;
+    stores = t.stores;
+    flushes = t.flushes;
+    plan = Never;
+    yield_hook = None;
+    bump = t.bump;
+    free_lists = Hashtbl.copy t.free_lists;
+  }
+
+let dirty_line_count t = List.length (Storelog.dirty_lines t.log)
+
+(* File format: (magic, capacity, bump, persisted image). *)
+let magic = 0xFA57FA12
+
+let save_to_file t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Marshal.to_channel oc (magic, Array.length t.persisted, t.bump, t.persisted) [])
+
+let load_from_file ?(config = Config.default) path =
+  let ic = open_in_bin path in
+  let m, words, bump, persisted =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> (Marshal.from_channel ic : int * int * int * int array))
+  in
+  if m <> magic then invalid_arg "Arena.load_from_file: not an arena image";
+  let t = create ~config ~words () in
+  Array.blit persisted 0 t.persisted 0 (min words (Array.length t.persisted));
+  Array.blit persisted 0 t.volatile 0 (min words (Array.length t.volatile));
+  t.bump <- max bump reserved_words;
+  t

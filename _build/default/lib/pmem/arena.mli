@@ -1,0 +1,148 @@
+(** Simulated byte-addressable persistent memory.
+
+    The arena is word-addressed (one OCaml [int] per 8-byte word, which
+    OCaml 5 stores without tearing — the paper's 8-byte failure-atomic
+    store granularity).  A cache line is {!words_per_line} words.
+
+    Two images are kept: the {e volatile} image (what the CPU sees,
+    always current) and the {e persisted} image (what PM holds).  A
+    {!write} updates the volatile image and logs the store as pending;
+    {!flush} ([clflush] + [mfence] in the paper's pseudo-code) persists
+    the pending stores of one line.  {!power_fail} discards the
+    volatile image after applying a {!Storelog.crash_mode} — this is
+    how crash experiments enumerate every transient state the paper's
+    Section III argues readers must tolerate.
+
+    Every access charges simulated nanoseconds to the current thread
+    context according to {!Config.t}: LLC misses cost the PM read
+    latency (with an MLP/prefetch discount for sequential lines),
+    flushes cost the PM write latency, fences cost fence time.  The
+    accounting powers every latency figure of the paper. *)
+
+type t
+
+exception Crashed
+(** Raised by {!write} / {!flush} when the injected crash plan fires.
+    The triggering store is {e not} applied. *)
+
+type crash_plan =
+  | Never
+  | After_stores of int  (** raise on store number [k+1] *)
+  | After_flushes of int (** raise on flush number [k+1] *)
+
+val words_per_line : int
+(** 8 — a 64-byte cache line. *)
+
+val reserved_words : int
+(** Words [0 .. reserved_words-1] are root/metadata slots; {!alloc}
+    never returns them. *)
+
+val create : ?config:Config.t -> words:int -> unit -> t
+val config : t -> Config.t
+val capacity : t -> int
+
+(** {1 Thread contexts and accounting} *)
+
+val set_tid : t -> int -> unit
+(** Select the accounting context (simulated thread); default 0. *)
+
+val tid : t -> int
+val stats : t -> int -> Stats.t
+val total_stats : t -> Stats.t
+val reset_stats : t -> unit
+val set_phase : t -> Stats.phase -> unit
+
+val set_yield_hook : t -> (int -> unit) option -> unit
+(** Called after every charged access with the simulated ns of that
+    access; the multicore simulator uses it to preempt threads. *)
+
+(** {1 Memory operations} *)
+
+val read : t -> int -> int
+(** Charged word load from the volatile image. *)
+
+val write : t -> int -> int -> unit
+(** Charged, failure-atomic word store (volatile image + store log). *)
+
+val flush : t -> int -> unit
+(** [clflush_with_mfence] of the line containing the address. *)
+
+val flush_range : t -> int -> int -> unit
+(** Flush every line overlapping [addr, addr+words). *)
+
+val fence : t -> unit
+(** Explicit memory fence ([mfence] / [dmb]); bumps the store epoch. *)
+
+val fence_if_not_tso : t -> unit
+(** The paper's [mfence_IF_NOT_TSO]: free on TSO configurations,
+    a real fence otherwise. *)
+
+val cpu_work : t -> int -> unit
+(** Charge pure CPU time (key comparisons, branch penalties). *)
+
+val peek : t -> int -> int
+(** Uncharged volatile read (checkers and debugging only). *)
+
+val peek_persisted : t -> int -> int
+(** Uncharged read of the persisted image. *)
+
+(** {1 Allocation} *)
+
+val alloc : t -> int -> int
+(** [alloc t words] returns a line-aligned address.  The memory is
+    zeroed with ordinary (logged, charged) stores, as a real allocator
+    would initialize a fresh node.  @raise Out_of_memory if full. *)
+
+val alloc_raw : t -> int -> int
+(** Like {!alloc} but without zeroing: for structures that fully
+    initialize their memory themselves.  Reused memory retains stale
+    contents, exactly like real PM. *)
+
+val free : t -> int -> int -> unit
+(** [free t addr words] returns a block to the size-class free list. *)
+
+val used_words : t -> int
+
+(** {1 Roots} *)
+
+val root_get : t -> int -> int
+val root_set : t -> int -> int -> unit
+(** Failure-atomic root update: store + flush + fence. *)
+
+(** {1 Crash machinery} *)
+
+val set_crash_plan : t -> crash_plan -> unit
+val store_count : t -> int
+val flush_count : t -> int
+
+val power_fail : t -> Storelog.crash_mode -> unit
+(** Apply a crash state to the persisted image, then reset the
+    volatile image to it, clear caches and the store log, and disarm
+    the crash plan.  Execution can continue (recovery). *)
+
+val drain : t -> unit
+(** Quiesce: persist all pending stores (legal under TSO — it is the
+    all-lines-evicted state).  Used before {!clone}. *)
+
+val clone : t -> t
+(** Deep copy for crash-point enumeration.  The store log must be
+    empty ({!drain} first).  Statistics are reset in the copy. *)
+
+val dirty_line_count : t -> int
+
+(** {1 File-backed durability}
+
+    The simulated device can be written to and reread from a file,
+    which lets tools demonstrate cross-process durability: only the
+    {e persisted} image is saved — exactly what would survive a real
+    power failure. *)
+
+val save_to_file : t -> string -> unit
+(** Serialize the persisted image (pending stores are NOT included —
+    call {!drain} first if you want them). *)
+
+val load_from_file : ?config:Config.t -> string -> t
+(** Recreate an arena whose volatile and persisted images both equal
+    the saved persisted image (i.e. the post-crash, post-power-on
+    state).  Allocation metadata (bump pointer) is restored; free
+    lists are not (they are volatile, as on real PM). *)

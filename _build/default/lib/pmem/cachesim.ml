@@ -1,0 +1,90 @@
+(* Doubly-linked LRU list over slot indices, with a line -> slot map.
+   Slot 0 is a sentinel head (most recent side); the tail side is
+   evicted.  All operations are O(1). *)
+
+type t = {
+  capacity : int;
+  map : (int, int) Hashtbl.t; (* line -> slot *)
+  line_of : int array;        (* slot -> line, -1 if free *)
+  prev : int array;
+  next : int array;
+  mutable free : int list;
+  mutable last_miss_line : int;
+}
+
+type outcome = Hit | Miss of { sequential : bool }
+
+let create ~capacity =
+  let capacity = max capacity 1 in
+  let n = capacity + 1 in
+  {
+    capacity;
+    map = Hashtbl.create (2 * capacity);
+    line_of = Array.make n (-1);
+    prev = (let a = Array.init n (fun _ -> 0) in a.(0) <- 0; a);
+    next = (let a = Array.init n (fun _ -> 0) in a.(0) <- 0; a);
+    free = List.init capacity (fun i -> i + 1);
+    last_miss_line = min_int;
+  }
+
+let unlink t slot =
+  let p = t.prev.(slot) and n = t.next.(slot) in
+  t.next.(p) <- n;
+  t.prev.(n) <- p
+
+let push_front t slot =
+  let first = t.next.(0) in
+  t.next.(0) <- slot;
+  t.prev.(slot) <- 0;
+  t.next.(slot) <- first;
+  t.prev.(first) <- slot
+
+let evict_lru t =
+  let victim = t.prev.(0) in
+  assert (victim <> 0);
+  unlink t victim;
+  Hashtbl.remove t.map t.line_of.(victim);
+  t.line_of.(victim) <- -1;
+  victim
+
+let access t line =
+  match Hashtbl.find_opt t.map line with
+  | Some slot ->
+      unlink t slot;
+      push_front t slot;
+      Hit
+  | None ->
+      let slot =
+        match t.free with
+        | s :: rest ->
+            t.free <- rest;
+            s
+        | [] -> evict_lru t
+      in
+      t.line_of.(slot) <- line;
+      Hashtbl.replace t.map line slot;
+      push_front t slot;
+      let sequential = line = t.last_miss_line + 1 in
+      t.last_miss_line <- line;
+      Miss { sequential }
+
+let invalidate t line =
+  match Hashtbl.find_opt t.map line with
+  | None -> ()
+  | Some slot ->
+      unlink t slot;
+      Hashtbl.remove t.map line;
+      t.line_of.(slot) <- -1;
+      t.free <- slot :: t.free
+
+let clear t =
+  Hashtbl.reset t.map;
+  t.free <- List.init t.capacity (fun i -> i + 1);
+  Array.fill t.line_of 0 (Array.length t.line_of) (-1);
+  t.next.(0) <- 0;
+  t.prev.(0) <- 0;
+  t.last_miss_line <- min_int
+
+let resident t line = Hashtbl.mem t.map line
+
+let size t = Hashtbl.length t.map

@@ -1,0 +1,23 @@
+(** LRU cache-line residency simulator (one instance per simulated
+    thread/core).
+
+    Decides whether a line access is an LLC hit or a PM miss, and
+    whether a miss is sequentially adjacent to the previous miss (in
+    which case the hardware prefetcher / memory-level parallelism
+    discount of the cost model applies). *)
+
+type t
+
+val create : capacity:int -> t
+
+type outcome = Hit | Miss of { sequential : bool }
+
+val access : t -> int -> outcome
+(** [access t line] records an access to [line] and classifies it. *)
+
+val invalidate : t -> int -> unit
+(** Drop a line (used when a crash discards the volatile image). *)
+
+val clear : t -> unit
+val resident : t -> int -> bool
+val size : t -> int

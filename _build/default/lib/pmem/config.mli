@@ -1,0 +1,48 @@
+(** Configuration of the simulated persistent-memory device and CPU.
+
+    The latency model follows the paper's experimental setup: a
+    Quartz-style emulator that charges a configurable read latency per
+    LLC-missing cache-line load and a configurable write latency per
+    cache-line flush, with a memory-level-parallelism (MLP) discount
+    for sequential line accesses (hardware prefetcher), exactly the
+    effect Section 5.4 relies on to explain why B+-tree search is less
+    latency-sensitive than WORT or SkipList. *)
+
+type memory_order =
+  | Tso      (** x86-like: stores are not reordered with stores. *)
+  | Non_tso  (** ARM-like: stores between fences are unordered. *)
+
+type t = {
+  memory_order : memory_order;
+  atomic_word_bytes : int;
+      (** Failure-atomic store granularity: 8 on x86-64, 4 on the
+          paper's ARM Snapdragon testbed. *)
+  read_latency_ns : int;   (** PM cache-line read latency (LLC miss). *)
+  write_latency_ns : int;  (** PM cache-line write-back (clflush wait). *)
+  l1_hit_ns : int;         (** Cost of a load served by the cache sim. *)
+  store_ns : int;          (** Cost of a store (absorbed by the cache). *)
+  fence_ns : int;          (** mfence on TSO; dmb on non-TSO configs. *)
+  cpu_word_ns : int;       (** CPU work per key comparison. *)
+  branch_miss_ns : int;    (** Mispredict penalty (binary-search probes). *)
+  mlp_factor : int;
+      (** Divisor applied to [read_latency_ns] for a line access that is
+          sequentially adjacent to the previous miss (prefetch hit). *)
+  cache_lines : int;       (** Per-thread LRU line-cache capacity. *)
+  max_threads : int;       (** Number of per-thread accounting contexts. *)
+  pending_high_water : int;
+      (** Background write-back threshold for the store log: when more
+          than this many stores are pending, the oldest half is evicted
+          to PM (a legal crash state, and it bounds memory). *)
+}
+
+val default : t
+(** DRAM-speed TSO machine resembling the paper's Haswell testbed. *)
+
+val pm : ?read_ns:int -> ?write_ns:int -> unit -> t
+(** TSO machine with PM latencies (defaults 300/300 like Section 5.3). *)
+
+val arm : ?read_ns:int -> ?write_ns:int -> unit -> t
+(** Non-TSO machine with 4-byte atomic words and dmb fences, modelling
+    the paper's Nexus 5 setup of Section 5.5. *)
+
+val with_latency : t -> read_ns:int -> write_ns:int -> t

@@ -1,0 +1,91 @@
+type phase = Search | Update | Other
+
+type t = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable flushes : int;
+  mutable fences : int;
+  mutable line_misses : int;
+  mutable line_hits : int;
+  mutable seq_misses : int;
+  mutable search_ns : int;
+  mutable update_ns : int;
+  mutable other_ns : int;
+  mutable flush_ns : int;
+  mutable fence_ns : int;
+  mutable phase : phase;
+}
+
+let create () =
+  {
+    loads = 0;
+    stores = 0;
+    flushes = 0;
+    fences = 0;
+    line_misses = 0;
+    line_hits = 0;
+    seq_misses = 0;
+    search_ns = 0;
+    update_ns = 0;
+    other_ns = 0;
+    flush_ns = 0;
+    fence_ns = 0;
+    phase = Other;
+  }
+
+let reset t =
+  t.loads <- 0;
+  t.stores <- 0;
+  t.flushes <- 0;
+  t.fences <- 0;
+  t.line_misses <- 0;
+  t.line_hits <- 0;
+  t.seq_misses <- 0;
+  t.search_ns <- 0;
+  t.update_ns <- 0;
+  t.other_ns <- 0;
+  t.flush_ns <- 0;
+  t.fence_ns <- 0;
+  t.phase <- Other
+
+let total_ns t = t.search_ns + t.update_ns + t.other_ns + t.flush_ns + t.fence_ns
+
+let add acc x =
+  acc.loads <- acc.loads + x.loads;
+  acc.stores <- acc.stores + x.stores;
+  acc.flushes <- acc.flushes + x.flushes;
+  acc.fences <- acc.fences + x.fences;
+  acc.line_misses <- acc.line_misses + x.line_misses;
+  acc.line_hits <- acc.line_hits + x.line_hits;
+  acc.seq_misses <- acc.seq_misses + x.seq_misses;
+  acc.search_ns <- acc.search_ns + x.search_ns;
+  acc.update_ns <- acc.update_ns + x.update_ns;
+  acc.other_ns <- acc.other_ns + x.other_ns;
+  acc.flush_ns <- acc.flush_ns + x.flush_ns;
+  acc.fence_ns <- acc.fence_ns + x.fence_ns
+
+let diff a b =
+  {
+    loads = a.loads - b.loads;
+    stores = a.stores - b.stores;
+    flushes = a.flushes - b.flushes;
+    fences = a.fences - b.fences;
+    line_misses = a.line_misses - b.line_misses;
+    line_hits = a.line_hits - b.line_hits;
+    seq_misses = a.seq_misses - b.seq_misses;
+    search_ns = a.search_ns - b.search_ns;
+    update_ns = a.update_ns - b.update_ns;
+    other_ns = a.other_ns - b.other_ns;
+    flush_ns = a.flush_ns - b.flush_ns;
+    fence_ns = a.fence_ns - b.fence_ns;
+    phase = a.phase;
+  }
+
+let copy t = diff t (create ())
+
+let pp ppf t =
+  Format.fprintf ppf
+    "loads=%d stores=%d flushes=%d fences=%d misses=%d hits=%d seq=%d \
+     ns[search=%d update=%d other=%d flush=%d fence=%d total=%d]"
+    t.loads t.stores t.flushes t.fences t.line_misses t.line_hits t.seq_misses
+    t.search_ns t.update_ns t.other_ns t.flush_ns t.fence_ns (total_ns t)

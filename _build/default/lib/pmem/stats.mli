@@ -1,0 +1,41 @@
+(** Per-thread accounting of simulated cost and event counts.
+
+    Simulated time is bucketed by phase so the harness can reproduce
+    the paper's Figure 5(a) breakdown of insertion time into
+    {e clflush}, {e search} and {e node update} components.  Flush and
+    fence costs always land in their own buckets regardless of the
+    current phase. *)
+
+type phase = Search | Update | Other
+
+type t = {
+  mutable loads : int;          (** word loads *)
+  mutable stores : int;         (** word stores *)
+  mutable flushes : int;        (** cache-line flushes *)
+  mutable fences : int;         (** mfence / dmb *)
+  mutable line_misses : int;    (** LLC-missing line accesses *)
+  mutable line_hits : int;
+  mutable seq_misses : int;     (** misses served at the MLP discount *)
+  mutable search_ns : int;      (** simulated ns while phase = Search *)
+  mutable update_ns : int;      (** simulated ns while phase = Update *)
+  mutable other_ns : int;
+  mutable flush_ns : int;
+  mutable fence_ns : int;
+  mutable phase : phase;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val total_ns : t -> int
+(** Sum of all time buckets. *)
+
+val add : t -> t -> unit
+(** [add acc x] accumulates [x]'s counters into [acc]. *)
+
+val diff : t -> t -> t
+(** [diff after before] is the per-field difference (phase taken from
+    [after]). *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,196 @@
+module Vec = Ff_util.Vec
+module Prng = Ff_util.Prng
+
+(* Entries live in parallel growable arrays indexed by sequence number.
+   [applied] marks entries already persisted (by a flush or eviction);
+   they are skipped until the next compaction.  Per-line index lists
+   allow O(pending-in-line) flushes. *)
+
+type t = {
+  addrs : int Vec.t;
+  values : int Vec.t;
+  lines : int Vec.t;
+  epochs : int Vec.t;
+  applied : bool Vec.t;
+  by_line : (int, int Vec.t) Hashtbl.t;
+  mutable live : int; (* entries not yet applied *)
+}
+
+let create () =
+  {
+    addrs = Vec.create ~dummy:0 ();
+    values = Vec.create ~dummy:0 ();
+    lines = Vec.create ~dummy:0 ();
+    epochs = Vec.create ~dummy:0 ();
+    applied = Vec.create ~dummy:false ();
+    by_line = Hashtbl.create 64;
+    live = 0;
+  }
+
+let compact t =
+  (* Drop applied entries, preserving order, and rebuild line lists. *)
+  let n = Vec.length t.addrs in
+  let keep = ref [] in
+  for i = n - 1 downto 0 do
+    if not (Vec.get t.applied i) then
+      keep := (Vec.get t.addrs i, Vec.get t.values i, Vec.get t.lines i, Vec.get t.epochs i) :: !keep
+  done;
+  Vec.clear t.addrs;
+  Vec.clear t.values;
+  Vec.clear t.lines;
+  Vec.clear t.epochs;
+  Vec.clear t.applied;
+  Hashtbl.reset t.by_line;
+  t.live <- 0;
+  List.iter
+    (fun (addr, value, line, epoch) ->
+      let idx = Vec.length t.addrs in
+      Vec.push t.addrs addr;
+      Vec.push t.values value;
+      Vec.push t.lines line;
+      Vec.push t.epochs epoch;
+      Vec.push t.applied false;
+      t.live <- t.live + 1;
+      let lst =
+        match Hashtbl.find_opt t.by_line line with
+        | Some v -> v
+        | None ->
+            let v = Vec.create ~dummy:(-1) () in
+            Hashtbl.add t.by_line line v;
+            v
+      in
+      Vec.push lst idx)
+    !keep
+
+let record t ~addr ~value ~line ~epoch =
+  let idx = Vec.length t.addrs in
+  Vec.push t.addrs addr;
+  Vec.push t.values value;
+  Vec.push t.lines line;
+  Vec.push t.epochs epoch;
+  Vec.push t.applied false;
+  t.live <- t.live + 1;
+  let lst =
+    match Hashtbl.find_opt t.by_line line with
+    | Some v -> v
+    | None ->
+        let v = Vec.create ~dummy:(-1) () in
+        Hashtbl.add t.by_line line v;
+        v
+  in
+  Vec.push lst idx
+
+let pending t = t.live
+
+let apply_entry t persisted idx =
+  if not (Vec.get t.applied idx) then begin
+    persisted.(Vec.get t.addrs idx) <- Vec.get t.values idx;
+    Vec.set t.applied idx true;
+    t.live <- t.live - 1
+  end
+
+let flush_line t ~persisted line =
+  match Hashtbl.find_opt t.by_line line with
+  | None -> ()
+  | Some lst ->
+      Vec.iter (fun idx -> apply_entry t persisted idx) lst;
+      Hashtbl.remove t.by_line line
+
+let evict_to t ~persisted ~target =
+  if t.live > target then begin
+    let n = Vec.length t.addrs in
+    let i = ref 0 in
+    while t.live > target && !i < n do
+      apply_entry t persisted !i;
+      incr i
+    done;
+    compact t
+  end
+
+type crash_mode =
+  | Keep_none
+  | Keep_all
+  | Random_eviction of Prng.t
+  | Non_tso_random of Prng.t
+
+let clear t =
+  Vec.clear t.addrs;
+  Vec.clear t.values;
+  Vec.clear t.lines;
+  Vec.clear t.epochs;
+  Vec.clear t.applied;
+  Hashtbl.reset t.by_line;
+  t.live <- 0
+
+let apply_crash t ~persisted mode =
+  (match mode with
+  | Keep_none -> ()
+  | Keep_all ->
+      let n = Vec.length t.addrs in
+      for i = 0 to n - 1 do
+        apply_entry t persisted i
+      done
+  | Random_eviction rng ->
+      (* Independent per-line prefix of the line's pending stores. *)
+      Hashtbl.iter
+        (fun _line lst ->
+          let unapplied =
+            Array.of_seq
+              (Seq.filter
+                 (fun idx -> not (Vec.get t.applied idx))
+                 (Array.to_seq (Vec.to_array lst)))
+          in
+          let n = Array.length unapplied in
+          if n > 0 then begin
+            let k = Prng.int rng (n + 1) in
+            for i = 0 to k - 1 do
+              apply_entry t persisted unapplied.(i)
+            done
+          end)
+        t.by_line
+  | Non_tso_random rng ->
+      (* Pick an epoch cutoff e*: all pending stores with epoch < e*
+         persist; at epoch = e*, each word independently persists a
+         random prefix of its store sequence. *)
+      let n = Vec.length t.addrs in
+      let min_e = ref max_int and max_e = ref min_int in
+      for i = 0 to n - 1 do
+        if not (Vec.get t.applied i) then begin
+          let e = Vec.get t.epochs i in
+          if e < !min_e then min_e := e;
+          if e > !max_e then max_e := e
+        end
+      done;
+      if !min_e <= !max_e then begin
+        let cutoff = Prng.in_range rng !min_e (!max_e + 2) in
+        for i = 0 to n - 1 do
+          if (not (Vec.get t.applied i)) && Vec.get t.epochs i < cutoff then
+            apply_entry t persisted i
+        done;
+        (* Per-word random prefixes at the cutoff epoch. *)
+        let by_word = Hashtbl.create 16 in
+        for i = 0 to n - 1 do
+          if (not (Vec.get t.applied i)) && Vec.get t.epochs i = cutoff then begin
+            let addr = Vec.get t.addrs i in
+            let lst = try Hashtbl.find by_word addr with Not_found -> [] in
+            Hashtbl.replace by_word addr (i :: lst)
+          end
+        done;
+        Hashtbl.iter
+          (fun _addr rev_idxs ->
+            let idxs = Array.of_list (List.rev rev_idxs) in
+            let k = Prng.int rng (Array.length idxs + 1) in
+            for i = 0 to k - 1 do
+              apply_entry t persisted idxs.(i)
+            done)
+          by_word
+      end);
+  clear t
+
+let dirty_lines t =
+  Hashtbl.fold
+    (fun line lst acc ->
+      let has_live = ref false in
+      Vec.iter (fun idx -> if not (Vec.get t.applied idx) then has_live := true) lst;
+      if !has_live then line :: acc else acc)
+    t.by_line []

@@ -1,0 +1,54 @@
+(** Log of stores that have reached the (volatile) CPU cache but have
+    not yet been flushed to persistent memory.
+
+    This is what gives the simulator real crash semantics: at a crash,
+    the persisted image may additionally contain any subset of the
+    pending stores that the memory-order model allows —
+    - under TSO, an arbitrary per-line {e prefix} of that line's store
+      sequence (a cache line is evicted as a snapshot, and stores to a
+      line land in program order);
+    - under non-TSO strict persistency, any downward-closed set with
+      respect to fence ordering and per-word program order.
+
+    [flush_line] models [clflush]: it applies the line's pending stores
+    to the persisted image and retires them.  A background-eviction
+    high-water mark bounds memory by applying the oldest stores (always
+    a legal persisted state). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> addr:int -> value:int -> line:int -> epoch:int -> unit
+(** Log a store that has been applied to the volatile image. *)
+
+val pending : t -> int
+(** Number of stores not yet persisted. *)
+
+val flush_line : t -> persisted:int array -> int -> unit
+(** Apply all pending stores of the given line, in order. *)
+
+val evict_to : t -> persisted:int array -> target:int -> unit
+(** Apply oldest pending stores until at most [target] remain. *)
+
+type crash_mode =
+  | Keep_none
+      (** Only explicitly flushed data survives: the adversarial
+          "everything still in cache is lost" outcome. *)
+  | Keep_all
+      (** Every pending store survives (the crash happened after all
+          lines were incidentally evicted): together with crash-point
+          enumeration this realizes every TSO store-prefix state. *)
+  | Random_eviction of Ff_util.Prng.t
+      (** Independent random per-line prefixes (TSO). *)
+  | Non_tso_random of Ff_util.Prng.t
+      (** Random downward-closed set under fence ordering: picks an
+          epoch cutoff and random per-word prefixes at the cutoff. *)
+
+val apply_crash : t -> persisted:int array -> crash_mode -> unit
+(** Apply a crash state to [persisted] and clear the log. *)
+
+val clear : t -> unit
+
+val dirty_lines : t -> int list
+(** Lines with at least one pending store (deduplicated). *)

@@ -1,0 +1,1 @@
+lib/skiplist/skiplist.ml: Array Ff_index Ff_pmem Ff_util Hashtbl

@@ -1,0 +1,1 @@
+lib/skiplist/skiplist.mli: Ff_index Ff_pmem

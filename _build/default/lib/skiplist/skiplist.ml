@@ -1,0 +1,241 @@
+module Arena = Ff_pmem.Arena
+module Prng = Ff_util.Prng
+module Locks = Ff_index.Locks
+module Intf = Ff_index.Intf
+
+let max_level = 20
+
+(* PM node: [0] key, [1] value, [2] level-0 next.  One cache line per
+   entry — deliberately poor locality, as in the paper. *)
+let node_words = 3
+
+type t = {
+  arena : Arena.t;
+  root_slot : int;
+  head : int;
+  rng : Prng.t;
+  towers : (int, int array) Hashtbl.t; (* volatile next pointers, levels 1.. *)
+  head_tower : int array;
+  mutable levels : int; (* current number of levels in use (>= 1) *)
+  mutable writer_lock : Locks.mutex;
+}
+
+let key_of t n = Arena.read t.arena n
+let value_of t n = Arena.read t.arena (n + 1)
+let next0 t n = Arena.read t.arena (n + 2)
+
+let set_next0 t n v =
+  Arena.write t.arena (n + 2) v;
+  Arena.flush t.arena (n + 2)
+
+(* Volatile hop: a DRAM pointer chase, charged as CPU work. *)
+let next_at t n lvl =
+  Arena.cpu_work t.arena 2;
+  if n = t.head then if lvl < t.levels then t.head_tower.(lvl) else 0
+  else
+    match Hashtbl.find_opt t.towers n with
+    | Some tower when lvl < Array.length tower -> tower.(lvl)
+    | Some _ | None -> 0
+
+let make ?(root_slot = 2) ?(seed = 0x51ab) arena existing =
+  let head =
+    if existing then Arena.root_get arena root_slot
+    else begin
+      let head = Arena.alloc arena node_words in
+      Arena.flush_range arena head node_words;
+      Arena.root_set arena root_slot head;
+      head
+    end
+  in
+  {
+    arena;
+    root_slot;
+    head;
+    rng = Prng.create seed;
+    towers = Hashtbl.create 4096;
+    head_tower = Array.make max_level 0;
+    levels = 1;
+    writer_lock = Locks.make_mutex Locks.Single;
+  }
+
+let create ?root_slot ?seed arena = make ?root_slot ?seed arena false
+let open_existing ?root_slot ?seed arena = make ?root_slot ?seed arena true
+
+let lock t = t.writer_lock
+let set_lock_mode t mode = t.writer_lock <- Locks.make_mutex mode
+
+let random_height t =
+  let rec go h = if h < max_level && Prng.bool t.rng then go (h + 1) else h in
+  go 1
+
+(* Collect the predecessor at every level (the classic update path). *)
+let find_predecessors t key =
+  let update = Array.make max_level t.head in
+  let x = ref t.head in
+  for lvl = t.levels - 1 downto 1 do
+    let continue_walk = ref true in
+    while !continue_walk do
+      let nxt = next_at t !x lvl in
+      if nxt <> 0 && key_of t nxt < key then x := nxt else continue_walk := false
+    done;
+    update.(lvl) <- !x
+  done;
+  let continue_walk = ref true in
+  while !continue_walk do
+    let nxt = next0 t !x in
+    if nxt <> 0 && key_of t nxt < key then x := nxt else continue_walk := false
+  done;
+  update.(0) <- !x;
+  update
+
+let search t key =
+  let x = ref t.head in
+  for lvl = t.levels - 1 downto 1 do
+    let continue_walk = ref true in
+    while !continue_walk do
+      let nxt = next_at t !x lvl in
+      if nxt <> 0 && key_of t nxt < key then x := nxt else continue_walk := false
+    done
+  done;
+  let continue_walk = ref true in
+  while !continue_walk do
+    let nxt = next0 t !x in
+    if nxt <> 0 && key_of t nxt < key then x := nxt else continue_walk := false
+  done;
+  let nxt = next0 t !x in
+  if nxt <> 0 && key_of t nxt = key then Some (value_of t nxt) else None
+
+let link_volatile t node height update =
+  if height > 1 then begin
+    let tower = Array.make height 0 in
+    for lvl = 1 to height - 1 do
+      let pred = update.(lvl) in
+      let succ = next_at t pred lvl in
+      tower.(lvl) <- succ;
+      if pred = t.head then t.head_tower.(lvl) <- node
+      else begin
+        match Hashtbl.find_opt t.towers pred with
+        | Some ptower when lvl < Array.length ptower -> ptower.(lvl) <- node
+        | Some _ | None -> ()
+      end
+    done;
+    Hashtbl.replace t.towers node tower;
+    if height > t.levels then t.levels <- height
+  end
+
+let insert t ~key ~value =
+  if key <= 0 then invalid_arg "Skiplist.insert: key must be positive";
+  if value = 0 then invalid_arg "Skiplist.insert: value must be nonzero";
+  Locks.lock t.writer_lock;
+  Arena.set_phase t.arena Ff_pmem.Stats.Search;
+  let update = find_predecessors t key in
+  Arena.set_phase t.arena Ff_pmem.Stats.Update;
+  let pred = update.(0) in
+  let succ = next0 t pred in
+  if succ <> 0 && key_of t succ = key then begin
+    (* In-place failure-atomic value update. *)
+    Arena.write t.arena (succ + 1) value;
+    Arena.flush t.arena (succ + 1);
+    Arena.set_phase t.arena Ff_pmem.Stats.Other;
+    Locks.unlock t.writer_lock
+  end
+  else begin
+    let node = Arena.alloc t.arena node_words in
+    Arena.write t.arena node key;
+    Arena.write t.arena (node + 1) value;
+    Arena.write t.arena (node + 2) succ;
+    Arena.flush_range t.arena node node_words;
+    (* Commit: swing the predecessor's next pointer. *)
+    set_next0 t pred node;
+    link_volatile t node (random_height t) update;
+    Arena.set_phase t.arena Ff_pmem.Stats.Other;
+    Locks.unlock t.writer_lock
+  end
+
+let delete t key =
+  Locks.lock t.writer_lock;
+  let update = find_predecessors t key in
+  let pred = update.(0) in
+  let victim = next0 t pred in
+  let found = victim <> 0 && key_of t victim = key in
+  if found then begin
+    (* Unlink volatile levels first so no reader routes through the
+       victim above level 0. *)
+    for lvl = 1 to t.levels - 1 do
+      let p = update.(lvl) in
+      if next_at t p lvl = victim then begin
+        let succ = next_at t victim lvl in
+        if p = t.head then t.head_tower.(lvl) <- succ
+        else
+          match Hashtbl.find_opt t.towers p with
+          | Some tower when lvl < Array.length tower -> tower.(lvl) <- succ
+          | Some _ | None -> ()
+      end
+    done;
+    Hashtbl.remove t.towers victim;
+    (* Failure-atomic level-0 unlink. *)
+    set_next0 t pred (next0 t victim);
+    Arena.free t.arena victim node_words
+  end;
+  Locks.unlock t.writer_lock;
+  found
+
+let range t ~lo ~hi f =
+  let update = find_predecessors t lo in
+  let x = ref (next0 t update.(0)) in
+  let continue_walk = ref true in
+  while !continue_walk && !x <> 0 do
+    let k = key_of t !x in
+    if k > hi then continue_walk := false
+    else begin
+      if k >= lo then f k (value_of t !x);
+      x := next0 t !x
+    end
+  done
+
+let recover t =
+  Hashtbl.reset t.towers;
+  Array.fill t.head_tower 0 max_level 0;
+  t.levels <- 1;
+  (* Walk the persistent level-0 list and rebuild the volatile index. *)
+  let update = Array.make max_level t.head in
+  let x = ref (next0 t t.head) in
+  while !x <> 0 do
+    let node = !x in
+    let height = random_height t in
+    if height > 1 then begin
+      let tower = Array.make height 0 in
+      Hashtbl.replace t.towers node tower;
+      for lvl = 1 to height - 1 do
+        let pred = update.(lvl) in
+        if pred = t.head then t.head_tower.(lvl) <- node
+        else begin
+          match Hashtbl.find_opt t.towers pred with
+          | Some ptower when lvl < Array.length ptower -> ptower.(lvl) <- node
+          | Some _ | None -> ()
+        end;
+        update.(lvl) <- node
+      done;
+      if height > t.levels then t.levels <- height
+    end;
+    x := next0 t node
+  done
+
+let length t =
+  let n = ref 0 in
+  let x = ref (next0 t t.head) in
+  while !x <> 0 do
+    incr n;
+    x := next0 t !x
+  done;
+  !n
+
+let ops t =
+  {
+    Intf.name = "skiplist";
+    insert = (fun k v -> insert t ~key:k ~value:v);
+    search = (fun k -> search t k);
+    delete = (fun k -> delete t k);
+    range = (fun lo hi f -> range t ~lo ~hi f);
+    recover = (fun () -> recover t);
+  }

@@ -1,0 +1,1 @@
+lib/tpcc/tpcc.ml: Array Ff_index Ff_pmem Ff_util List

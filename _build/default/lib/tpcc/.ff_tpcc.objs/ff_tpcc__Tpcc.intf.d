@@ -1,0 +1,1 @@
+lib/tpcc/tpcc.mli: Ff_index Ff_pmem

@@ -1,0 +1,277 @@
+module Arena = Ff_pmem.Arena
+module Prng = Ff_util.Prng
+module Intf = Ff_index.Intf
+
+type config = {
+  warehouses : int;
+  districts : int;
+  customers : int;
+  items : int;
+  seed : int;
+}
+
+let default_config =
+  { warehouses = 4; districts = 10; customers = 300; items = 3000; seed = 42 }
+
+(* Composite keys: tag in bits 56..59, warehouse bits 48..55, district
+   bits 40..47, and table-specific low bits; always < 2^60 so every
+   index (including WORT) accepts them. *)
+
+let tag_warehouse = 1
+let tag_district = 2
+let tag_customer = 3
+let tag_order = 4
+let tag_orderline = 5
+let tag_stock = 6
+let tag_item = 7
+let tag_history = 8
+let tag_neworder = 9
+
+let key ~tag ?(w = 0) ?(d = 0) ?(x = 0) ?(y = 0) () =
+  (tag lsl 56) lor (w lsl 48) lor (d lsl 40) lor (x lsl 8) lor y
+
+let warehouse_key w = key ~tag:tag_warehouse ~w ()
+let district_key w d = key ~tag:tag_district ~w ~d ()
+let customer_key w d c = key ~tag:tag_customer ~w ~d ~x:c ()
+let order_key w d o = key ~tag:tag_order ~w ~d ~x:o ()
+let orderline_key w d o l = key ~tag:tag_orderline ~w ~d ~x:o ~y:l ()
+let stock_key w i = key ~tag:tag_stock ~w ~x:i ()
+let item_key i = key ~tag:tag_item ~x:i ()
+let history_key h = key ~tag:tag_history ~x:h ()
+let neworder_key w d o = key ~tag:tag_neworder ~w ~d ~x:o ()
+
+(* Row payloads are single PM words allocated from line-grained pools
+   so that every transaction's record writes hit PM like the index
+   stores do. *)
+type cellpool = { arena : Arena.t; mutable line : int; mutable used : int }
+
+let new_pool arena = { arena; line = 0; used = Arena.words_per_line }
+
+let alloc_cell pool init =
+  if pool.used = Arena.words_per_line then begin
+    pool.line <- Arena.alloc_raw pool.arena Arena.words_per_line;
+    pool.used <- 0
+  end;
+  let cell = pool.line + pool.used in
+  pool.used <- pool.used + 1;
+  Arena.write pool.arena cell init;
+  Arena.flush pool.arena cell;
+  cell
+
+type t = {
+  cfg : config;
+  index : Intf.ops;
+  arena : Arena.t;
+  pool : cellpool;
+  rng : Prng.t;
+  next_oid : int array; (* per (w, d) *)
+  frontier : int array; (* oldest undelivered order per (w, d) *)
+  mutable history_seq : int;
+  mutable orders : int;
+  mutable digest : int;
+}
+
+let wd_index t w d = ((w - 1) * t.cfg.districts) + (d - 1)
+
+let absorb t v = t.digest <- (t.digest * 31) + (v land 0xffff)
+
+(* Insert a fresh row: allocate its payload cell and index it. *)
+let put_row t k init = t.index.Intf.insert k (alloc_cell t.pool init)
+
+(* Read a row's payload through the index. *)
+let read_row t k =
+  match t.index.Intf.search k with
+  | Some cell ->
+      let v = Arena.read t.arena cell in
+      absorb t v;
+      Some (cell, v)
+  | None -> None
+
+(* In-place PM update of a row payload. *)
+let update_cell t cell v =
+  Arena.write t.arena cell v;
+  Arena.flush t.arena cell
+
+let load ~arena index cfg =
+  let t =
+    {
+      cfg;
+      index;
+      arena;
+      pool = new_pool arena;
+      rng = Prng.create cfg.seed;
+      next_oid = Array.make (cfg.warehouses * cfg.districts) 1;
+      frontier = Array.make (cfg.warehouses * cfg.districts) 1;
+      history_seq = 1;
+      orders = 0;
+      digest = 0;
+    }
+  in
+  for i = 1 to cfg.items do
+    put_row t (item_key i) (100 + (i mod 900))
+  done;
+  for w = 1 to cfg.warehouses do
+    put_row t (warehouse_key w) 300_000;
+    for d = 1 to cfg.districts do
+      put_row t (district_key w d) 30_000;
+      for c = 1 to cfg.customers do
+        put_row t (customer_key w d c) (-10)
+      done
+    done;
+    for i = 1 to cfg.items do
+      put_row t (stock_key w i) (10 + Prng.int t.rng 91)
+    done
+  done;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rand_w t = 1 + Prng.int t.rng t.cfg.warehouses
+let rand_d t = 1 + Prng.int t.rng t.cfg.districts
+let rand_c t = 1 + Prng.int t.rng t.cfg.customers
+let rand_i t = 1 + Prng.int t.rng t.cfg.items
+
+let new_order t =
+  let w = rand_w t and d = rand_d t and c = rand_c t in
+  ignore (read_row t (warehouse_key w));
+  ignore (read_row t (district_key w d));
+  ignore (read_row t (customer_key w d c));
+  let idx = wd_index t w d in
+  let o = t.next_oid.(idx) in
+  t.next_oid.(idx) <- o + 1;
+  t.orders <- t.orders + 1;
+  let nlines = 5 + Prng.int t.rng 11 in
+  put_row t (order_key w d o) ((c lsl 8) lor nlines);
+  put_row t (neworder_key w d o) 1;
+  for l = 1 to nlines do
+    let i = rand_i t in
+    ignore (read_row t (item_key i));
+    let qty = 1 + Prng.int t.rng 10 in
+    (match read_row t (stock_key w i) with
+    | Some (cell, s) ->
+        let s' = if s >= qty + 10 then s - qty else s - qty + 91 in
+        update_cell t cell s'
+    | None -> ());
+    put_row t (orderline_key w d o l) ((i lsl 8) lor qty)
+  done
+
+let payment t =
+  let w = rand_w t and d = rand_d t and c = rand_c t in
+  let amount = 1 + Prng.int t.rng 5000 in
+  (match read_row t (warehouse_key w) with
+  | Some (cell, v) -> update_cell t cell (v + amount)
+  | None -> ());
+  (match read_row t (district_key w d) with
+  | Some (cell, v) -> update_cell t cell (v + amount)
+  | None -> ());
+  (match read_row t (customer_key w d c) with
+  | Some (cell, v) -> update_cell t cell (v - amount)
+  | None -> ());
+  let h = t.history_seq in
+  t.history_seq <- h + 1;
+  put_row t (history_key h) amount
+
+let last_orders t w d n =
+  let idx = wd_index t w d in
+  let hi_o = t.next_oid.(idx) - 1 in
+  let lo_o = max 1 (hi_o - n + 1) in
+  if hi_o < 1 then []
+  else begin
+    let acc = ref [] in
+    t.index.Intf.range (order_key w d lo_o) (order_key w d hi_o + 0xff)
+      (fun k cell ->
+        let o = (k lsr 8) land 0xffffffff in
+        acc := (o, cell) :: !acc);
+    List.rev !acc
+  end
+
+let read_order_lines t w d o =
+  t.index.Intf.range (orderline_key w d o 0) (orderline_key w d o 255)
+    (fun _ cell -> absorb t (Arena.read t.arena cell))
+
+let order_status t =
+  let w = rand_w t and d = rand_d t in
+  let c = rand_c t in
+  ignore (read_row t (customer_key w d c));
+  match List.rev (last_orders t w d 1) with
+  | (o, cell) :: _ ->
+      absorb t (Arena.read t.arena cell);
+      read_order_lines t w d o
+  | [] -> ()
+
+let delivery t =
+  let w = rand_w t in
+  for d = 1 to t.cfg.districts do
+    let idx = wd_index t w d in
+    let o = t.frontier.(idx) in
+    if o < t.next_oid.(idx) then begin
+      match t.index.Intf.search (neworder_key w d o) with
+      | Some _ ->
+          ignore (t.index.Intf.delete (neworder_key w d o));
+          (match read_row t (order_key w d o) with
+          | Some (cell, v) -> update_cell t cell (v lor (1 lsl 30))
+          | None -> ());
+          read_order_lines t w d o;
+          let c = 1 + (o mod t.cfg.customers) in
+          (match read_row t (customer_key w d c) with
+          | Some (cell, v) -> update_cell t cell (v + 1)
+          | None -> ());
+          t.frontier.(idx) <- o + 1
+      | None -> t.frontier.(idx) <- o + 1
+    end
+  done
+
+let stock_level t =
+  let w = rand_w t and d = rand_d t in
+  let threshold = 10 + Prng.int t.rng 11 in
+  let low = ref 0 in
+  List.iter
+    (fun (o, _) ->
+      t.index.Intf.range (orderline_key w d o 0) (orderline_key w d o 255)
+        (fun _ cell ->
+          let line = Arena.read t.arena cell in
+          let i = (line lsr 8) land 0xffffff in
+          match read_row t (stock_key w i) with
+          | Some (_, s) -> if s < threshold then incr low
+          | None -> ()))
+    (last_orders t w d 20);
+  absorb t !low
+
+(* ------------------------------------------------------------------ *)
+(* Mixes                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type mix = {
+  new_order_pct : int;
+  payment_pct : int;
+  status_pct : int;
+  delivery_pct : int;
+  stock_pct : int;
+}
+
+let w1 = { new_order_pct = 34; payment_pct = 43; status_pct = 5; delivery_pct = 4; stock_pct = 14 }
+let w2 = { new_order_pct = 27; payment_pct = 43; status_pct = 15; delivery_pct = 4; stock_pct = 11 }
+let w3 = { new_order_pct = 20; payment_pct = 43; status_pct = 25; delivery_pct = 4; stock_pct = 8 }
+let w4 = { new_order_pct = 13; payment_pct = 43; status_pct = 35; delivery_pct = 4; stock_pct = 5 }
+
+let run t mix ~txns =
+  assert (
+    mix.new_order_pct + mix.payment_pct + mix.status_pct + mix.delivery_pct
+    + mix.stock_pct
+    = 100);
+  for _ = 1 to txns do
+    let d = Prng.int t.rng 100 in
+    if d < mix.new_order_pct then new_order t
+    else if d < mix.new_order_pct + mix.payment_pct then payment t
+    else if d < mix.new_order_pct + mix.payment_pct + mix.status_pct then
+      order_status t
+    else if
+      d < mix.new_order_pct + mix.payment_pct + mix.status_pct + mix.delivery_pct
+    then delivery t
+    else stock_level t
+  done
+
+let orders_created t = t.orders
+let checksum t = t.digest land max_int

@@ -1,0 +1,64 @@
+(** TPC-C-style workload driver (paper Section 5.6, Figure 6).
+
+    A self-contained OLTP workload with the five TPC-C transaction
+    types over warehouse / district / customer / order / order-line /
+    stock / item / history tables.  All tables live in {e one} index
+    instance (the structure under test) using table-tagged composite
+    integer keys; row payloads are 8-byte PM cells updated in place
+    with a flush, so every index pays identical record-update costs
+    and differs only in its indexing behaviour — exactly what Figure 6
+    compares.
+
+    Scales are reduced from full TPC-C (configurable); the transaction
+    logic preserves each type's index-operation profile: New-Order is
+    insert-heavy, Payment is update-heavy, Order-Status and
+    Stock-Level are search/range-heavy, Delivery mixes deletes with
+    updates. *)
+
+type config = {
+  warehouses : int;
+  districts : int;       (** per warehouse (TPC-C: 10) *)
+  customers : int;       (** per district *)
+  items : int;
+  seed : int;
+}
+
+val default_config : config
+
+type t
+
+val load : arena:Ff_pmem.Arena.t -> Ff_index.Intf.ops -> config -> t
+(** Populate items, warehouses, districts, customers and stock. *)
+
+(** {1 Transactions} *)
+
+val new_order : t -> unit
+val payment : t -> unit
+val order_status : t -> unit
+val delivery : t -> unit
+val stock_level : t -> unit
+
+type mix = {
+  new_order_pct : int;
+  payment_pct : int;
+  status_pct : int;
+  delivery_pct : int;
+  stock_pct : int;
+}
+
+val w1 : mix
+(** NewOrder 34, Payment 43, Status 5, Delivery 4, StockLevel 14. *)
+
+val w2 : mix  (** 27 / 43 / 15 / 4 / 11 *)
+
+val w3 : mix  (** 20 / 43 / 25 / 4 / 8 *)
+
+val w4 : mix  (** 13 / 43 / 35 / 4 / 5 *)
+
+val run : t -> mix -> txns:int -> unit
+(** Execute a randomized transaction stream with the given mix. *)
+
+val orders_created : t -> int
+val checksum : t -> int
+(** Stable digest of reads performed (keeps work observable and lets
+    tests compare runs). *)

@@ -1,0 +1,13 @@
+(** Stable binary min-heap keyed by integer priority.
+
+    Entries with equal keys pop in insertion order, which keeps the
+    discrete-event simulator deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> int -> 'a -> unit
+val pop : 'a t -> (int * 'a) option
+val peek : 'a t -> (int * 'a) option
+val size : 'a t -> int
+val is_empty : 'a t -> bool

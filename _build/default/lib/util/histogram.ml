@@ -1,0 +1,62 @@
+(* Buckets at powers of sqrt(2): bucket i covers (b(i-1), b(i)] with
+   b(i) = 2^(i/2), giving <= ~41% width per bucket. *)
+
+let nbuckets = 124 (* covers up to ~2^62 *)
+
+type t = {
+  buckets : int array;
+  mutable n : int;
+  mutable total : int;
+  mutable max_sample : int;
+}
+
+let create () = { buckets = Array.make nbuckets 0; n = 0; total = 0; max_sample = 0 }
+
+let bound i =
+  (* b(i) = 2^(i/2), alternating exact powers of two and * sqrt 2 *)
+  let base = 1 lsl (i / 2) in
+  if i land 1 = 0 then base
+  else int_of_float (float_of_int base *. 1.4142135623730951)
+
+let bucket_of v =
+  let rec go i = if i >= nbuckets - 1 || bound i >= v then i else go (i + 1) in
+  (* start near log2 to keep it O(1)-ish *)
+  let rec log2 v acc = if v <= 1 then acc else log2 (v lsr 1) (acc + 1) in
+  let i0 = max 0 ((2 * log2 v 0) - 2) in
+  go i0
+
+let add t v =
+  let v = max v 0 in
+  let i = if v = 0 then 0 else bucket_of v in
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  t.n <- t.n + 1;
+  t.total <- t.total + v;
+  if v > t.max_sample then t.max_sample <- v
+
+let count t = t.n
+let mean t = if t.n = 0 then 0. else float_of_int t.total /. float_of_int t.n
+let max_sample t = t.max_sample
+
+let percentile t p =
+  if t.n = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int t.n)) in
+    let rank = max 1 (min t.n rank) in
+    let rec go i seen =
+      let seen = seen + t.buckets.(i) in
+      if seen >= rank || i = nbuckets - 1 then bound i else go (i + 1) seen
+    in
+    min (go 0 0) t.max_sample
+  end
+
+let merge acc x =
+  for i = 0 to nbuckets - 1 do
+    acc.buckets.(i) <- acc.buckets.(i) + x.buckets.(i)
+  done;
+  acc.n <- acc.n + x.n;
+  acc.total <- acc.total + x.total;
+  if x.max_sample > acc.max_sample then acc.max_sample <- x.max_sample
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.1f p50=%d p99=%d max=%d" t.n (mean t)
+    (percentile t 50.) (percentile t 99.) t.max_sample

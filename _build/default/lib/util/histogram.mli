@@ -1,0 +1,25 @@
+(** Log-bucketed latency histogram.
+
+    Samples (simulated nanoseconds) land in power-of-sqrt(2) buckets,
+    so percentile estimates stay within ~20% across nine orders of
+    magnitude with a few hundred bytes of state.  Used by the
+    [latencies] benchmark target for per-operation p50/p99 tables. *)
+
+type t
+
+val create : unit -> t
+val add : t -> int -> unit
+(** Record one sample (negative samples count as 0). *)
+
+val count : t -> int
+val mean : t -> float
+
+val percentile : t -> float -> int
+(** [percentile t p] for p in [\[0, 100\]]: an upper bound of the
+    bucket containing the p-th percentile sample; 0 when empty. *)
+
+val max_sample : t -> int
+val merge : t -> t -> unit
+(** [merge acc x] adds [x]'s samples into [acc]. *)
+
+val pp : Format.formatter -> t -> unit

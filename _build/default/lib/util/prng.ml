@@ -1,0 +1,49 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let next t = Int64.to_int (next_int64 t) land max_int
+
+let split t =
+  let seed = next t in
+  { state = Int64.of_int seed }
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection sampling to avoid modulo bias for large bounds. *)
+  let rec go () =
+    let r = next t in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then go () else v
+  in
+  go ()
+
+let in_range t lo hi =
+  assert (lo < hi);
+  lo + int t (hi - lo)
+
+let float t = Stdlib.float_of_int (next t) /. Stdlib.float_of_int max_int
+
+let bool t = next t land 1 = 1
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomized components of the reproduction (workload generators,
+    skip-list coin flips, crash-point sampling, relaxed-persistency
+    eviction) draw from this PRNG so that every experiment is exactly
+    replayable from a seed.  The generator is SplitMix64, which has a
+    64-bit state, passes BigCrush, and is trivially splittable. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Two generators created
+    with the same seed produce identical streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a statistically independent
+    generator; use it to give sub-components their own streams. *)
+
+val next : t -> int
+(** Next raw value, uniform over the full non-negative OCaml [int]
+    range (63 bits, high bit cleared). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be > 0. *)
+
+val in_range : t -> int -> int -> int
+(** [in_range t lo hi] is uniform in [\[lo, hi)]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,63 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0. xs in
+    sqrt (acc /. float_of_int (n - 1))
+  end
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    sorted.(idx)
+  end
+
+let min_max xs =
+  if Array.length xs = 0 then (0., 0.)
+  else
+    Array.fold_left
+      (fun (lo, hi) x -> ((if x < lo then x else lo), if x > hi then x else hi))
+      (xs.(0), xs.(0))
+      xs
+
+let geo_mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let acc = Array.fold_left (fun a x -> a +. Float.log x) 0. xs in
+    Float.exp (acc /. float_of_int n)
+  end
+
+type summary = {
+  mean : float;
+  stddev : float;
+  p50 : float;
+  p99 : float;
+  min : float;
+  max : float;
+}
+
+let summarize xs =
+  let lo, hi = min_max xs in
+  {
+    mean = mean xs;
+    stddev = stddev xs;
+    p50 = percentile xs 50.;
+    p99 = percentile xs 99.;
+    min = lo;
+    max = hi;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "mean=%.3f sd=%.3f p50=%.3f p99=%.3f min=%.3f max=%.3f"
+    s.mean s.stddev s.p50 s.p99 s.min s.max

@@ -1,0 +1,40 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let add_floats t label xs =
+  add_row t (label :: List.map (fun x -> Printf.sprintf "%.3f" x) xs)
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let pad r = r @ List.init (ncols - List.length r) (fun _ -> "") in
+  let all = List.map pad all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun r -> List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) r)
+    all;
+  let buf = Buffer.create 256 in
+  let render_row r =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf c;
+        Buffer.add_string buf (String.make (widths.(i) - String.length c) ' '))
+      r;
+    Buffer.add_char buf '\n'
+  in
+  (match all with
+  | header :: body ->
+      render_row header;
+      let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+      Buffer.add_string buf (String.make total '-');
+      Buffer.add_char buf '\n';
+      List.iter render_row body
+  | [] -> ());
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()

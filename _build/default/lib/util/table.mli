@@ -1,0 +1,22 @@
+(** Fixed-width ASCII table rendering for the benchmark harness.
+
+    The harness prints one table per paper figure; columns are aligned
+    so the series can be eyeballed against the paper's plots. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; short rows are padded with empty cells. *)
+
+val add_floats : t -> string -> float list -> unit
+(** [add_floats t label xs] appends a row whose first cell is [label]
+    and the rest are [xs] formatted with 3 decimal places. *)
+
+val render : t -> string
+(** Render with a header rule and column padding. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

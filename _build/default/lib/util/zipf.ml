@@ -1,0 +1,44 @@
+type t = {
+  n : int;
+  theta : float;
+  h_x1 : float;
+  h_x0 : float;
+  s : float;
+}
+
+(* Rejection-inversion sampling (Hörmann & Derflinger 1996): H is an
+   integral upper envelope of the Zipf pmf; we invert H over a uniform
+   deviate and accept/reject against the true pmf. *)
+
+let h theta x =
+  if Float.abs (theta -. 1.) < 1e-12 then Float.log x
+  else (Float.pow x (1. -. theta)) /. (1. -. theta)
+
+let h_inv theta x =
+  if Float.abs (theta -. 1.) < 1e-12 then Float.exp x
+  else Float.pow ((1. -. theta) *. x) (1. /. (1. -. theta))
+
+let create ~n ~theta =
+  assert (n >= 1);
+  assert (theta > 0.);
+  let h_x1 = h theta 1.5 -. 1. in
+  let h_x0 = h theta (float_of_int n +. 0.5) in
+  let s = 2. -. h_inv theta (h theta 2.5 -. Float.pow 2. (-.theta)) in
+  { n; theta; h_x1; h_x0; s }
+
+let n t = t.n
+
+let sample t rng =
+  if t.n = 1 then 0
+  else begin
+    let rec go () =
+      let u = t.h_x0 +. (Prng.float rng *. (t.h_x1 -. t.h_x0)) in
+      let x = h_inv t.theta u in
+      let k = Float.round x in
+      let k = if k < 1. then 1. else if k > float_of_int t.n then float_of_int t.n else k in
+      if Float.abs (k -. x) <= t.s then int_of_float k - 1
+      else if u >= h t.theta (k +. 0.5) -. Float.pow k (-.t.theta) then int_of_float k - 1
+      else go ()
+    in
+    go ()
+  end

@@ -1,0 +1,18 @@
+(** Zipfian key distribution (used by the skewed-workload extensions
+    and the TPC-C NURand-style access patterns).
+
+    Items are ranked [0 .. n-1]; rank 0 is the hottest.  The sampler
+    uses the rejection-inversion method of Hörmann & Derflinger, which
+    is O(1) per sample for any skew [theta > 0, theta <> 1]. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a sampler over [n] ranks with skew
+    [theta] (typical YCSB skew is 0.99).  [n >= 1], [theta > 0.],
+    [theta <> 1.]. *)
+
+val sample : t -> Prng.t -> int
+(** Draw a rank in [\[0, n)]. *)
+
+val n : t -> int

@@ -1,0 +1,1 @@
+lib/wbtree/wbtree.ml: Array Ff_index Ff_pmem Hashtbl List Printf

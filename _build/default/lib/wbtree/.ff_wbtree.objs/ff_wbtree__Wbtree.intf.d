@@ -1,0 +1,1 @@
+lib/wbtree/wbtree.mli: Ff_index Ff_pmem

@@ -1,0 +1,1 @@
+lib/workload/crash_harness.ml: Ff_index Ff_pmem Ff_util

@@ -1,0 +1,1 @@
+lib/workload/crash_harness.mli: Ff_index Ff_pmem

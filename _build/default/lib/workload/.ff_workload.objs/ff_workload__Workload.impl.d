@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Ff_index Ff_util Hashtbl

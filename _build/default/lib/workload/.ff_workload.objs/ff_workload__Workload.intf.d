@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Ff_index Ff_util

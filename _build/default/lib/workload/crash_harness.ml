@@ -1,0 +1,38 @@
+module Arena = Ff_pmem.Arena
+module Storelog = Ff_pmem.Storelog
+module Prng = Ff_util.Prng
+module Intf = Ff_index.Intf
+
+type outcome = { points : int; tolerated : int; recovered : int; store_span : int }
+
+let enumerate ?(max_points = 256) ?mode ~base ~reopen ~batch ~validate () =
+  let mode =
+    match mode with
+    | Some m -> m
+    | None -> fun k -> Storelog.Random_eviction (Prng.create k)
+  in
+  Arena.drain base;
+  let store_span =
+    let c = Arena.clone base in
+    let t = reopen c in
+    let before = Arena.store_count c in
+    batch t;
+    Arena.store_count c - before
+  in
+  let step = max 1 (store_span / max_points) in
+  let points = ref 0 and tolerated = ref 0 and recovered = ref 0 in
+  let k = ref 0 in
+  while !k <= store_span do
+    incr points;
+    let c = Arena.clone base in
+    let t = reopen c in
+    Arena.set_crash_plan c (Arena.After_stores (Arena.store_count c + !k));
+    (try batch t with Arena.Crashed -> ());
+    Arena.power_fail c (mode !k);
+    let t = reopen c in
+    if validate t then incr tolerated;
+    t.Intf.recover ();
+    if validate t then incr recovered;
+    k := !k + step
+  done;
+  { points = !points; tolerated = !tolerated; recovered = !recovered; store_span }

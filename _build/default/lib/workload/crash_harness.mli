@@ -1,0 +1,34 @@
+(** Generic crash-point enumeration over any index.
+
+    Encapsulates the pattern the paper's recoverability argument
+    requires (and that the test suite applies to FAST+FAIR at every
+    granularity): build a base image, probe how many 8-byte stores an
+    operation batch performs, then for (sampled) crash points k =
+    0..N, clone the device, crash before store k+1, apply a crash
+    semantics, and validate the reopened index — both {e before}
+    recovery (reader tolerance) and after. *)
+
+type outcome = {
+  points : int;      (** crash points exercised *)
+  tolerated : int;   (** validation passed before recovery ran *)
+  recovered : int;   (** validation passed after recovery *)
+  store_span : int;  (** total stores of the operation batch *)
+}
+
+val enumerate :
+  ?max_points:int ->
+  ?mode:(int -> Ff_pmem.Storelog.crash_mode) ->
+  base:Ff_pmem.Arena.t ->
+  reopen:(Ff_pmem.Arena.t -> Ff_index.Intf.ops) ->
+  batch:(Ff_index.Intf.ops -> unit) ->
+  validate:(Ff_index.Intf.ops -> bool) ->
+  unit ->
+  outcome
+(** [enumerate ~base ~reopen ~batch ~validate ()] — [base] must be
+    quiesced (it is drained and cloned, never mutated).  [reopen]
+    reattaches an index to a cloned arena; [batch] runs the operations
+    to crash; [validate] checks the committed data (it runs once
+    pre-recovery and once after calling the ops' [recover]).
+    [max_points] (default 256) samples evenly across the store span;
+    [mode] picks the crash semantics per point (default
+    [Random_eviction] seeded by the point). *)

@@ -1,0 +1,72 @@
+module Prng = Ff_util.Prng
+module Zipf = Ff_util.Zipf
+module Intf = Ff_index.Intf
+
+let value_of k = (2 * k) + 1
+
+let distinct_uniform rng ~n ~space =
+  assert (space >= 2 * n);
+  let seen = Hashtbl.create (2 * n) in
+  let out = Array.make n 0 in
+  let filled = ref 0 in
+  while !filled < n do
+    let k = 1 + Prng.int rng space in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.replace seen k ();
+      out.(!filled) <- k;
+      incr filled
+    end
+  done;
+  out
+
+let sequential ~n = Array.init n (fun i -> i + 1)
+
+let shuffled_sequential rng ~n =
+  let a = sequential ~n in
+  Prng.shuffle rng a;
+  a
+
+let scramble k space =
+  (* Cheap bijective-ish spread of ranks over the key space. *)
+  1 + ((k * 2654435761) land max_int) mod space
+
+let zipfian rng ~n ~space ~theta =
+  let z = Zipf.create ~n:space ~theta in
+  Array.init n (fun _ -> scramble (Zipf.sample z rng) space)
+
+type op = Insert of int | Search of int | Delete of int | Range of int * int
+
+type mix = {
+  insert_pct : int;
+  search_pct : int;
+  delete_pct : int;
+  range_pct : int;
+  range_len : int;
+}
+
+let mixed_trace rng ~n ~space mix =
+  assert (mix.insert_pct + mix.search_pct + mix.delete_pct + mix.range_pct = 100);
+  Array.init n (fun _ ->
+      let k = 1 + Prng.int rng space in
+      let d = Prng.int rng 100 in
+      if d < mix.insert_pct then Insert k
+      else if d < mix.insert_pct + mix.search_pct then Search k
+      else if d < mix.insert_pct + mix.search_pct + mix.delete_pct then Delete k
+      else Range (k, mix.range_len))
+
+let run_op (t : Intf.ops) op =
+  match op with
+  | Insert k ->
+      t.Intf.insert k (value_of k);
+      1
+  | Search k -> ( match t.Intf.search k with Some v -> v land 0xff | None -> 0)
+  | Delete k -> if t.Intf.delete k then 1 else 0
+  | Range (lo, len) ->
+      let n = ref 0 in
+      (* length-targeted scan: approximate by a bounded key window *)
+      t.Intf.range lo (lo + (len * 4)) (fun _ _ -> incr n);
+      !n
+
+let run_trace t ops = Array.fold_left (fun acc op -> acc + run_op t op) 0 ops
+
+let load_keys t keys = Array.iter (fun k -> t.Intf.insert k (value_of k)) keys

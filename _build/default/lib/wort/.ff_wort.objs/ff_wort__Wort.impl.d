@@ -1,0 +1,1 @@
+lib/wort/wort.ml: Ff_index Ff_pmem

@@ -1,0 +1,1 @@
+lib/wort/wort.mli: Ff_index Ff_pmem

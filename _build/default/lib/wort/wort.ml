@@ -1,0 +1,269 @@
+module Arena = Ff_pmem.Arena
+module Intf = Ff_index.Intf
+
+(* 4-bit span over 60-bit keys: 15 nibbles, most significant first.
+   Node: word 0 = packed header (prefix_len in the low byte, packed
+   prefix nibbles above), words 1..16 = children, padded to 24 words.
+   Child slots hold 0 (empty), an even node address, or a leaf-cell
+   address tagged with bit 0 (cells are line-aligned, so bit 0 is
+   free).  A leaf cell is [key, value]. *)
+
+let nibbles = 15
+let node_words = 24
+let cell_words = 2
+
+type t = { arena : Arena.t; root_slot : int; root : int }
+
+let nib_of key i = (key lsr (4 * (nibbles - 1 - i))) land 0xf
+
+(* The p nibbles of [key] starting at index [d], packed. *)
+let extract key d p =
+  if p = 0 then 0
+  else (key lsr (4 * (nibbles - d - p))) land ((1 lsl (4 * p)) - 1)
+
+let header t n = Arena.read t.arena n
+let prefix_len h = h land 0xff
+let prefix_val h = h lsr 8
+let pack_header p v = p lor (v lsl 8)
+
+let child_slot n i = n + 1 + i
+let is_leaf c = c land 1 = 1
+let cell_of c = c - 1
+
+let common_nibbles a b p =
+  let rec go i =
+    if i >= p then i
+    else begin
+      let sh = 4 * (p - 1 - i) in
+      if (a lsr sh) land 0xf = (b lsr sh) land 0xf then go (i + 1) else i
+    end
+  in
+  go 0
+
+let make ?(root_slot = 8) arena existing =
+  let root =
+    if existing then Arena.root_get arena root_slot
+    else begin
+      let root = Arena.alloc arena node_words in
+      Arena.flush_range arena root node_words;
+      Arena.root_set arena root_slot root;
+      root
+    end
+  in
+  { arena; root_slot; root }
+
+let create ?root_slot arena = make ?root_slot arena false
+let open_existing ?root_slot arena = make ?root_slot arena true
+
+let check_key key =
+  if key <= 0 || key >= 1 lsl 60 then
+    invalid_arg "Wort: key must be in [1, 2^60)"
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let search t key =
+  check_key key;
+  let a = t.arena in
+  let rec go n d =
+    let h = header t n in
+    let p = prefix_len h in
+    if extract key d p <> prefix_val h then None
+    else begin
+      let d = d + p in
+      let c = Arena.read a (child_slot n (nib_of key d)) in
+      if c = 0 then None
+      else if is_leaf c then begin
+        let cell = cell_of c in
+        if Arena.read a cell = key then Some (Arena.read a (cell + 1)) else None
+      end
+      else go c (d + 1)
+    end
+  in
+  go t.root 0
+
+(* ------------------------------------------------------------------ *)
+(* Insert                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mk_cell t key value =
+  Arena.set_phase t.arena Ff_pmem.Stats.Update;
+  let cell = Arena.alloc t.arena cell_words in
+  Arena.write t.arena cell key;
+  Arena.write t.arena (cell + 1) value;
+  Arena.flush t.arena cell;
+  cell + 1 (* tagged *)
+
+let publish t slot v =
+  Arena.write t.arena slot v;
+  Arena.flush t.arena slot
+
+(* Prefix mismatch at node [n] (first unconsumed nibble index [d]):
+   build a new subtree that commits with one pointer store into
+   [slot].  The old node is copied with a shortened prefix rather than
+   edited in place (see the .mli). *)
+let split_prefix t slot n d key value =
+  let a = t.arena in
+  let h = header t n in
+  let p = prefix_len h and pref = prefix_val h in
+  let kpref = extract key d p in
+  let common = common_nibbles kpref pref p in
+  assert (common < p);
+  (* Copy of the old node with the prefix after common+1 nibbles. *)
+  let copy = Arena.alloc a node_words in
+  let rem_len = p - common - 1 in
+  let rem = pref land ((1 lsl (4 * rem_len)) - 1) in
+  Arena.write a copy (pack_header rem_len rem);
+  for i = 0 to 15 do
+    Arena.write a (child_slot copy i) (Arena.read a (child_slot n i))
+  done;
+  Arena.flush_range a copy node_words;
+  (* New top node holding the common prefix. *)
+  let top = Arena.alloc a node_words in
+  Arena.write a top (pack_header common (pref lsr (4 * (p - common))));
+  let old_nib = (pref lsr (4 * (p - 1 - common))) land 0xf in
+  let key_nib = nib_of key (d + common) in
+  assert (old_nib <> key_nib);
+  Arena.write a (child_slot top old_nib) copy;
+  Arena.write a (child_slot top key_nib) (mk_cell t key value);
+  Arena.flush_range a top node_words;
+  publish t slot top
+
+(* Two distinct keys collide in one slot: chain a node over their
+   common nibbles starting at index [d]. *)
+let split_leaf t slot old_tag old_key key value d =
+  let a = t.arena in
+  let rec count q = if nib_of key (d + q) = nib_of old_key (d + q) then count (q + 1) else q in
+  let q = count 0 in
+  assert (d + q < nibbles);
+  let n = Arena.alloc a node_words in
+  Arena.write a n (pack_header q (extract key d q));
+  Arena.write a (child_slot n (nib_of key (d + q))) (mk_cell t key value);
+  Arena.write a (child_slot n (nib_of old_key (d + q))) old_tag;
+  Arena.flush_range a n node_words;
+  publish t slot n
+
+let insert t ~key ~value =
+  check_key key;
+  if value = 0 then invalid_arg "Wort.insert: value must be nonzero";
+  Arena.set_phase t.arena Ff_pmem.Stats.Search;
+  let a = t.arena in
+  let rec go slot n d =
+    let h = header t n in
+    let p = prefix_len h in
+    if extract key d p <> prefix_val h then split_prefix t slot n d key value
+    else begin
+      let d = d + p in
+      let slot' = child_slot n (nib_of key d) in
+      let c = Arena.read a slot' in
+      if c = 0 then publish t slot' (mk_cell t key value)
+      else if is_leaf c then begin
+        let cell = cell_of c in
+        let k2 = Arena.read a cell in
+        if k2 = key then begin
+          (* Failure-atomic in-place value update. *)
+          Arena.write a (cell + 1) value;
+          Arena.flush a (cell + 1)
+        end
+        else split_leaf t slot' c k2 key value (d + 1)
+      end
+      else go slot' c (d + 1)
+    end
+  in
+  (* The root has no parent slot; it never splits because its prefix
+     is permanently empty. *)
+  go (-1) t.root 0;
+  Arena.set_phase t.arena Ff_pmem.Stats.Other
+
+(* ------------------------------------------------------------------ *)
+(* Delete: clear the leaf slot with one atomic store                   *)
+(* ------------------------------------------------------------------ *)
+
+let delete t key =
+  check_key key;
+  let a = t.arena in
+  let rec go n d =
+    let h = header t n in
+    let p = prefix_len h in
+    if extract key d p <> prefix_val h then false
+    else begin
+      let d = d + p in
+      let slot = child_slot n (nib_of key d) in
+      let c = Arena.read a slot in
+      if c = 0 then false
+      else if is_leaf c then begin
+        let cell = cell_of c in
+        if Arena.read a cell = key then begin
+          publish t slot 0;
+          Arena.free a cell cell_words;
+          true
+        end
+        else false
+      end
+      else go c (d + 1)
+    end
+  in
+  go t.root 0
+
+(* ------------------------------------------------------------------ *)
+(* Range: in-order DFS with subtree pruning                            *)
+(* ------------------------------------------------------------------ *)
+
+let range t ~lo ~hi f =
+  (* A radix tree has no leaf chaining: a range scan is a sequence of
+     successor lookups, each re-descending from the root (the paper:
+     "their range query performance is very poor").  [next_entry]
+     finds the smallest key >= k with subtree-bound pruning; [acc] is
+     the packed value of the [used] consumed nibbles, so the subtree
+     under it covers [acc << r, (acc+1) << r) with
+     r = 4 * (nibbles - used). *)
+  let a = t.arena in
+  let next_entry k =
+    let best = ref None in
+    let rec visit c acc used =
+      if c <> 0 && !best = None then
+        if is_leaf c then begin
+          let cell = cell_of c in
+          let kk = Arena.read a cell in
+          if kk >= k then best := Some (kk, Arena.read a (cell + 1))
+        end
+        else begin
+          let h = header t c in
+          let p = prefix_len h in
+          let acc = (acc lsl (4 * p)) lor prefix_val h in
+          let used = used + p in
+          for i = 0 to 15 do
+            if !best = None then begin
+              let acc' = (acc lsl 4) lor i in
+              let shift = 4 * (nibbles - used - 1) in
+              let max_k = (acc' lsl shift) lor ((1 lsl shift) - 1) in
+              if max_k >= k then visit (Arena.read a (child_slot c i)) acc' (used + 1)
+            end
+          done
+        end
+    in
+    visit t.root 0 0;
+    !best
+  in
+  let rec go k =
+    if k <= hi then
+      match next_entry k with
+      | Some (kk, v) when kk <= hi ->
+          f kk v;
+          go (kk + 1)
+      | Some _ | None -> ()
+  in
+  go lo
+
+let recover _t = ()
+
+let ops t =
+  {
+    Intf.name = "wort";
+    insert = (fun k v -> insert t ~key:k ~value:v);
+    search = (fun k -> search t k);
+    delete = (fun k -> delete t k);
+    range = (fun lo hi f -> range t ~lo ~hi f);
+    recover = (fun () -> recover t);
+  }

@@ -1,0 +1,30 @@
+(** WORT baseline (Lee et al., FAST'17): write-optimal radix tree.
+
+    A path-compressed radix tree with 4-bit span over 60-bit keys.
+    The deterministic structure means an ordinary insert needs no
+    rebalancing: write the leaf cell, flush it, then publish with one
+    failure-atomic 8-byte child-slot store — very few flushes, which
+    is why WORT wins the high-write-latency regime of Figure 5(c).
+    Every tree level is a dependent pointer chase into a random cache
+    line, so searches have no memory-level parallelism and range
+    queries are slow — Figures 4 and 5(b).
+
+    Deviation from the original: a prefix-mismatch split copies the
+    old node instead of editing its packed header in place, so the
+    whole split commits with a single pointer store and needs no
+    depth-based recovery procedure (see DESIGN.md).  Structural state
+    is consistent after every store; {!recover} is a no-op. *)
+
+type t
+
+val create : ?root_slot:int -> Ff_pmem.Arena.t -> t
+val open_existing : ?root_slot:int -> Ff_pmem.Arena.t -> t
+
+val insert : t -> key:int -> value:int -> unit
+(** Keys must lie in [\[1, 2^60)]. *)
+
+val search : t -> int -> int option
+val delete : t -> int -> bool
+val range : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+val recover : t -> unit
+val ops : t -> Ff_index.Intf.ops

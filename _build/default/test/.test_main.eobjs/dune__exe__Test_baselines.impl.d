@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Arena Array Ff_blink Ff_fastfair Ff_fptree Ff_index Ff_pmem Ff_skiplist Ff_util Ff_wbtree Ff_wort Hashtbl List Printf Stats Storelog

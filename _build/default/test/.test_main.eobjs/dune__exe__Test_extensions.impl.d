@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Arena Array Bulk Compact Cursor Ff_fastfair Ff_pmem Ff_util Ff_workload Invariant Layout List Node Printf Storelog String Tree

@@ -1,0 +1,1 @@
+test/test_fastfair.ml: Alcotest Arena Array Config Ff_fastfair Ff_pmem Ff_util Hashtbl Int Invariant Layout List Node Printf QCheck QCheck_alcotest Set Storelog String Tree

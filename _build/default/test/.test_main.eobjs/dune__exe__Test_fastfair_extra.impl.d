@@ -1,0 +1,1 @@
+test/test_fastfair_extra.ml: Alcotest Arena Array Config Ff_fastfair Ff_index Ff_mcsim Ff_pmem Ff_util Hashtbl Invariant Layout List Node Printf Storelog String Tree

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Arena Array Ff_fastfair Ff_fptree Ff_index Ff_pmem Ff_skiplist Ff_util Ff_wbtree Ff_workload Ff_wort List Printf

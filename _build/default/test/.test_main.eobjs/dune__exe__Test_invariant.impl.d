@@ -1,0 +1,1 @@
+test/test_invariant.ml: Alcotest Arena Ff_fastfair Ff_pmem Invariant Layout List Printf String Tree

@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Arena Ff_fastfair Ff_pmem Ff_util Hashtbl Kv List Printf Storelog

@@ -1,0 +1,1 @@
+test/test_mcsim.ml: Alcotest Arena Array Ff_fastfair Ff_index Ff_mcsim Ff_pmem Ff_util List Printf

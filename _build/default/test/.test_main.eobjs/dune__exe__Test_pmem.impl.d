@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Arena Cachesim Config Ff_fastfair Ff_pmem Ff_util Filename List Stats Storelog Sys

@@ -1,0 +1,1 @@
+test/test_pmem_props.ml: Arena Array Config Ff_pmem Ff_util Hashtbl List Printf QCheck QCheck_alcotest Storelog String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ff_util Heap Prng Stats String Table Vec Zipf

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Arena Array Ff_fastfair Ff_index Ff_pmem Ff_skiplist Ff_tpcc Ff_util Ff_wbtree Ff_workload Hashtbl List Option Storelog String

@@ -1,0 +1,315 @@
+(* Extensions beyond the released implementation: crash-safe merging
+   (Compact), cursors, bottom-up bulk loading, and the negative
+   control showing why FAST's store ordering is required. *)
+
+open Ff_pmem
+open Ff_fastfair
+module Prng = Ff_util.Prng
+
+let value_of k = (2 * k) + 1
+
+let mk_arena ?(words = 1 lsl 21) () = Arena.create ~words ()
+
+(* ------------------------------------------------------------------ *)
+(* Compact                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let load_tree ?(node_bytes = 128) n =
+  let a = mk_arena () in
+  let t = Tree.create ~node_bytes a in
+  for k = 1 to n do
+    Tree.insert t ~key:k ~value:(value_of k)
+  done;
+  (a, t)
+
+let test_compact_after_mass_delete () =
+  let _, t = load_tree 1000 in
+  for k = 1 to 1000 do
+    if k mod 10 <> 0 then ignore (Tree.delete t k)
+  done;
+  let nodes_before = List.length (Tree.reachable_nodes t) in
+  let freed = Compact.compact t in
+  let nodes_after = List.length (Tree.reachable_nodes t) in
+  Alcotest.(check bool) "freed nodes" true (freed > 0);
+  Alcotest.(check bool) "fewer nodes" true (nodes_after < nodes_before);
+  for k = 1 to 1000 do
+    let expect = if k mod 10 = 0 then Some (value_of k) else None in
+    Alcotest.(check (option int)) "post-compact search" expect (Tree.search t k)
+  done;
+  Invariant.check_exn t
+
+let test_compact_shrinks_height () =
+  let _, t = load_tree 1000 in
+  let h0 = Tree.height t in
+  for k = 1 to 995 do
+    ignore (Tree.delete t k)
+  done;
+  ignore (Compact.compact t);
+  Alcotest.(check bool) "height shrank" true (Tree.height t < h0);
+  for k = 996 to 1000 do
+    Alcotest.(check (option int)) "survivors" (Some (value_of k)) (Tree.search t k)
+  done;
+  Invariant.check_exn t
+
+let test_compact_noop_on_full_tree () =
+  let _, t = load_tree 500 in
+  let keys_before = Invariant.keys t in
+  ignore (Compact.compact t);
+  Alcotest.(check (list int)) "keys unchanged" keys_before (Invariant.keys t);
+  Invariant.check_exn t
+
+let test_compact_keeps_working () =
+  let _, t = load_tree 600 in
+  for k = 1 to 600 do
+    if k mod 3 <> 0 then ignore (Tree.delete t k)
+  done;
+  ignore (Compact.compact t);
+  (* tree keeps accepting operations after compaction *)
+  for k = 601 to 900 do
+    Tree.insert t ~key:k ~value:(value_of k)
+  done;
+  for k = 601 to 900 do
+    Alcotest.(check (option int)) "post-compact insert" (Some (value_of k)) (Tree.search t k)
+  done;
+  Invariant.check_exn t
+
+let test_compact_crash_points () =
+  (* Crash compaction before every (sampled) store: committed keys
+     survive in every state, pre- and post-recovery. *)
+  let a0 = mk_arena () in
+  let t0 = Tree.create ~node_bytes:128 a0 in
+  for k = 1 to 120 do
+    Tree.insert t0 ~key:k ~value:(value_of k)
+  done;
+  let survivors = List.filter (fun k -> k mod 7 = 0) (List.init 120 (fun i -> i + 1)) in
+  for k = 1 to 120 do
+    if k mod 7 <> 0 then ignore (Tree.delete t0 k)
+  done;
+  Arena.drain a0;
+  let total =
+    let c = Arena.clone a0 in
+    let tc = Tree.open_existing ~node_bytes:128 c in
+    let b = Arena.store_count c in
+    ignore (Compact.compact tc);
+    Arena.store_count c - b
+  in
+  Alcotest.(check bool) "compaction stores" true (total > 0);
+  let step = max 1 (total / 80) in
+  let k = ref 0 in
+  while !k <= total do
+    let c = Arena.clone a0 in
+    let tc = Tree.open_existing ~node_bytes:128 c in
+    Arena.set_crash_plan c (Arena.After_stores (Arena.store_count c + !k));
+    (try ignore (Compact.compact tc) with Arena.Crashed -> ());
+    Arena.power_fail c (Storelog.Random_eviction (Prng.create !k));
+    let tc = Tree.open_existing ~node_bytes:128 c in
+    (* pre-recovery reader tolerance *)
+    List.iter
+      (fun key ->
+        Alcotest.(check (option int))
+          (Printf.sprintf "compact crash@%d key %d (pre)" !k key)
+          (Some (value_of key)) (Tree.search tc key))
+      survivors;
+    Tree.recover tc;
+    (match Invariant.check tc with
+    | [] -> ()
+    | vs -> Alcotest.failf "compact crash@%d: %s" !k (String.concat "; " vs));
+    k := !k + step
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Cursor                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_cursor_full_scan () =
+  let _, t = load_tree 500 in
+  let c = Cursor.create t ~lo:1 in
+  let rec collect acc =
+    match Cursor.next c with Some (k, _) -> collect (k :: acc) | None -> List.rev acc
+  in
+  Alcotest.(check (list int)) "all keys in order" (List.init 500 (fun i -> i + 1))
+    (collect [])
+
+let test_cursor_seek () =
+  let _, t = load_tree 100 in
+  let c = Cursor.create t ~lo:1 in
+  Cursor.seek c 42;
+  (match Cursor.next c with
+  | Some (42, v) -> Alcotest.(check int) "value" (value_of 42) v
+  | Some (k, _) -> Alcotest.failf "expected 42, got %d" k
+  | None -> Alcotest.fail "expected a key");
+  Cursor.seek c 1000;
+  Alcotest.(check bool) "past end" true (Cursor.next c = None)
+
+let test_cursor_fold () =
+  let _, t = load_tree 200 in
+  let sum = Cursor.fold t ~lo:50 ~hi:60 ~init:0 (fun acc k _ -> acc + k) in
+  Alcotest.(check int) "fold sum" (List.fold_left ( + ) 0 (List.init 11 (fun i -> 50 + i)))
+    sum
+
+let test_cursor_survives_mutation () =
+  (* Inserting and deleting between next() calls must not derail an
+     in-progress cursor (same tolerance as lock-free search). *)
+  let _, t = load_tree 100 in
+  let c = Cursor.create t ~lo:1 in
+  let seen = ref [] in
+  for _ = 1 to 50 do
+    match Cursor.next c with
+    | Some (k, _) -> seen := k :: !seen
+    | None -> ()
+  done;
+  (* mutate around the cursor position *)
+  Tree.insert t ~key:1000 ~value:(value_of 1000);
+  ignore (Tree.delete t 60);
+  for _ = 1 to 100 do
+    match Cursor.next c with
+    | Some (k, _) -> seen := k :: !seen
+    | None -> ()
+  done;
+  let seen = List.rev !seen in
+  (* strictly ascending, no duplicates *)
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> a < b && ascending rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "ascending" true (ascending seen);
+  Alcotest.(check bool) "saw the new tail key" true (List.mem 1000 seen);
+  Alcotest.(check bool) "did not resurrect deleted 60 twice" true
+    (List.length (List.filter (fun k -> k = 60) seen) <= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Bulk load                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bulk_load_basic () =
+  let a = mk_arena () in
+  let rng = Prng.create 3 in
+  let keys = Ff_workload.Workload.distinct_uniform rng ~n:5000 ~space:50_000 in
+  let pairs = Array.map (fun k -> (k, value_of k)) keys in
+  let t = Bulk.load ~node_bytes:256 a pairs in
+  Array.iter
+    (fun k ->
+      Alcotest.(check (option int)) "bulk search" (Some (value_of k)) (Tree.search t k))
+    keys;
+  Alcotest.(check (option int)) "bulk miss" None (Tree.search t 50_001);
+  Alcotest.(check int) "key count" 5000 (List.length (Invariant.keys t));
+  Invariant.check_exn t
+
+let test_bulk_load_then_mutate () =
+  let a = mk_arena () in
+  let pairs = Array.init 2000 (fun i -> ((2 * i) + 2, value_of (i + 1))) in
+  let t = Bulk.load ~node_bytes:128 a pairs in
+  (* odd keys go in incrementally, splits and all *)
+  for k = 0 to 499 do
+    Tree.insert t ~key:((4 * k) + 1) ~value:(value_of (3000 + k))
+  done;
+  for k = 0 to 499 do
+    Alcotest.(check (option int)) "incremental over bulk"
+      (Some (value_of (3000 + k)))
+      (Tree.search t ((4 * k) + 1))
+  done;
+  ignore (Tree.delete t 2);
+  Alcotest.(check (option int)) "delete over bulk" None (Tree.search t 2);
+  Invariant.check_exn t
+
+let test_bulk_load_crash_atomicity () =
+  (* Anything before the root-slot store must leave the arena's old
+     root untouched. *)
+  let a = mk_arena () in
+  let pairs = Array.init 500 (fun i -> (i + 1, value_of (i + 1))) in
+  let probe =
+    let c = Arena.clone a in
+    let before = Arena.store_count c in
+    ignore (Bulk.load ~node_bytes:128 c pairs);
+    Arena.store_count c - before
+  in
+  (* crash in the middle of the build *)
+  let c = Arena.clone a in
+  Arena.set_crash_plan c (Arena.After_stores (Arena.store_count c + (probe / 2)));
+  (try ignore (Bulk.load ~node_bytes:128 c pairs) with Arena.Crashed -> ());
+  Arena.power_fail c Storelog.Keep_none;
+  Alcotest.(check int) "root slot still empty" 0 (Arena.root_get c 0);
+  (* crash after: everything present *)
+  let c = Arena.clone a in
+  let t = Bulk.load ~node_bytes:128 c pairs in
+  Arena.power_fail c Storelog.Keep_none;
+  let t2 = Tree.open_existing ~node_bytes:128 c in
+  ignore t;
+  for k = 1 to 500 do
+    Alcotest.(check (option int)) "bulk survives crash" (Some (value_of k))
+      (Tree.search t2 k)
+  done
+
+let test_bulk_load_rejects_duplicates () =
+  let a = mk_arena () in
+  Alcotest.check_raises "duplicate keys" (Invalid_argument "Bulk.load: duplicate key")
+    (fun () -> ignore (Bulk.load a [| (1, 3); (1, 5) |]))
+
+let test_bulk_load_empty_and_tiny () =
+  let a = mk_arena () in
+  let t = Bulk.load ~root_slot:0 a [||] in
+  Alcotest.(check (option int)) "empty" None (Tree.search t 1);
+  Tree.insert t ~key:5 ~value:11;
+  Alcotest.(check (option int)) "insert into empty bulk" (Some 11) (Tree.search t 5);
+  let a2 = mk_arena () in
+  let t2 = Bulk.load a2 [| (9, 19) |] in
+  Alcotest.(check (option int)) "singleton" (Some 19) (Tree.search t2 9)
+
+(* ------------------------------------------------------------------ *)
+(* Negative control: the naive unordered shift corrupts crash states   *)
+(* ------------------------------------------------------------------ *)
+
+let test_unordered_insert_is_not_endurable () =
+  (* With key-before-pointer stores and no boundary flushes, some
+     crash prefix must yield a wrong read — demonstrating that FAST's
+     ordering is what provides endurability, not the simulator. *)
+  let violations = ref 0 in
+  let l = Layout.make ~node_bytes:256 in
+  let a0 = Arena.create ~words:(1 lsl 14) () in
+  let n = Arena.alloc a0 l.Layout.node_words in
+  Node.init a0 l n ~level:0 ~leftmost:0 ~low:0;
+  List.iter
+    (fun k -> Node.insert_nonfull a0 l n ~key:k ~value:(value_of k) ~mode:Node.Linear)
+    [ 10; 20; 30; 40; 50; 60; 70 ];
+  Arena.drain a0;
+  let total =
+    let c = Arena.clone a0 in
+    let b = Arena.store_count c in
+    Node.insert_nonfull_unordered c l n ~key:25 ~value:(value_of 25);
+    Arena.store_count c - b
+  in
+  for k = 0 to total do
+    let c = Arena.clone a0 in
+    Arena.set_crash_plan c (Arena.After_stores (Arena.store_count c + k));
+    (try Node.insert_nonfull_unordered c l n ~key:25 ~value:(value_of 25)
+     with Arena.Crashed -> ());
+    Arena.power_fail c Storelog.Keep_all;
+    List.iter
+      (fun key ->
+        match Node.search c l n ~mode:Node.Linear key with
+        | Some v when v = value_of key -> ()
+        | Some _ | None -> incr violations)
+      [ 10; 20; 30; 40; 50; 60; 70 ]
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "unordered shift corrupts some crash state (%d violations)" !violations)
+    true (!violations > 0)
+
+let suite =
+  [
+    Alcotest.test_case "compact after mass delete" `Quick test_compact_after_mass_delete;
+    Alcotest.test_case "compact shrinks height" `Quick test_compact_shrinks_height;
+    Alcotest.test_case "compact noop when full" `Quick test_compact_noop_on_full_tree;
+    Alcotest.test_case "compact keeps working" `Quick test_compact_keeps_working;
+    Alcotest.test_case "compact crash points" `Quick test_compact_crash_points;
+    Alcotest.test_case "cursor full scan" `Quick test_cursor_full_scan;
+    Alcotest.test_case "cursor seek" `Quick test_cursor_seek;
+    Alcotest.test_case "cursor fold" `Quick test_cursor_fold;
+    Alcotest.test_case "cursor vs mutation" `Quick test_cursor_survives_mutation;
+    Alcotest.test_case "bulk load basic" `Quick test_bulk_load_basic;
+    Alcotest.test_case "bulk load then mutate" `Quick test_bulk_load_then_mutate;
+    Alcotest.test_case "bulk load crash atomicity" `Quick test_bulk_load_crash_atomicity;
+    Alcotest.test_case "bulk load duplicates" `Quick test_bulk_load_rejects_duplicates;
+    Alcotest.test_case "bulk load empty/tiny" `Quick test_bulk_load_empty_and_tiny;
+    Alcotest.test_case "unordered insert not endurable" `Quick test_unordered_insert_is_not_endurable;
+  ]

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "fastfair"
+    [
+      ("util", Test_util.suite);
+      ("pmem", Test_pmem.suite);
+      ("pmem-props", Test_pmem_props.suite);
+      ("fastfair", Test_fastfair.suite);
+      ("baselines", Test_baselines.suite);
+      ("mcsim", Test_mcsim.suite);
+      ("workload", Test_workload.suite);
+      ("extensions", Test_extensions.suite);
+      ("invariant", Test_invariant.suite);
+      ("fastfair-extra", Test_fastfair_extra.suite);
+      ("kv", Test_kv.suite);
+      ("harness", Test_harness.suite);
+    ]

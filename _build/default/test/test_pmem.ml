@@ -1,0 +1,351 @@
+(* Tests for the persistent-memory simulator: store/flush semantics,
+   crash states, allocator, cost accounting. *)
+
+open Ff_pmem
+module Prng = Ff_util.Prng
+
+let mk ?(config = Config.default) ?(words = 4096) () =
+  Arena.create ~config ~words ()
+
+let test_read_write_roundtrip () =
+  let a = mk () in
+  Arena.write a 100 42;
+  Arena.write a 101 (-7);
+  Alcotest.(check int) "read back" 42 (Arena.read a 100);
+  Alcotest.(check int) "read back 2" (-7) (Arena.read a 101)
+
+let test_unflushed_store_not_persisted () =
+  let a = mk () in
+  Arena.write a 100 42;
+  Alcotest.(check int) "persisted image unchanged" 0 (Arena.peek_persisted a 100);
+  Arena.flush a 100;
+  Alcotest.(check int) "persisted after flush" 42 (Arena.peek_persisted a 100)
+
+let test_flush_covers_whole_line () =
+  let a = mk () in
+  (* words 96..103 share one line *)
+  for i = 96 to 103 do
+    Arena.write a i (i * 10)
+  done;
+  Arena.flush a 99;
+  for i = 96 to 103 do
+    Alcotest.(check int) "line persisted" (i * 10) (Arena.peek_persisted a i)
+  done;
+  Arena.write a 104 7;
+  Alcotest.(check int) "next line untouched" 0 (Arena.peek_persisted a 104)
+
+let test_power_fail_keep_none () =
+  let a = mk () in
+  Arena.write a 100 1;
+  Arena.flush a 100;
+  Arena.write a 100 2;
+  Arena.write a 200 3;
+  Arena.power_fail a Storelog.Keep_none;
+  Alcotest.(check int) "only flushed value survives" 1 (Arena.read a 100);
+  Alcotest.(check int) "unflushed lost" 0 (Arena.read a 200)
+
+let test_power_fail_keep_all () =
+  let a = mk () in
+  Arena.write a 100 1;
+  Arena.write a 200 3;
+  Arena.power_fail a Storelog.Keep_all;
+  Alcotest.(check int) "pending applied" 1 (Arena.read a 100);
+  Alcotest.(check int) "pending applied 2" 3 (Arena.read a 200)
+
+let test_power_fail_random_is_per_line_prefix () =
+  (* Store a sequence to one line; after a random-eviction crash the
+     line must contain a prefix of the store sequence. *)
+  for seed = 0 to 20 do
+    let a = mk () in
+    Arena.write a 96 1;
+    Arena.write a 97 2;
+    Arena.write a 98 3;
+    Arena.power_fail a (Storelog.Random_eviction (Prng.create seed));
+    let v1 = Arena.read a 96 and v2 = Arena.read a 97 and v3 = Arena.read a 98 in
+    let state = (v1, v2, v3) in
+    let valid =
+      List.mem state [ (0, 0, 0); (1, 0, 0); (1, 2, 0); (1, 2, 3) ]
+    in
+    Alcotest.(check bool) "prefix state" true valid
+  done
+
+let test_crash_plan_store_counting () =
+  let a = mk () in
+  Arena.set_crash_plan a (Arena.After_stores (Arena.store_count a + 2));
+  Arena.write a 100 1;
+  Arena.write a 101 2;
+  let crashed =
+    try
+      Arena.write a 102 3;
+      false
+    with Arena.Crashed -> true
+  in
+  Alcotest.(check bool) "third store crashes" true crashed;
+  Alcotest.(check int) "second store applied" 2 (Arena.peek a 101);
+  Alcotest.(check int) "third store not applied" 0 (Arena.peek a 102)
+
+let test_crash_plan_flush_counting () =
+  let a = mk () in
+  Arena.set_crash_plan a (Arena.After_flushes (Arena.flush_count a + 1));
+  Arena.write a 100 1;
+  Arena.flush a 100;
+  let crashed = try Arena.flush a 100; false with Arena.Crashed -> true in
+  Alcotest.(check bool) "second flush crashes" true crashed
+
+let test_fence_epochs_non_tso () =
+  (* Under Non_tso, stores in a later epoch must not persist unless all
+     earlier-epoch stores do. *)
+  let config = Config.arm () in
+  let violations = ref 0 in
+  for seed = 0 to 40 do
+    let a = Arena.create ~config ~words:4096 () in
+    Arena.write a 96 1;
+    Arena.fence a;
+    Arena.write a 104 2;
+    (* different line, later epoch *)
+    Arena.power_fail a (Storelog.Non_tso_random (Prng.create seed));
+    let v1 = Arena.read a 96 and v2 = Arena.read a 104 in
+    if v2 = 2 && v1 = 0 then incr violations
+  done;
+  Alcotest.(check int) "fence ordering respected" 0 !violations
+
+let test_non_tso_without_fence_can_reorder () =
+  (* Without a fence, the later store may persist without the earlier
+     one — the hazard FAST's mfence_IF_NOT_TSO exists to prevent. *)
+  let config = Config.arm () in
+  let reordered = ref false in
+  for seed = 0 to 100 do
+    let a = Arena.create ~config ~words:4096 () in
+    Arena.write a 96 1;
+    Arena.write a 104 2;
+    Arena.power_fail a (Storelog.Non_tso_random (Prng.create seed));
+    if Arena.read a 104 = 2 && Arena.read a 96 = 0 then reordered := true
+  done;
+  Alcotest.(check bool) "reordering observable" true !reordered
+
+let test_alloc_line_aligned_and_zeroed () =
+  let a = mk () in
+  Arena.write a 200 99;
+  let n = Arena.alloc a 10 in
+  Alcotest.(check int) "line aligned" 0 (n mod Arena.words_per_line);
+  Alcotest.(check bool) "beyond reserved" true (n >= Arena.reserved_words);
+  for i = n to n + 15 do
+    Alcotest.(check int) "zeroed (rounded to lines)" 0 (Arena.read a i)
+  done
+
+let test_alloc_free_reuse () =
+  let a = mk () in
+  let n1 = Arena.alloc a 16 in
+  Arena.free a n1 16;
+  let n2 = Arena.alloc_raw a 16 in
+  Alcotest.(check int) "freed block reused" n1 n2
+
+let test_alloc_out_of_memory () =
+  let a = mk ~words:256 () in
+  let raised =
+    try
+      ignore (Arena.alloc a 1024);
+      false
+    with Out_of_memory -> true
+  in
+  Alcotest.(check bool) "out of memory" true raised
+
+let test_root_slots_failure_atomic () =
+  let a = mk () in
+  Arena.root_set a 0 1234;
+  Arena.power_fail a Storelog.Keep_none;
+  Alcotest.(check int) "root survives crash" 1234 (Arena.root_get a 0)
+
+let test_stats_counting () =
+  let a = mk () in
+  Arena.reset_stats a;
+  Arena.write a 100 1;
+  Arena.write a 101 2;
+  ignore (Arena.read a 100);
+  Arena.flush a 100;
+  Arena.fence a;
+  let s = Arena.total_stats a in
+  Alcotest.(check int) "stores" 2 s.Stats.stores;
+  Alcotest.(check int) "loads" 1 s.Stats.loads;
+  Alcotest.(check int) "flushes" 1 s.Stats.flushes;
+  Alcotest.(check bool) "fences >= 2 (flush implies fence)" true (s.Stats.fences >= 2)
+
+let test_latency_charging () =
+  let config = Config.pm ~read_ns:300 ~write_ns:500 () in
+  let a = Arena.create ~config ~words:65536 () in
+  Arena.reset_stats a;
+  (* A miss far from previous accesses costs the full read latency. *)
+  ignore (Arena.read a 30000);
+  let s = Arena.total_stats a in
+  Alcotest.(check bool) "miss charged ~read latency" true (Stats.total_ns s >= 300);
+  Arena.reset_stats a;
+  ignore (Arena.read a 30001);
+  (* same line: hit *)
+  let s = Arena.total_stats a in
+  Alcotest.(check bool) "hit is cheap" true (Stats.total_ns s < 10);
+  Arena.reset_stats a;
+  Arena.flush a 30000;
+  let s = Arena.total_stats a in
+  Alcotest.(check int) "flush charged write latency" 500 s.Stats.flush_ns
+
+let test_sequential_miss_discount () =
+  let config = Config.pm ~read_ns:400 ~write_ns:400 () in
+  let a = Arena.create ~config ~words:(1 lsl 16) () in
+  Arena.reset_stats a;
+  ignore (Arena.read a 1024);
+  (* line 128: miss, full cost *)
+  ignore (Arena.read a 1032);
+  (* line 129: sequential miss, discounted *)
+  let s = Arena.total_stats a in
+  Alcotest.(check int) "misses" 2 s.Stats.line_misses;
+  Alcotest.(check int) "one sequential" 1 s.Stats.seq_misses;
+  Alcotest.(check bool) "discount applied" true
+    (Stats.total_ns s < 2 * 400 && Stats.total_ns s >= 400 + (400 / 4))
+
+let test_phase_buckets () =
+  let a = mk () in
+  Arena.reset_stats a;
+  Arena.set_phase a Stats.Search;
+  ignore (Arena.read a 2048);
+  Arena.set_phase a Stats.Update;
+  Arena.write a 2048 5;
+  Arena.set_phase a Stats.Other;
+  let s = Arena.total_stats a in
+  Alcotest.(check bool) "search bucket nonzero" true (s.Stats.search_ns > 0);
+  Alcotest.(check bool) "update bucket nonzero" true (s.Stats.update_ns > 0)
+
+let test_clone_independent () =
+  let a = mk () in
+  Arena.write a 100 1;
+  Arena.drain a;
+  let b = Arena.clone a in
+  Arena.write a 100 2;
+  Alcotest.(check int) "clone sees old value" 1 (Arena.read b 100);
+  Arena.write b 100 3;
+  Alcotest.(check int) "original unaffected" 2 (Arena.read a 100)
+
+let test_drain_persists_everything () =
+  let a = mk () in
+  Arena.write a 100 1;
+  Arena.write a 900 2;
+  Arena.drain a;
+  Alcotest.(check int) "persisted 1" 1 (Arena.peek_persisted a 100);
+  Alcotest.(check int) "persisted 2" 2 (Arena.peek_persisted a 900)
+
+let test_storelog_eviction_bounded () =
+  let config = { Config.default with pending_high_water = 128 } in
+  let a = Arena.create ~config ~words:65536 () in
+  for i = 0 to 10_000 do
+    Arena.write a (Arena.reserved_words + (i mod 50_000)) i
+  done;
+  Alcotest.(check bool) "pending bounded" true (Arena.dirty_line_count a < 4096)
+
+let test_per_thread_stats () =
+  let a = mk () in
+  Arena.reset_stats a;
+  Arena.set_tid a 0;
+  ignore (Arena.read a 100);
+  Arena.set_tid a 1;
+  ignore (Arena.read a 200);
+  ignore (Arena.read a 300);
+  Alcotest.(check int) "tid 0 loads" 1 (Arena.stats a 0).Stats.loads;
+  Alcotest.(check int) "tid 1 loads" 2 (Arena.stats a 1).Stats.loads;
+  Arena.set_tid a 0
+
+let test_cachesim_lru () =
+  let c = Cachesim.create ~capacity:2 in
+  ignore (Cachesim.access c 1);
+  ignore (Cachesim.access c 2);
+  Alcotest.(check bool) "1 resident" true (Cachesim.resident c 1);
+  ignore (Cachesim.access c 3);
+  (* evicts 1 (LRU) *)
+  Alcotest.(check bool) "1 evicted" false (Cachesim.resident c 1);
+  Alcotest.(check bool) "2 resident" true (Cachesim.resident c 2);
+  (match Cachesim.access c 2 with
+  | Cachesim.Hit -> ()
+  | Cachesim.Miss _ -> Alcotest.fail "expected hit");
+  ignore (Cachesim.access c 4);
+  Alcotest.(check bool) "3 evicted after 2 touched" false (Cachesim.resident c 3)
+
+let test_cachesim_sequential_detection () =
+  let c = Cachesim.create ~capacity:16 in
+  (match Cachesim.access c 10 with
+  | Cachesim.Miss { sequential = false } -> ()
+  | _ -> Alcotest.fail "first access: non-sequential miss");
+  match Cachesim.access c 11 with
+  | Cachesim.Miss { sequential = true } -> ()
+  | _ -> Alcotest.fail "adjacent line: sequential miss"
+
+let suite =
+  [
+    Alcotest.test_case "read/write roundtrip" `Quick test_read_write_roundtrip;
+    Alcotest.test_case "unflushed not persisted" `Quick test_unflushed_store_not_persisted;
+    Alcotest.test_case "flush covers line" `Quick test_flush_covers_whole_line;
+    Alcotest.test_case "power fail keep none" `Quick test_power_fail_keep_none;
+    Alcotest.test_case "power fail keep all" `Quick test_power_fail_keep_all;
+    Alcotest.test_case "random eviction = line prefix" `Quick test_power_fail_random_is_per_line_prefix;
+    Alcotest.test_case "crash plan stores" `Quick test_crash_plan_store_counting;
+    Alcotest.test_case "crash plan flushes" `Quick test_crash_plan_flush_counting;
+    Alcotest.test_case "non-TSO fences ordered" `Quick test_fence_epochs_non_tso;
+    Alcotest.test_case "non-TSO reorders without fence" `Quick test_non_tso_without_fence_can_reorder;
+    Alcotest.test_case "alloc aligned+zeroed" `Quick test_alloc_line_aligned_and_zeroed;
+    Alcotest.test_case "alloc free reuse" `Quick test_alloc_free_reuse;
+    Alcotest.test_case "alloc OOM" `Quick test_alloc_out_of_memory;
+    Alcotest.test_case "root slot atomic" `Quick test_root_slots_failure_atomic;
+    Alcotest.test_case "stats counting" `Quick test_stats_counting;
+    Alcotest.test_case "latency charging" `Quick test_latency_charging;
+    Alcotest.test_case "sequential discount" `Quick test_sequential_miss_discount;
+    Alcotest.test_case "phase buckets" `Quick test_phase_buckets;
+    Alcotest.test_case "clone independent" `Quick test_clone_independent;
+    Alcotest.test_case "drain persists" `Quick test_drain_persists_everything;
+    Alcotest.test_case "storelog eviction bounded" `Quick test_storelog_eviction_bounded;
+    Alcotest.test_case "per-thread stats" `Quick test_per_thread_stats;
+    Alcotest.test_case "cachesim LRU" `Quick test_cachesim_lru;
+    Alcotest.test_case "cachesim sequential" `Quick test_cachesim_sequential_detection;
+  ]
+
+let test_save_load_file () =
+  let a = mk ~words:(1 lsl 12) () in
+  Arena.write a 100 42;
+  Arena.flush a 100;
+  Arena.write a 200 7;
+  (* unflushed: must NOT survive the file image *)
+  let path = Filename.temp_file "arena" ".img" in
+  Arena.save_to_file a path;
+  let b = Arena.load_from_file path in
+  Sys.remove path;
+  Alcotest.(check int) "flushed word survives" 42 (Arena.read b 100);
+  Alcotest.(check int) "unflushed word lost" 0 (Arena.read b 200);
+  (* arena remains usable: allocation continues past the old bump *)
+  let n = Arena.alloc b 8 in
+  Alcotest.(check bool) "alloc past restored bump" true (n >= Arena.reserved_words)
+
+let test_save_load_roundtrip_tree () =
+  let a = mk ~words:(1 lsl 16) () in
+  let t = Ff_fastfair.Tree.create ~node_bytes:128 a in
+  for k = 1 to 300 do
+    Ff_fastfair.Tree.insert t ~key:k ~value:((2 * k) + 1)
+  done;
+  Arena.drain a;
+  let path = Filename.temp_file "tree" ".img" in
+  Arena.save_to_file a path;
+  let b = Arena.load_from_file path in
+  Sys.remove path;
+  let t2 = Ff_fastfair.Tree.open_existing ~node_bytes:128 b in
+  Ff_fastfair.Tree.recover t2;
+  for k = 1 to 300 do
+    Alcotest.(check (option int)) "key survives file roundtrip" (Some ((2 * k) + 1))
+      (Ff_fastfair.Tree.search t2 k)
+  done;
+  (* and keeps accepting writes *)
+  Ff_fastfair.Tree.insert t2 ~key:301 ~value:603;
+  Alcotest.(check (option int)) "post-reload insert" (Some 603)
+    (Ff_fastfair.Tree.search t2 301)
+
+let file_tests =
+  [
+    Alcotest.test_case "save/load file image" `Quick test_save_load_file;
+    Alcotest.test_case "save/load tree roundtrip" `Quick test_save_load_roundtrip_tree;
+  ]
+
+let suite = suite @ file_tests

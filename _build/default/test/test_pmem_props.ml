@@ -1,0 +1,186 @@
+(* Property-based tests of the PM simulator's semantics — the crash
+   experiments are only as trustworthy as these foundations. *)
+
+open Ff_pmem
+module Prng = Ff_util.Prng
+
+let base = Arena.reserved_words
+
+(* Random programs of stores/flushes over a small window. *)
+type step = Store of int * int | Flush of int | Fence
+
+let gen_program =
+  QCheck.Gen.(
+    list_size (int_range 1 120)
+      (frequency
+         [
+           (6, map2 (fun a v -> Store (a land 63, (v land 0xffff) + 1)) int int);
+           (2, map (fun a -> Flush (a land 63)) int);
+           (1, return Fence);
+         ]))
+
+let arbitrary_program =
+  QCheck.make gen_program
+    ~print:(fun steps ->
+      String.concat ";"
+        (List.map
+           (function
+             | Store (a, v) -> Printf.sprintf "S(%d,%d)" a v
+             | Flush a -> Printf.sprintf "F(%d)" a
+             | Fence -> "mf")
+           steps))
+
+let run_program a steps =
+  List.iter
+    (function
+      | Store (addr, v) -> Arena.write a (base + addr) v
+      | Flush addr -> Arena.flush a (base + addr)
+      | Fence -> Arena.fence a)
+    steps
+
+let prop_volatile_read_your_writes =
+  QCheck.Test.make ~count:200 ~name:"volatile image = last store per word"
+    arbitrary_program
+    (fun steps ->
+      let a = Arena.create ~words:4096 () in
+      run_program a steps;
+      let model = Hashtbl.create 64 in
+      List.iter
+        (function Store (addr, v) -> Hashtbl.replace model addr v | Flush _ | Fence -> ())
+        steps;
+      Hashtbl.fold
+        (fun addr v ok -> ok && Arena.read a (base + addr) = v)
+        model true)
+
+let prop_flushed_stores_survive_keep_none =
+  QCheck.Test.make ~count:200 ~name:"flushed stores survive Keep_none"
+    arbitrary_program
+    (fun steps ->
+      let a = Arena.create ~words:4096 () in
+      run_program a steps;
+      (* model: value persisted for word w = last store to w at or
+         before the last flush covering w's line *)
+      let persisted = Hashtbl.create 64 in
+      let pending = Hashtbl.create 64 in
+      List.iter
+        (function
+          | Store (addr, v) -> Hashtbl.replace pending addr v
+          | Flush addr ->
+              let line = (base + addr) / Arena.words_per_line in
+              Hashtbl.iter
+                (fun w v ->
+                  if (base + w) / Arena.words_per_line = line then
+                    Hashtbl.replace persisted w v)
+                pending;
+              Hashtbl.iter
+                (fun w _ ->
+                  if (base + w) / Arena.words_per_line = line then Hashtbl.remove pending w)
+                (Hashtbl.copy pending)
+          | Fence -> ())
+        steps;
+      Arena.power_fail a Storelog.Keep_none;
+      Hashtbl.fold
+        (fun addr v ok -> ok && Arena.read a (base + addr) = v)
+        persisted true)
+
+let prop_keep_all_equals_volatile =
+  QCheck.Test.make ~count:200 ~name:"Keep_all crash preserves the volatile image"
+    arbitrary_program
+    (fun steps ->
+      let a = Arena.create ~words:4096 () in
+      run_program a steps;
+      let snapshot = Array.init 64 (fun i -> Arena.peek a (base + i)) in
+      Arena.power_fail a Storelog.Keep_all;
+      Array.for_all
+        (fun i -> Arena.read a (base + i) = snapshot.(i))
+        (Array.init 64 (fun i -> i)))
+
+let prop_random_eviction_per_word_monotone =
+  QCheck.Test.make ~count:200
+    ~name:"Random_eviction yields per-word store prefixes"
+    (QCheck.pair arbitrary_program QCheck.small_int)
+    (fun (steps, seed) ->
+      let a = Arena.create ~words:4096 () in
+      run_program a steps;
+      Arena.power_fail a (Storelog.Random_eviction (Prng.create seed));
+      (* every word's persisted value is one of the values that word
+         held at some point (including its initial 0) *)
+      let history = Hashtbl.create 64 in
+      for w = 0 to 63 do
+        Hashtbl.replace history w [ 0 ]
+      done;
+      List.iter
+        (function
+          | Store (addr, v) ->
+              Hashtbl.replace history addr (v :: Hashtbl.find history addr)
+          | Flush _ | Fence -> ())
+        steps;
+      Hashtbl.fold
+        (fun w vals ok -> ok && List.mem (Arena.read a (base + w)) vals)
+        history true)
+
+let prop_clone_equivalence =
+  QCheck.Test.make ~count:100 ~name:"clone is observationally identical"
+    arbitrary_program
+    (fun steps ->
+      let a = Arena.create ~words:4096 () in
+      run_program a steps;
+      Arena.drain a;
+      let c = Arena.clone a in
+      let same = ref true in
+      for w = 0 to 63 do
+        if Arena.peek a (base + w) <> Arena.peek c (base + w) then same := false;
+        if Arena.peek_persisted a (base + w) <> Arena.peek_persisted c (base + w) then
+          same := false
+      done;
+      !same)
+
+let prop_drain_then_keep_none_is_identity =
+  QCheck.Test.make ~count:100 ~name:"drain + Keep_none preserves everything"
+    arbitrary_program
+    (fun steps ->
+      let a = Arena.create ~words:4096 () in
+      run_program a steps;
+      let snapshot = Array.init 64 (fun i -> Arena.peek a (base + i)) in
+      Arena.drain a;
+      Arena.power_fail a Storelog.Keep_none;
+      Array.for_all (fun i -> Arena.read a (base + i) = snapshot.(i))
+        (Array.init 64 (fun i -> i)))
+
+(* Non-TSO: a fenced store sequence to distinct words can only persist
+   downward-closed cuts. *)
+let prop_non_tso_respects_fences =
+  QCheck.Test.make ~count:300 ~name:"non-TSO crash states respect fences"
+    QCheck.(pair small_int (int_bound 6))
+    (fun (seed, nwrites) ->
+      let nwrites = nwrites + 2 in
+      let config = Config.arm () in
+      let a = Arena.create ~config ~words:4096 () in
+      (* write to one word per line, fence between each *)
+      for i = 0 to nwrites - 1 do
+        Arena.write a (base + (i * Arena.words_per_line)) (i + 1);
+        Arena.fence a
+      done;
+      Arena.power_fail a (Storelog.Non_tso_random (Prng.create seed));
+      (* persisted values must form a prefix: if word i survived, all
+         earlier (fence-ordered) words survived *)
+      let ok = ref true in
+      let seen_zero = ref false in
+      for i = 0 to nwrites - 1 do
+        let v = Arena.read a (base + (i * Arena.words_per_line)) in
+        if v = 0 then seen_zero := true
+        else if !seen_zero then ok := false
+      done;
+      !ok)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_volatile_read_your_writes;
+      prop_flushed_stores_survive_keep_none;
+      prop_keep_all_equals_volatile;
+      prop_random_eviction_per_word_monotone;
+      prop_clone_equivalence;
+      prop_drain_then_keep_none_is_identity;
+      prop_non_tso_respects_fences;
+    ]

@@ -1,0 +1,172 @@
+(* Workload generators and the TPC-C driver. *)
+
+open Ff_pmem
+module Prng = Ff_util.Prng
+module W = Ff_workload.Workload
+module Tpcc = Ff_tpcc.Tpcc
+module Intf = Ff_index.Intf
+
+let test_distinct_uniform () =
+  let rng = Prng.create 1 in
+  let keys = W.distinct_uniform rng ~n:5000 ~space:100_000 in
+  let seen = Hashtbl.create 5000 in
+  Array.iter
+    (fun k ->
+      Alcotest.(check bool) "bounds" true (k >= 1 && k <= 100_000);
+      Alcotest.(check bool) "distinct" false (Hashtbl.mem seen k);
+      Hashtbl.replace seen k ())
+    keys
+
+let test_sequential () =
+  Alcotest.(check (array int)) "seq" [| 1; 2; 3 |] (W.sequential ~n:3);
+  let rng = Prng.create 2 in
+  let s = W.shuffled_sequential rng ~n:100 in
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (W.sequential ~n:100) sorted
+
+let test_zipfian_bounds () =
+  let rng = Prng.create 3 in
+  let keys = W.zipfian rng ~n:10_000 ~space:1000 ~theta:0.99 in
+  Array.iter
+    (fun k -> Alcotest.(check bool) "bounds" true (k >= 1 && k <= 1000))
+    keys;
+  (* skew: the most common key should be much more frequent than median *)
+  let freq = Hashtbl.create 64 in
+  Array.iter
+    (fun k -> Hashtbl.replace freq k (1 + Option.value ~default:0 (Hashtbl.find_opt freq k)))
+    keys;
+  let max_freq = Hashtbl.fold (fun _ v m -> max v m) freq 0 in
+  Alcotest.(check bool) "skewed" true (max_freq > 200)
+
+let test_mixed_trace_ratios () =
+  let rng = Prng.create 4 in
+  let mix =
+    { W.insert_pct = 50; search_pct = 30; delete_pct = 15; range_pct = 5; range_len = 10 }
+  in
+  let ops = W.mixed_trace rng ~n:20_000 ~space:1000 mix in
+  let count p = Array.fold_left (fun acc op -> if p op then acc + 1 else acc) 0 ops in
+  let ins = count (function W.Insert _ -> true | _ -> false) in
+  let se = count (function W.Search _ -> true | _ -> false) in
+  Alcotest.(check bool) "insert ratio" true (abs (ins - 10_000) < 600);
+  Alcotest.(check bool) "search ratio" true (abs (se - 6000) < 600)
+
+let test_run_trace () =
+  let a = Arena.create ~words:(1 lsl 20) () in
+  let t = Ff_fastfair.Tree.ops (Ff_fastfair.Tree.create ~node_bytes:256 a) in
+  let rng = Prng.create 5 in
+  let mix =
+    { W.insert_pct = 60; search_pct = 30; delete_pct = 5; range_pct = 5; range_len = 8 }
+  in
+  let ops = W.mixed_trace rng ~n:2000 ~space:500 mix in
+  let sum = W.run_trace t ops in
+  Alcotest.(check bool) "checksum nonzero" true (sum > 0)
+
+(* ------------------------------------------------------------------ *)
+(* TPC-C                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let small_cfg =
+  { Tpcc.warehouses = 1; districts = 4; customers = 20; items = 100; seed = 7 }
+
+let mk_tpcc () =
+  let a = Arena.create ~words:(1 lsl 21) () in
+  let idx = Ff_fastfair.Tree.ops (Ff_fastfair.Tree.create ~node_bytes:256 a) in
+  (a, Tpcc.load ~arena:a idx small_cfg)
+
+let test_tpcc_load () =
+  let _, t = mk_tpcc () in
+  ignore t;
+  Alcotest.(check int) "no orders yet" 0 (Tpcc.orders_created t)
+
+let test_tpcc_new_order () =
+  let _, t = mk_tpcc () in
+  for _ = 1 to 25 do
+    Tpcc.new_order t
+  done;
+  Alcotest.(check int) "orders" 25 (Tpcc.orders_created t)
+
+let test_tpcc_all_transactions () =
+  let _, t = mk_tpcc () in
+  for _ = 1 to 10 do
+    Tpcc.new_order t
+  done;
+  Tpcc.payment t;
+  Tpcc.order_status t;
+  Tpcc.delivery t;
+  Tpcc.stock_level t;
+  Alcotest.(check bool) "digest moved" true (Tpcc.checksum t <> 0)
+
+let test_tpcc_mix_runs () =
+  let _, t = mk_tpcc () in
+  Tpcc.run t Tpcc.w1 ~txns:300;
+  Alcotest.(check bool) "orders created" true (Tpcc.orders_created t > 50)
+
+let test_tpcc_deterministic_across_indexes () =
+  (* Same seed + mix on two different index structures must read the
+     same logical data. *)
+  let run_with mk =
+    let a = Arena.create ~words:(1 lsl 22) () in
+    let idx = mk a in
+    let t = Tpcc.load ~arena:a idx small_cfg in
+    Tpcc.run t Tpcc.w2 ~txns:400;
+    (Tpcc.orders_created t, Tpcc.checksum t)
+  in
+  let r1 = run_with (fun a -> Ff_fastfair.Tree.ops (Ff_fastfair.Tree.create ~node_bytes:256 a)) in
+  let r2 = run_with (fun a -> Ff_wbtree.Wbtree.ops (Ff_wbtree.Wbtree.create ~node_bytes:1024 a)) in
+  let r3 = run_with (fun a -> Ff_skiplist.Skiplist.ops (Ff_skiplist.Skiplist.create a)) in
+  Alcotest.(check (pair int int)) "fastfair = wbtree" r1 r2;
+  Alcotest.(check (pair int int)) "fastfair = skiplist" r1 r3
+
+let test_tpcc_mixes_sum () =
+  List.iter
+    (fun m ->
+      Alcotest.(check int) "mix sums to 100" 100
+        Tpcc.(
+          m.new_order_pct + m.payment_pct + m.status_pct + m.delivery_pct
+          + m.stock_pct))
+    [ Tpcc.w1; Tpcc.w2; Tpcc.w3; Tpcc.w4 ]
+
+let suite =
+  [
+    Alcotest.test_case "distinct uniform" `Quick test_distinct_uniform;
+    Alcotest.test_case "sequential" `Quick test_sequential;
+    Alcotest.test_case "zipfian" `Quick test_zipfian_bounds;
+    Alcotest.test_case "mixed trace ratios" `Quick test_mixed_trace_ratios;
+    Alcotest.test_case "run trace" `Quick test_run_trace;
+    Alcotest.test_case "tpcc load" `Quick test_tpcc_load;
+    Alcotest.test_case "tpcc new order" `Quick test_tpcc_new_order;
+    Alcotest.test_case "tpcc all txns" `Quick test_tpcc_all_transactions;
+    Alcotest.test_case "tpcc mix" `Quick test_tpcc_mix_runs;
+    Alcotest.test_case "tpcc cross-index determinism" `Quick test_tpcc_deterministic_across_indexes;
+    Alcotest.test_case "tpcc mixes sum" `Quick test_tpcc_mixes_sum;
+  ]
+
+(* Crash in the middle of a TPC-C run on FAST+FAIR: recovery must keep
+   the index consistent, and the workload must be resumable. *)
+let test_tpcc_crash_midrun () =
+  let a = Arena.create ~words:(1 lsl 22) () in
+  let idx = Ff_fastfair.Tree.ops (Ff_fastfair.Tree.create ~node_bytes:256 a) in
+  let t = Tpcc.load ~arena:a idx small_cfg in
+  Arena.set_crash_plan a (Arena.After_stores (Arena.store_count a + 20_000));
+  (try Tpcc.run t Tpcc.w1 ~txns:2000 with Arena.Crashed -> ());
+  Arena.power_fail a (Storelog.Random_eviction (Prng.create 3));
+  let tree = Ff_fastfair.Tree.open_existing ~node_bytes:256 a in
+  Ff_fastfair.Tree.recover tree;
+  (match Ff_fastfair.Invariant.check tree with
+  | [] -> ()
+  | vs -> Alcotest.failf "post-crash invariants: %s" (String.concat "; " vs));
+  (* static rows loaded before the crash are all durable *)
+  let ok = ref true in
+  for w = 1 to small_cfg.Tpcc.warehouses do
+    for i = 1 to small_cfg.Tpcc.items do
+      let key = (6 lsl 56) lor (w lsl 48) lor (i lsl 8) in
+      if Ff_fastfair.Tree.search tree key = None then ok := false
+    done
+  done;
+  Alcotest.(check bool) "stock rows durable" true !ok
+
+let tpcc_crash_tests =
+  [ Alcotest.test_case "tpcc crash midrun" `Quick test_tpcc_crash_midrun ]
+
+let suite = suite @ tpcc_crash_tests
