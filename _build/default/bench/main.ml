@@ -873,6 +873,143 @@ let latencies () =
     "   (tails: FAIR splits / skiplist tower rebuilds / wB+ logged splits show in p99+)"
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results (--json FILE)                              *)
+(* ------------------------------------------------------------------ *)
+
+module J = Ff_trace.Json
+
+let json_report file =
+  let n = sc 50_000 in
+  let space = 8 * n in
+  let config = Config.pm ~read_ns:300 ~write_ns:300 () in
+  let measure m phase =
+    let a = arena ~config (n * 56) in
+    let t = m.build a in
+    let rng = Prng.create 61 in
+    let keys = W.distinct_uniform rng ~n ~space in
+    let ops =
+      match phase with
+      | `Insert ->
+          let half = n / 2 in
+          Array.iteri (fun i k -> if i < half then t.Intf.insert k (W.value_of k)) keys;
+          Arena.reset_stats a;
+          Array.iteri (fun i k -> if i >= half then t.Intf.insert k (W.value_of k)) keys;
+          n - half
+      | `Search ->
+          W.load_keys t keys;
+          Arena.reset_stats a;
+          Array.iter (fun k -> ignore (t.Intf.search k)) keys;
+          n
+      | `Range ->
+          W.load_keys t keys;
+          Arena.reset_stats a;
+          let queries = 50 in
+          let qrng = Prng.create 62 in
+          let width = space / 100 in
+          for _ = 1 to queries do
+            let lo = 1 + Prng.int qrng (space - width) in
+            t.Intf.range lo (lo + width) (fun _ _ -> ())
+          done;
+          queries
+    in
+    let s = Arena.total_stats a in
+    let fops = float_of_int ops in
+    J.Obj
+      [
+        ("index", J.Str m.label);
+        ("ops", J.Int ops);
+        ("ns_per_op", J.Float (float_of_int (Stats.total_ns s) /. fops));
+        ("flushes_per_op", J.Float (float_of_int s.Stats.flushes /. fops));
+        ("fences_per_op", J.Float (float_of_int s.Stats.fences /. fops));
+      ]
+  in
+  let workload name phase makers =
+    J.Obj
+      [
+        ("workload", J.Str name);
+        ("results", J.Arr (List.map (fun m -> measure m phase) makers));
+      ]
+  in
+  let doc =
+    J.Obj
+      [
+        ("bench", J.Str "fastfair");
+        ("scale", J.Float !scale);
+        ("pm", J.Obj [ ("read_ns", J.Int 300); ("write_ns", J.Int 300) ]);
+        ( "workloads",
+          J.Arr
+            [
+              workload "insert" `Insert (insert_makers ());
+              workload "search" `Search (search_makers ());
+              workload "range" `Range [ fastfair (); skiplist () ];
+            ] );
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[json results -> %s]\n%!" file
+
+(* ------------------------------------------------------------------ *)
+(* Perfetto trace of a multithreaded mixed run (--trace FILE)          *)
+(* ------------------------------------------------------------------ *)
+
+let trace_target file =
+  Printf.printf "== tracing 8 simulated threads, mixed 16:4:1 workload ==\n";
+  (* Fail on an unwritable output path now, not after the simulation. *)
+  close_out (open_out file);
+  let n = sc 20_000 in
+  let ops = sc 8_000 in
+  let threads = 8 in
+  let config = { Config.default with Config.write_latency_ns = 300; max_threads = 64 } in
+  let a = arena ~config ((n + ops) * 60) in
+  let t = Tree.create ~lock_mode:Locks.Sim a in
+  let keys = W.distinct_uniform (Prng.create 51) ~n:(n + ops) ~space:(16 * (n + ops)) in
+  ignore
+    (Mcsim.run ~cores:16 ~arena:a
+       [|
+         (fun _ ->
+           Array.iteri (fun i k -> if i < n then Tree.insert t ~key:k ~value:(W.value_of k)) keys);
+       |]);
+  (* Attach the tracer only for the measured run: each Mcsim.run restarts
+     the simulated clock, and mixing timebases would bend the timeline. *)
+  let tr = Ff_trace.Trace.for_arena ~capacity:(1 lsl 16) a in
+  Tree.set_tracer t tr;
+  let per = ops / threads in
+  let body tid =
+    let r = Prng.create (200 + tid) in
+    let base = n + (tid * per) in
+    let inserted = ref 0 in
+    let g = ref 0 in
+    while (16 + 4 + 1) * !g < per do
+      for _ = 1 to 16 do
+        ignore (Tree.search t keys.(Prng.int r n))
+      done;
+      for _ = 1 to 4 do
+        if !inserted < per then begin
+          let k = keys.(base + !inserted) in
+          Tree.insert t ~key:k ~value:(W.value_of k);
+          incr inserted
+        end
+      done;
+      ignore (Tree.delete t keys.(Prng.int r n));
+      incr g
+    done
+  in
+  ignore
+    (Mcsim.run ~cores:16 ~quantum_ns:150 ~lock_ns:20 ~contention_ns:100 ~arena:a
+       (Array.init threads (fun _ -> body)));
+  Arena.set_event_sink a None;
+  Ff_trace.Perfetto.write_file tr file;
+  Printf.printf "[perfetto trace -> %s: %d events kept, %d dropped, %d dup-pointer skips]\n%!"
+    file
+    (Ff_trace.Trace.event_count tr)
+    (Ff_trace.Trace.dropped_count tr)
+    (Ff_trace.Trace.dup_skips tr);
+  print_endline (Ff_trace.Metrics.to_json_string (Ff_trace.Trace.metrics tr))
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -896,20 +1033,35 @@ let targets =
 
 let () =
   let selected = ref [] in
+  let json_file = ref "" in
+  let trace_file = ref "" in
   let spec =
     [
       ( "--scale",
         Arg.Float (fun s -> scale := s),
         "S  scale workload sizes by S (default 1.0)" );
+      ( "--json",
+        Arg.Set_string json_file,
+        "FILE  write machine-readable results (ns/op, flushes/op, fences/op per workload)" );
+      ( "--trace",
+        Arg.Set_string trace_file,
+        "FILE  record a multithreaded mixed run as a Perfetto/chrome://tracing JSON file" );
     ]
   in
   let usage =
-    "main.exe [targets] [--scale S]\ntargets: "
+    "main.exe [targets] [--scale S] [--json FILE] [--trace FILE]\ntargets: "
     ^ String.concat " " (List.map fst targets)
-    ^ " (default: all)"
+    ^ " (default: all; --json/--trace alone run only their own workloads)"
   in
   Arg.parse spec (fun t -> selected := t :: !selected) usage;
-  let selected = if !selected = [] then List.map fst targets else List.rev !selected in
+  let selected =
+    if !selected = [] then
+      if !json_file <> "" || !trace_file <> "" then []
+      else List.map fst targets
+    else List.rev !selected
+  in
+  if !json_file <> "" then json_report !json_file;
+  if !trace_file <> "" then trace_target !trace_file;
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->

@@ -3,9 +3,10 @@
    Subcommands:
      fuzz        random ops cross-checked against a model
      crash-test  crash-point sweep with recovery validation
-     stats       PM event statistics for a load
+     stats       PM event statistics for a load (text or --json)
      dump        print the structure of a small FAST+FAIR tree
-     persist     save the persisted PM image to a file and reload it *)
+     persist     save the persisted PM image to a file and reload it
+     trace       record a multithreaded run as a Perfetto JSON trace *)
 
 module Arena = Ff_pmem.Arena
 module Config = Ff_pmem.Config
@@ -139,7 +140,7 @@ let crash_test keys points seed =
 (* stats                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let stats index_name keys seed =
+let stats index_name keys seed json =
   let arena = mk_arena (max (keys * 64) (1 lsl 16)) in
   let t = build_index index_name arena in
   let rng = Prng.create seed in
@@ -147,18 +148,21 @@ let stats index_name keys seed =
   Arena.reset_stats arena;
   W.load_keys t ks;
   let s = Arena.total_stats arena in
-  Printf.printf "index: %s, %d inserts\n" index_name keys;
-  Printf.printf "  stores   %10d (%.2f/op)\n" s.Stats.stores
-    (float_of_int s.Stats.stores /. float_of_int keys);
-  Printf.printf "  flushes  %10d (%.2f/op)\n" s.Stats.flushes
-    (float_of_int s.Stats.flushes /. float_of_int keys);
-  Printf.printf "  fences   %10d (%.2f/op)\n" s.Stats.fences
-    (float_of_int s.Stats.fences /. float_of_int keys);
-  Printf.printf "  LLC miss %10d (%.2f/op)\n" s.Stats.line_misses
-    (float_of_int s.Stats.line_misses /. float_of_int keys);
-  Printf.printf "  sim time %10.3f ms (%.3f us/op)\n"
-    (float_of_int (Stats.total_ns s) /. 1e6)
-    (float_of_int (Stats.total_ns s) /. float_of_int keys /. 1000.);
+  if json then print_endline (Stats.to_json s)
+  else begin
+    Printf.printf "index: %s, %d inserts\n" index_name keys;
+    Printf.printf "  stores   %10d (%.2f/op)\n" s.Stats.stores
+      (float_of_int s.Stats.stores /. float_of_int keys);
+    Printf.printf "  flushes  %10d (%.2f/op)\n" s.Stats.flushes
+      (float_of_int s.Stats.flushes /. float_of_int keys);
+    Printf.printf "  fences   %10d (%.2f/op)\n" s.Stats.fences
+      (float_of_int s.Stats.fences /. float_of_int keys);
+    Printf.printf "  LLC miss %10d (%.2f/op)\n" s.Stats.line_misses
+      (float_of_int s.Stats.line_misses /. float_of_int keys);
+    Printf.printf "  sim time %10.3f ms (%.3f us/op)\n"
+      (float_of_int (Stats.total_ns s) /. 1e6)
+      (float_of_int (Stats.total_ns s) /. float_of_int keys /. 1000.)
+  end;
   0
 
 (* ------------------------------------------------------------------ *)
@@ -229,6 +233,62 @@ let persist keys path =
   end
 
 (* ------------------------------------------------------------------ *)
+(* trace: record a multithreaded mixed run as a Perfetto JSON file     *)
+(* ------------------------------------------------------------------ *)
+
+let trace keys ops threads seed out =
+  let module Mcsim = Ff_mcsim.Mcsim in
+  let module Locks = Ff_index.Locks in
+  let module Trace = Ff_trace.Trace in
+  let threads = max 1 (min 64 threads) in
+  (* Fail on an unwritable output path now, not after the simulation. *)
+  close_out (open_out out);
+  let config = { Config.default with Config.write_latency_ns = 300; max_threads = 64 } in
+  let arena = Arena.create ~config ~words:(max ((keys + ops) * 80) (1 lsl 16)) () in
+  let t = Tree.create ~lock_mode:Locks.Sim arena in
+  let rng = Prng.create seed in
+  let ks = W.distinct_uniform rng ~n:(keys + ops) ~space:(16 * (keys + ops)) in
+  ignore
+    (Mcsim.run ~cores:16 ~arena
+       [|
+         (fun _ ->
+           Array.iteri
+             (fun i k -> if i < keys then Tree.insert t ~key:k ~value:(W.value_of k))
+             ks);
+       |]);
+  (* Attach the tracer after the untraced preload: each Mcsim.run
+     restarts the simulated clock at zero. *)
+  let tr = Trace.for_arena arena in
+  Tree.set_tracer t tr;
+  let per = max 1 (ops / threads) in
+  let body tid =
+    let r = Prng.create (seed + 100 + tid) in
+    let base = keys + (tid * per) in
+    let inserted = ref 0 in
+    for i = 0 to per - 1 do
+      match i mod 4 with
+      | 0 | 1 -> ignore (Tree.search t ks.(Prng.int r keys))
+      | 2 ->
+          if base + !inserted < keys + ops then begin
+            let k = ks.(base + !inserted) in
+            Tree.insert t ~key:k ~value:(W.value_of k);
+            incr inserted
+          end
+      | _ -> ignore (Tree.delete t ks.(Prng.int r keys))
+    done
+  in
+  ignore
+    (Mcsim.run ~cores:16 ~quantum_ns:150 ~lock_ns:20 ~contention_ns:100 ~arena
+       (Array.init threads (fun _ -> body)));
+  Arena.set_event_sink arena None;
+  Ff_trace.Perfetto.write_file tr out;
+  Printf.printf
+    "wrote %s: %d events (%d dropped), %d duplicate-pointer skips observed\n" out
+    (Trace.event_count tr) (Trace.dropped_count tr) (Trace.dup_skips tr);
+  Format.printf "%a@." Ff_trace.Metrics.pp_text (Trace.metrics tr);
+  0
+
+(* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -264,9 +324,12 @@ let stats_cmd =
   let keys =
     Arg.(value & opt int 100_000 & info [ "keys"; "k" ] ~docv:"N" ~doc:"Keys to insert.")
   in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the counters as a JSON object.")
+  in
   Cmd.v
     (Cmd.info "stats" ~doc:"PM event statistics for a bulk load")
-    Term.(const stats $ index_arg $ keys $ seed_arg)
+    Term.(const stats $ index_arg $ keys $ seed_arg $ json)
 
 let dump_cmd =
   let keys =
@@ -288,6 +351,29 @@ let persist_cmd =
     (Cmd.info "persist" ~doc:"Save the persisted PM image to a file and reload it")
     Term.(const persist $ keys $ path)
 
+let trace_cmd =
+  let keys =
+    Arg.(value & opt int 20_000 & info [ "keys"; "k" ] ~docv:"N" ~doc:"Preloaded keys.")
+  in
+  let ops =
+    Arg.(value & opt int 8_000 & info [ "ops"; "n" ] ~docv:"N"
+         ~doc:"Traced operations (2:1:1 search/insert/delete mix).")
+  in
+  let threads =
+    Arg.(value & opt int 8 & info [ "threads"; "t" ] ~docv:"T"
+         ~doc:"Simulated threads on the 16-core machine.")
+  in
+  let out =
+    Arg.(value & opt string "trace.json" & info [ "out"; "o" ] ~docv:"PATH"
+         ~doc:"Output Perfetto/chrome://tracing JSON file.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Record a multithreaded FAST+FAIR run as a Perfetto JSON trace and print metrics")
+    Term.(const trace $ keys $ ops $ threads $ seed_arg $ out)
+
 let () =
   let info = Cmd.info "ffcli" ~doc:"FAST+FAIR persistent B+-tree playground" in
-  exit (Cmd.eval' (Cmd.group info [ fuzz_cmd; crash_cmd; stats_cmd; dump_cmd; persist_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ fuzz_cmd; crash_cmd; stats_cmd; dump_cmd; persist_cmd; trace_cmd ]))

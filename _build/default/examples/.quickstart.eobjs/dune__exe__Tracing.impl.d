@@ -1,0 +1,1 @@
+examples/tracing.ml: Ff_fastfair Ff_index Ff_mcsim Ff_pmem Ff_trace Ff_util Filename Format Printf

@@ -1,1 +1,1 @@
-lib/fastfair/node.ml: Array Ff_pmem Layout List
+lib/fastfair/node.ml: Array Ff_pmem Ff_trace Layout List

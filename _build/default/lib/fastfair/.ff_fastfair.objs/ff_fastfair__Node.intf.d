@@ -1,1 +1,1 @@
-lib/fastfair/node.mli: Ff_pmem Layout
+lib/fastfair/node.mli: Ff_pmem Ff_trace Layout

@@ -1,1 +1,1 @@
-lib/fastfair/tree.ml: Ff_index Ff_pmem Hashtbl Layout List Node Printf String
+lib/fastfair/tree.ml: Ff_index Ff_pmem Ff_trace Hashtbl Layout List Node Printf String

@@ -1,1 +1,1 @@
-lib/fastfair/tree.mli: Ff_index Ff_pmem Layout Node
+lib/fastfair/tree.mli: Ff_index Ff_pmem Ff_trace Layout Node

@@ -1,5 +1,6 @@
 module Arena = Ff_pmem.Arena
 module L = Layout
+module Trace = Ff_trace.Trace
 
 type search_mode = Linear | Binary
 
@@ -64,7 +65,7 @@ let find_exact a l n key =
 (* Lock-free search (Algorithm 3)                                      *)
 (* ------------------------------------------------------------------ *)
 
-let scan_left_to_right a l n key =
+let scan_left_to_right a l n tr key =
   let cap = l.L.capacity in
   let rec go i prev_raw =
     if i >= cap then None
@@ -80,13 +81,19 @@ let scan_left_to_right a l n key =
             if L.key a n i = key then Some p else go (i + 1) p
           else if k > key then None
           else go (i + 1) p
-        else go (i + 1) p
+        else begin
+          (* Duplicate adjacent pointers: a half-shifted record; the
+             paper's endurable transient inconsistency, tolerated by
+             skipping. *)
+          Trace.dup_skip tr ~leaf:true;
+          go (i + 1) p
+        end
       end
     end
   in
   go 0 (L.leftmost a n)
 
-let scan_right_to_left a l n key =
+let scan_right_to_left a l n tr key =
   let cap = l.L.capacity in
   let rec go i =
     if i < 0 then None
@@ -99,7 +106,10 @@ let scan_right_to_left a l n key =
         else if k < key then None
         else go (i - 1)
       end
-      else go (i - 1)
+      else begin
+        Trace.dup_skip tr ~leaf:true;
+        go (i - 1)
+      end
     end
   in
   go (cap - 1)
@@ -121,15 +131,15 @@ let binary_search_leaf a l n key =
   in
   go 0 (cnt - 1)
 
-let search a l n ~mode key =
+let search a l n ~mode ?(tr = Trace.null) key =
   match mode with
   | Binary -> binary_search_leaf a l n key
   | Linear ->
       let rec attempt budget =
         let sw = L.switch a n in
         let ret =
-          if sw land 1 = 0 then scan_left_to_right a l n key
-          else scan_right_to_left a l n key
+          if sw land 1 = 0 then scan_left_to_right a l n tr key
+          else scan_right_to_left a l n tr key
         in
         if L.switch a n <> sw && budget > 0 then attempt (budget - 1) else ret
       in
@@ -139,7 +149,7 @@ let search a l n ~mode key =
 (* Internal-node routing                                               *)
 (* ------------------------------------------------------------------ *)
 
-let route_left_to_right a l n key =
+let route_left_to_right a l n tr key =
   let cap = l.L.capacity in
   let leftmost = L.leftmost a n in
   let rec go i prev_raw child =
@@ -151,13 +161,16 @@ let route_left_to_right a l n key =
         let k = L.key a n i in
         if p <> prev_raw then
           if k <= key then go (i + 1) p p else child
-        else go (i + 1) p child
+        else begin
+          Trace.dup_skip tr ~leaf:false;
+          go (i + 1) p child
+        end
       end
     end
   in
   go 0 leftmost leftmost
 
-let route_right_to_left a l n key =
+let route_right_to_left a l n tr key =
   let cap = l.L.capacity in
   let rec go i =
     if i < 0 then L.leftmost a n
@@ -168,7 +181,10 @@ let route_right_to_left a l n key =
         let k = L.key a n i in
         if k <= key then p else go (i - 1)
       end
-      else go (i - 1)
+      else begin
+        Trace.dup_skip tr ~leaf:false;
+        go (i - 1)
+      end
     end
   in
   go (cap - 1)
@@ -190,15 +206,15 @@ let binary_route a l n key =
   let best = go 0 (cnt - 1) (-1) in
   if best < 0 then L.leftmost a n else L.ptr a n best
 
-let find_child a l n ~mode key =
+let find_child a l n ~mode ?(tr = Trace.null) key =
   match mode with
   | Binary -> binary_route a l n key
   | Linear ->
       let rec attempt budget =
         let sw = L.switch a n in
         let child =
-          if sw land 1 = 0 then route_left_to_right a l n key
-          else route_right_to_left a l n key
+          if sw land 1 = 0 then route_left_to_right a l n tr key
+          else route_right_to_left a l n tr key
         in
         if L.switch a n <> sw && budget > 0 then attempt (budget - 1) else child
       in

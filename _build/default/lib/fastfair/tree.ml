@@ -3,6 +3,7 @@ module Stats = Ff_pmem.Stats
 module L = Layout
 module Locks = Ff_index.Locks
 module Intf = Ff_index.Intf
+module Trace = Ff_trace.Trace
 
 type split_policy = Fair | Logged
 
@@ -19,6 +20,7 @@ type t = {
   clean : (int, unit) Hashtbl.t;
   mutable log_area : int;
   mutable trace : string -> unit;
+  mutable tracer : Trace.t;
 }
 
 let arena t = t.arena
@@ -41,6 +43,7 @@ let make_t ?(node_bytes = 512) ?(mode = Node.Linear) ?(split_policy = Fair)
     clean = Hashtbl.create 256;
     log_area = 0;
     trace = (fun _ -> ());
+    tracer = Trace.null;
   }
 
 let create ?node_bytes ?mode ?split_policy ?lock_mode ?leaf_read_locks
@@ -68,6 +71,29 @@ let open_existing ?node_bytes ?mode ?split_policy ?lock_mode ?leaf_read_locks
 let root t = Arena.root_get t.arena t.root_slot
 
 let set_trace t f = t.trace <- f
+let set_tracer t tr = t.tracer <- tr
+let tracer t = t.tracer
+
+(* Span + per-op metrics wrapper.  When tracing is off this is one
+   field test; eventing never charges simulated time, so enabling it
+   does not move measured ns/op. *)
+let flushes_of t = (Arena.stats t.arena (Arena.tid t.arena)).Stats.flushes
+
+let with_op t id hist_latency hist_flushes key f =
+  let tr = t.tracer in
+  if not (Trace.enabled tr) then f ()
+  else begin
+    Trace.span_begin tr id key;
+    let t0 = Trace.now tr and f0 = flushes_of t in
+    let finish () =
+      Trace.observe tr hist_latency (Trace.now tr - t0);
+      Trace.observe tr hist_flushes (flushes_of t - f0);
+      Trace.span_end tr id
+    in
+    match f () with
+    | r -> finish (); r
+    | exception e -> finish (); raise e
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Locks                                                               *)
@@ -115,7 +141,10 @@ let move_right_if_beyond t node key =
 let rec to_leaf t node key =
   let node = move_right_if_beyond t node key in
   if is_leaf t node then node
-  else to_leaf t (Node.find_child t.arena t.layout node ~mode:t.mode key) key
+  else
+    to_leaf t
+      (Node.find_child t.arena t.layout node ~mode:t.mode ~tr:t.tracer key)
+      key
 
 (* ------------------------------------------------------------------ *)
 (* Lazy recovery hooks (Section 4.2)                                   *)
@@ -148,7 +177,8 @@ let complete_truncation t node =
 
 let writer_fix_if_pending t node =
   if t.lazy_pending && not (Hashtbl.mem t.clean node) then begin
-    ignore (Node.writer_fix t.arena t.layout node);
+    let fixed = Node.writer_fix t.arena t.layout node in
+    if fixed then Trace.incr t.tracer "fastfair.recovery.lazy_fixes";
     complete_truncation t node;
     Hashtbl.replace t.clean node ()
   end
@@ -158,6 +188,9 @@ let writer_fix_if_pending t node =
 (* ------------------------------------------------------------------ *)
 
 let search t key =
+  with_op t Trace.id_search "fastfair.latency_ns.search"
+    "fastfair.flushes_per_op.search" key
+  @@ fun () ->
   let a = t.arena and l = t.layout in
   Arena.set_phase a Stats.Search;
   let leaf = to_leaf t (root t) key in
@@ -165,7 +198,7 @@ let search t key =
      can still cover the key. *)
   let rec at_leaf leaf =
     rlock t leaf;
-    let v = Node.search a l leaf ~mode:t.mode key in
+    let v = Node.search a l leaf ~mode:t.mode ~tr:t.tracer key in
     let next =
       match v with
       | Some _ -> None
@@ -176,7 +209,12 @@ let search t key =
     runlock t leaf;
     match (v, next) with
     | Some v, _ -> Some v
-    | None, Some s -> at_leaf s
+    | None, Some s ->
+        if Trace.enabled t.tracer then begin
+          Trace.incr t.tracer "fastfair.sibling_chase";
+          Trace.instant t.tracer Trace.id_sibling_chase s
+        end;
+        at_leaf s
     | None, None -> None
   in
   let r = at_leaf leaf in
@@ -247,6 +285,9 @@ let rec split_and_insert t node key value =
   let median = cnt / 2 in
   let level = L.level a node in
   let sep = L.key a node median in
+  Trace.span_begin t.tracer Trace.id_split level;
+  if Trace.enabled t.tracer then
+    Trace.incr t.tracer (Printf.sprintf "fastfair.splits.level%d" level);
   if t.split_policy = Logged then write_split_log t node;
   let sib = Arena.alloc a l.L.node_words in
   if level > 0 then
@@ -274,6 +315,7 @@ let rec split_and_insert t node key value =
   Node.truncate_from a l node median;
   if key < sep then Node.insert_nonfull a l node ~key ~value ~mode:t.mode;
   if t.split_policy = Logged then clear_split_log t;
+  Trace.span_end t.tracer Trace.id_split;
   wunlock t node;
   (* Update the parent by traversing from the root (Algorithm 2 l.28). *)
   insert_at_level t ~level:(level + 1) ~key:sep ~child:sib ~donor:node
@@ -305,7 +347,12 @@ and insert_into_node t node key value ~internal =
             t.trace (Printf.sprintf "ins lvl%d key=%d node=%d entries=[%s]"
               (L.level a node) key node
               (String.concat ";" (List.map (fun (k,_) -> string_of_int k) (Node.entries_debug a l node))));
+          (* The level argument is a charged read: only pay it when
+             tracing is on, so the disabled path is cost-free. *)
+          if Trace.enabled t.tracer then
+            Trace.span_begin t.tracer Trace.id_fast_shift (L.level a node);
           Node.insert_nonfull a l node ~key ~value ~mode:t.mode;
+          Trace.span_end t.tracer Trace.id_fast_shift;
           wunlock t node
         end
         else split_and_insert t node key value
@@ -321,7 +368,7 @@ and insert_at_level t ~level ~key ~child ~donor =
     let rec descend n =
       let n = move_right_if_beyond t n key in
       if L.level a n = level then n
-      else descend (Node.find_child a t.layout n ~mode:t.mode key)
+      else descend (Node.find_child a t.layout n ~mode:t.mode ~tr:t.tracer key)
     in
     insert_into_node t (descend rt) key child ~internal:true
   end
@@ -351,12 +398,19 @@ and grow_root t ~level ~sep ~child ~donor =
     L.set_count_hint a nr 1;
     Arena.flush_range a nr l.L.node_words;
     Arena.root_set a t.root_slot nr;
-    Locks.unlock t.root_mutex
+    Locks.unlock t.root_mutex;
+    if Trace.enabled t.tracer then begin
+      Trace.incr t.tracer "fastfair.root_grows";
+      Trace.instant t.tracer (Trace.intern t.tracer "root_grow") level
+    end
   end
 
 let insert t ~key ~value =
   if key <= 0 then invalid_arg "Tree.insert: key must be positive";
   if value = 0 then invalid_arg "Tree.insert: value must be nonzero";
+  with_op t Trace.id_insert "fastfair.latency_ns.insert"
+    "fastfair.flushes_per_op.insert" key
+  @@ fun () ->
   let a = t.arena in
   Arena.set_phase a Stats.Search;
   let leaf = to_leaf t (root t) key in
@@ -369,6 +423,9 @@ let insert t ~key ~value =
 (* ------------------------------------------------------------------ *)
 
 let delete t key =
+  with_op t Trace.id_delete "fastfair.latency_ns.delete"
+    "fastfair.flushes_per_op.delete" key
+  @@ fun () ->
   let a = t.arena and l = t.layout in
   Arena.set_phase a Stats.Search;
   let leaf = to_leaf t (root t) key in
@@ -396,6 +453,9 @@ let delete t key =
 (* ------------------------------------------------------------------ *)
 
 let range t ~lo ~hi f =
+  with_op t Trace.id_range "fastfair.latency_ns.range"
+    "fastfair.flushes_per_op.range" lo
+  @@ fun () ->
   let a = t.arena and l = t.layout in
   Arena.set_phase a Stats.Search;
   let leaf = to_leaf t (root t) lo in
@@ -464,7 +524,10 @@ let eager_recover t =
       (* Node-local repairs. *)
       List.iter
         (fun n ->
-          if Node.writer_fix a l n then changed := true;
+          if Node.writer_fix a l n then begin
+            changed := true;
+            Trace.incr t.tracer "fastfair.recovery.fixes"
+          end;
           complete_truncation t n)
         chain;
       (* Re-attach dangling siblings: collect children referenced from
@@ -492,9 +555,11 @@ let eager_recover t =
   done
 
 let recover ?(lazy_ = false) t =
+  Trace.span_begin t.tracer Trace.id_recovery (if lazy_ then 1 else 0);
   Hashtbl.reset t.clean;
   if t.split_policy = Logged then restore_from_log t;
-  if lazy_ then t.lazy_pending <- true else eager_recover t
+  if lazy_ then t.lazy_pending <- true else eager_recover t;
+  Trace.span_end t.tracer Trace.id_recovery
 
 (* ------------------------------------------------------------------ *)
 (* Misc                                                                *)

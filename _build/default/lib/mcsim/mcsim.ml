@@ -64,6 +64,7 @@ type _ Effect.t +=
   | Gate_wait : gate -> unit Effect.t
   | Gate_open : gate -> unit Effect.t
   | My_tid : int Effect.t
+  | Now : int Effect.t
 
 let charge ns = if ns > 0 then Effect.perform (Charge ns)
 let yield () = Effect.perform (Charge 0)
@@ -80,6 +81,9 @@ let gate_open g = Effect.perform (Gate_open g)
 let my_tid () =
   try Effect.perform My_tid
   with Effect.Unhandled _ -> failwith "Mcsim.my_tid: not inside Mcsim.run"
+
+let sim_now () =
+  try Some (Effect.perform Now) with Effect.Unhandled _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler                                                            *)
@@ -126,6 +130,10 @@ let run ?(cores = 16) ?(quantum_ns = 400) ?(lock_ns = 20) ?contention_ns
   let now = ref 0 in
   let nevents = ref 0 in
   let current = ref threads.(0) in
+  (* Simulated ns already consumed by the running segment: [!now +
+     !seg_acc] is the precise current time inside a thread body, which
+     the [Now] effect exposes to tracers. *)
+  let seg_acc = ref 0 in
   (* Lock-word serialization: each acquire/release is an atomic RMW
      that owns the lock's cache line for [contention_ns]; concurrent
      operations on the same lock queue up on this "port".  This is
@@ -272,6 +280,7 @@ let run ?(cores = 16) ?(quantum_ns = 400) ?(lock_ns = 20) ?contention_ns
               Queue.clear g.g_waiters;
               Effect.Deep.continue k ())
       | My_tid -> Some (fun k -> Effect.Deep.continue k th.thread_tid)
+      | Now -> Some (fun k -> Effect.Deep.continue k (!now + !seg_acc))
       | _ -> None
   in
   let start th =
@@ -287,7 +296,8 @@ let run ?(cores = 16) ?(quantum_ns = 400) ?(lock_ns = 20) ?contention_ns
   let run_segment th =
     current := th;
     (match arena with Some a -> Arena.set_tid a th.thread_tid | None -> ());
-    let acc = ref 0 in
+    let acc = seg_acc in
+    acc := 0;
     let result = ref None in
     while !result = None do
       th.pending <- P_none;

@@ -48,6 +48,12 @@ val yield : unit -> unit
 val my_tid : unit -> int
 (** Index of the current logical thread.  @raise Failure outside {!run}. *)
 
+val sim_now : unit -> int option
+(** Current simulated time in nanoseconds — the scheduler clock plus
+    the running segment's consumed charge, so events stamped with it
+    align across threads on one timeline.  [None] outside {!run};
+    tracers then fall back to a per-thread clock. *)
+
 (** {1 Running} *)
 
 type policy =

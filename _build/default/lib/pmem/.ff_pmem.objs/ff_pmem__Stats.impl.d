@@ -1,1 +1,1 @@
-lib/pmem/stats.ml: Format
+lib/pmem/stats.ml: Format Printf

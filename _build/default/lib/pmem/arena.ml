@@ -2,6 +2,15 @@ exception Crashed
 
 type crash_plan = Never | After_stores of int | After_flushes of int
 
+type event_sink = {
+  ev_store : int -> unit;
+  ev_flush : int -> unit;
+  ev_fence : unit -> unit;
+  ev_alloc : int -> int -> unit;
+  ev_free : int -> int -> unit;
+  ev_crash : unit -> unit;
+}
+
 let words_per_line = 8
 let reserved_words = 64
 
@@ -19,6 +28,7 @@ type t = {
   mutable flushes : int;
   mutable plan : crash_plan;
   mutable yield_hook : (int -> unit) option;
+  mutable sink : event_sink option;
   mutable bump : int;
   free_lists : (int, int list) Hashtbl.t;
 }
@@ -42,6 +52,7 @@ let create ?(config = Config.default) ~words () =
     flushes = 0;
     plan = Never;
     yield_hook = None;
+    sink = None;
     bump = reserved_words;
     free_lists = Hashtbl.create 8;
   }
@@ -66,6 +77,8 @@ let reset_stats t = Array.iter (fun c -> Stats.reset c.stats) t.ctxs
 let set_phase t phase = (t.ctxs.(t.cur).stats).Stats.phase <- phase
 
 let set_yield_hook t hook = t.yield_hook <- hook
+let set_event_sink t sink = t.sink <- sink
+let event_sink t = t.sink
 
 (* Charge [ns] to the current phase bucket and run the yield hook. *)
 let charge t ns =
@@ -124,6 +137,7 @@ let maybe_crash_on_flush t =
 let write t addr v =
   check addr t;
   maybe_crash_on_store t;
+  (match t.sink with None -> () | Some s -> s.ev_store addr);
   t.stores <- t.stores + 1;
   let ctx = t.ctxs.(t.cur) in
   let s = ctx.stats in
@@ -139,6 +153,7 @@ let write t addr v =
   charge t t.config.Config.store_ns
 
 let fence t =
+  (match t.sink with None -> () | Some s -> s.ev_fence ());
   let s = t.ctxs.(t.cur).stats in
   s.Stats.fences <- s.Stats.fences + 1;
   t.epoch <- t.epoch + 1;
@@ -152,6 +167,7 @@ let fence_if_not_tso t =
 let flush t addr =
   check addr t;
   maybe_crash_on_flush t;
+  (match t.sink with None -> () | Some s -> s.ev_flush addr);
   t.flushes <- t.flushes + 1;
   let s = t.ctxs.(t.cur).stats in
   s.Stats.flushes <- s.Stats.flushes + 1;
@@ -197,6 +213,7 @@ let alloc_raw t words =
 let alloc t words =
   let addr = alloc_raw t words in
   let n = round_to_lines (max words 1) in
+  (match t.sink with None -> () | Some s -> s.ev_alloc addr n);
   for i = addr to addr + n - 1 do
     write t i 0
   done;
@@ -204,6 +221,7 @@ let alloc t words =
 
 let free t addr words =
   let words = round_to_lines (max words 1) in
+  (match t.sink with None -> () | Some s -> s.ev_free addr words);
   let prev = try Hashtbl.find t.free_lists words with Not_found -> [] in
   Hashtbl.replace t.free_lists words (addr :: prev)
 
@@ -224,6 +242,7 @@ let store_count t = t.stores
 let flush_count t = t.flushes
 
 let power_fail t mode =
+  (match t.sink with None -> () | Some s -> s.ev_crash ());
   Storelog.apply_crash t.log ~persisted:t.persisted mode;
   Array.blit t.persisted 0 t.volatile 0 (Array.length t.persisted);
   Array.iter (fun c -> Cachesim.clear c.cache) t.ctxs;
@@ -252,6 +271,7 @@ let clone t =
     flushes = t.flushes;
     plan = Never;
     yield_hook = None;
+    sink = None;
     bump = t.bump;
     free_lists = Hashtbl.copy t.free_lists;
   }

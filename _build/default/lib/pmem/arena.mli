@@ -56,6 +56,27 @@ val set_yield_hook : t -> (int -> unit) option -> unit
 (** Called after every charged access with the simulated ns of that
     access; the multicore simulator uses it to preempt threads. *)
 
+(** {1 Event sink (observability)}
+
+    An optional hook through which the tracing layer observes PM
+    events.  The arena stays below the tracer in the dependency order:
+    it only calls plain closures and never learns what records them.
+    With no sink installed (the default) the cost is one branch per
+    operation; no simulated time is ever charged for eventing, so
+    enabling a sink cannot change measured results. *)
+
+type event_sink = {
+  ev_store : int -> unit;  (** word store at this address *)
+  ev_flush : int -> unit;  (** line flush containing this address *)
+  ev_fence : unit -> unit;
+  ev_alloc : int -> int -> unit;  (** [addr words] block allocated *)
+  ev_free : int -> int -> unit;   (** [addr words] block freed *)
+  ev_crash : unit -> unit;        (** {!power_fail} applied *)
+}
+
+val set_event_sink : t -> event_sink option -> unit
+val event_sink : t -> event_sink option
+
 (** {1 Memory operations} *)
 
 val read : t -> int -> int

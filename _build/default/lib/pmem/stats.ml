@@ -83,6 +83,12 @@ let diff a b =
 
 let copy t = diff t (create ())
 
+let to_json t =
+  Printf.sprintf
+    {|{"loads":%d,"stores":%d,"flushes":%d,"fences":%d,"line_misses":%d,"line_hits":%d,"seq_misses":%d,"search_ns":%d,"update_ns":%d,"other_ns":%d,"flush_ns":%d,"fence_ns":%d,"total_ns":%d}|}
+    t.loads t.stores t.flushes t.fences t.line_misses t.line_hits t.seq_misses
+    t.search_ns t.update_ns t.other_ns t.flush_ns t.fence_ns (total_ns t)
+
 let pp ppf t =
   Format.fprintf ppf
     "loads=%d stores=%d flushes=%d fences=%d misses=%d hits=%d seq=%d \

@@ -1,0 +1,1 @@
+lib/trace/metrics.ml: Ff_util Format Hashtbl Json List Option Stdlib

@@ -1,0 +1,1 @@
+lib/trace/metrics.mli: Ff_util Format Json

@@ -1,0 +1,1 @@
+lib/trace/perfetto.ml: Buffer Fun Hashtbl Json List Printf Trace

@@ -1,0 +1,1 @@
+lib/trace/perfetto.mli: Json Trace

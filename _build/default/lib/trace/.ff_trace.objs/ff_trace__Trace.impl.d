@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Ff_mcsim Ff_pmem Hashtbl Metrics Stdlib

@@ -1,0 +1,45 @@
+(** Metrics registry: named counters, gauges and log-bucketed
+    histograms with JSON and text exposition.
+
+    Names are flat dotted strings; dimension values are folded into the
+    name by the caller (e.g. ["fastfair.splits.level1"],
+    ["fastfair.latency_ns.insert"]).  Getters create on first use, so
+    emitting code never registers anything up front.  Exposition sorts
+    names, making output deterministic regardless of update order. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+(** {1 Counters} *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+
+val counter_value : t -> string -> int
+(** 0 when the counter was never touched. *)
+
+(** {1 Gauges} *)
+
+val set_gauge : t -> string -> float -> unit
+val gauge_value : t -> string -> float option
+
+(** {1 Histograms} *)
+
+val observe : t -> string -> int -> unit
+(** Record one sample into the named {!Ff_util.Histogram}. *)
+
+val histogram : t -> string -> Ff_util.Histogram.t option
+
+(** {1 Exposition} *)
+
+val to_json : t -> Json.t
+(** [{"counters":{..},"gauges":{..},"histograms":{name:{count,mean,
+    p50,p90,p99,max}}}], keys sorted. *)
+
+val to_json_string : t -> string
+
+val pp_text : Format.formatter -> t -> unit
+(** Prometheus-flavoured plain text: one [name value] line per counter
+    and gauge, one [name{quantile}] block per histogram. *)

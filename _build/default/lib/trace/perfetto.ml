@@ -1,0 +1,82 @@
+(* ts is microseconds in the trace-event format; simulated ns keep
+   sub-us precision as fractions. *)
+let us_of_ns ns = float_of_int ns /. 1000.
+
+let base ~name ~ph ~tid ~ts rest =
+  Json.Obj
+    ([
+       ("name", Json.Str name);
+       ("ph", Json.Str ph);
+       ("pid", Json.Int 0);
+       ("tid", Json.Int tid);
+       ("ts", Json.Float (us_of_ns ts));
+     ]
+    @ rest)
+
+let args kvs = [ ("args", Json.Obj kvs) ]
+let inst_scope = ("s", Json.Str "t")
+
+let event_json ~tid ~ts (ev : Trace.event) =
+  match ev with
+  | Trace.Pm_store { addr } ->
+      base ~name:"store" ~ph:"i" ~tid ~ts (inst_scope :: args [ ("addr", Json.Int addr) ])
+  | Trace.Pm_flush { addr } ->
+      base ~name:"flush" ~ph:"i" ~tid ~ts (inst_scope :: args [ ("addr", Json.Int addr) ])
+  | Trace.Pm_fence -> base ~name:"fence" ~ph:"i" ~tid ~ts [ inst_scope ]
+  | Trace.Pm_alloc { addr; words } ->
+      base ~name:"alloc" ~ph:"i" ~tid ~ts
+        (inst_scope :: args [ ("addr", Json.Int addr); ("words", Json.Int words) ])
+  | Trace.Pm_free { addr; words } ->
+      base ~name:"free" ~ph:"i" ~tid ~ts
+        (inst_scope :: args [ ("addr", Json.Int addr); ("words", Json.Int words) ])
+  | Trace.Span_b { name; detail } ->
+      base ~name ~ph:"B" ~tid ~ts (args [ ("v", Json.Int detail) ])
+  | Trace.Span_e { name } -> base ~name ~ph:"E" ~tid ~ts []
+  | Trace.Inst { name; detail } ->
+      base ~name ~ph:"i" ~tid ~ts (inst_scope :: args [ ("v", Json.Int detail) ])
+
+let to_json tr =
+  let body = ref [] in
+  let used = Hashtbl.create 8 in
+  Trace.iter_events tr (fun ~tid ~ts ev ->
+      Hashtbl.replace used tid ();
+      body := event_json ~tid ~ts ev :: !body);
+  (* Name only the tracks that carry events so Perfetto sorts and
+     labels them without rows of empty lanes. *)
+  let events = ref [] in
+  for tid = Trace.threads tr - 1 downto 0 do
+    if Hashtbl.mem used tid then
+      events :=
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Int 0);
+            ("tid", Json.Int tid);
+            ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "sim-thread-%d" tid)) ]);
+          ]
+        :: !events
+  done;
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (!events @ List.rev !body));
+      ("displayTimeUnit", Json.Str "ns");
+      ( "otherData",
+        Json.Obj
+          [
+            ("clock", Json.Str "simulated-ns");
+            ("events", Json.Int (Trace.event_count tr));
+            ("dropped", Json.Int (Trace.dropped_count tr));
+          ] );
+    ]
+
+let to_string tr = Json.to_string (to_json tr)
+
+let write_file tr path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      Json.to_buffer buf (to_json tr);
+      Buffer.output_buffer oc buf)

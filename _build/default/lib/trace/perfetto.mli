@@ -1,0 +1,17 @@
+(** Chrome trace-event (Perfetto / [chrome://tracing]) JSON export.
+
+    Timestamps are the tracer's simulated nanoseconds converted to the
+    format's microsecond unit, so a multicore {!Ff_mcsim.Mcsim.run}
+    renders as a real timeline: one track per simulated thread, tree
+    operations as nested B/E spans, PM flushes/fences/allocs and
+    duplicate-pointer detections as instant markers.  Load the file in
+    {{:https://ui.perfetto.dev}ui.perfetto.dev} or [chrome://tracing]. *)
+
+val to_json : Trace.t -> Json.t
+(** [{"traceEvents":[...],"displayTimeUnit":"ns","otherData":{...}}];
+    [otherData] records retained/dropped event counts.  Deterministic
+    for deterministic traces. *)
+
+val to_string : Trace.t -> string
+
+val write_file : Trace.t -> string -> unit

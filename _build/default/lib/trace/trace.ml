@@ -1,0 +1,205 @@
+module Arena = Ff_pmem.Arena
+module Stats = Ff_pmem.Stats
+module Mcsim = Ff_mcsim.Mcsim
+
+(* Events are 4 ints in a flat ring: ts, kind, arg1, arg2.  Kinds 0-4
+   are PM events (arg1 = addr, arg2 = words for alloc/free); 5/6/7 are
+   span begin/end and instants (arg1 = interned name id, arg2 =
+   caller-defined detail). *)
+
+let k_store = 0
+let k_flush = 1
+let k_fence = 2
+let k_alloc = 3
+let k_free = 4
+let k_begin = 5
+let k_end = 6
+let k_instant = 7
+
+let slot_words = 4
+
+type ring = { buf : int array; cap : int; mutable written : int }
+
+type t = {
+  enabled : bool;
+  rings : ring array;
+  mutable names : string array;
+  mutable nnames : int;
+  ids : (string, int) Hashtbl.t;
+  metrics : Metrics.t;
+  clock : unit -> int;
+  tid : unit -> int;
+}
+
+(* Fixed ids: keep in sync with [predefined]. *)
+let id_insert = 0
+let id_delete = 1
+let id_search = 2
+let id_range = 3
+let id_split = 4
+let id_fast_shift = 5
+let id_sibling_chase = 6
+let id_dup_skip = 7
+let id_recovery = 8
+let id_crash = 9
+
+let predefined =
+  [|
+    "insert"; "delete"; "search"; "range"; "split"; "fast_shift";
+    "sibling_chase"; "dup_skip"; "recovery"; "crash";
+  |]
+
+let make ~enabled ~capacity ~threads ~clock ~tid =
+  let capacity = max 16 capacity in
+  let ids = Hashtbl.create 32 in
+  Array.iteri (fun i n -> Hashtbl.add ids n i) predefined;
+  {
+    enabled;
+    rings =
+      Array.init threads (fun _ ->
+          { buf = (if enabled then Array.make (capacity * slot_words) 0 else [||]);
+            cap = capacity;
+            written = 0 });
+    names = Array.copy predefined;
+    nnames = Array.length predefined;
+    ids;
+    metrics = Metrics.create ();
+    clock;
+    tid;
+  }
+
+let null =
+  make ~enabled:false ~capacity:16 ~threads:1 ~clock:(fun () -> 0) ~tid:(fun () -> 0)
+
+let create ?(capacity = 65536) ?(threads = 1) ?clock ?tid () =
+  let clock =
+    match clock with
+    | Some f -> f
+    | None ->
+        let n = ref 0 in
+        fun () -> Stdlib.incr n; !n
+  in
+  let tid = match tid with Some f -> f | None -> fun () -> 0 in
+  make ~enabled:true ~capacity ~threads ~clock ~tid
+
+let enabled t = t.enabled
+let metrics t = t.metrics
+let now t = if t.enabled then t.clock () else 0
+
+let intern t name =
+  match Hashtbl.find_opt t.ids name with
+  | Some id -> id
+  | None ->
+      let id = t.nnames in
+      if id >= Array.length t.names then begin
+        let bigger = Array.make (2 * Array.length t.names) "" in
+        Array.blit t.names 0 bigger 0 t.nnames;
+        t.names <- bigger
+      end;
+      t.names.(id) <- name;
+      t.nnames <- id + 1;
+      Hashtbl.add t.ids name id;
+      id
+
+let emit t kind a b =
+  let tid = t.tid () in
+  let tid = if tid >= 0 && tid < Array.length t.rings then tid else 0 in
+  let r = t.rings.(tid) in
+  let i = r.written mod r.cap * slot_words in
+  r.buf.(i) <- t.clock ();
+  r.buf.(i + 1) <- kind;
+  r.buf.(i + 2) <- a;
+  r.buf.(i + 3) <- b;
+  r.written <- r.written + 1
+
+let span_begin t name detail = if t.enabled then emit t k_begin name detail
+let span_end t name = if t.enabled then emit t k_end name 0
+let instant t name detail = if t.enabled then emit t k_instant name detail
+
+let c_dup_leaf = "fastfair.dup_skip.leaf"
+let c_dup_internal = "fastfair.dup_skip.internal"
+
+let dup_skip t ~leaf =
+  if t.enabled then begin
+    Metrics.incr t.metrics (if leaf then c_dup_leaf else c_dup_internal);
+    emit t k_instant id_dup_skip (if leaf then 0 else 1)
+  end
+
+let dup_skips t =
+  Metrics.counter_value t.metrics c_dup_leaf
+  + Metrics.counter_value t.metrics c_dup_internal
+
+let incr t name = if t.enabled then Metrics.incr t.metrics name
+let observe t name sample = if t.enabled then Metrics.observe t.metrics name sample
+
+(* ------------------------------------------------------------------ *)
+(* Arena wiring                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let for_arena ?(capacity = 65536) a =
+  let clock () =
+    match Mcsim.sim_now () with
+    | Some ns -> ns
+    | None -> Stats.total_ns (Arena.stats a (Arena.tid a))
+  in
+  let threads = (Arena.config a).Ff_pmem.Config.max_threads in
+  let t = make ~enabled:true ~capacity ~threads ~clock ~tid:(fun () -> Arena.tid a) in
+  Arena.set_event_sink a
+    (Some
+       {
+         Arena.ev_store = (fun addr -> emit t k_store addr 0);
+         ev_flush = (fun addr -> emit t k_flush addr 0);
+         ev_fence = (fun () -> emit t k_fence 0 0);
+         ev_alloc = (fun addr words -> emit t k_alloc addr words);
+         ev_free = (fun addr words -> emit t k_free addr words);
+         ev_crash = (fun () -> emit t k_instant id_crash 0);
+       });
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type event =
+  | Pm_store of { addr : int }
+  | Pm_flush of { addr : int }
+  | Pm_fence
+  | Pm_alloc of { addr : int; words : int }
+  | Pm_free of { addr : int; words : int }
+  | Span_b of { name : string; detail : int }
+  | Span_e of { name : string }
+  | Inst of { name : string; detail : int }
+
+let name_of t id = if id >= 0 && id < t.nnames then t.names.(id) else "?"
+
+let iter_events t f =
+  Array.iteri
+    (fun tid r ->
+      let first = max 0 (r.written - r.cap) in
+      for n = first to r.written - 1 do
+        let i = n mod r.cap * slot_words in
+        let ts = r.buf.(i)
+        and kind = r.buf.(i + 1)
+        and a = r.buf.(i + 2)
+        and b = r.buf.(i + 3) in
+        let ev =
+          if kind = k_store then Pm_store { addr = a }
+          else if kind = k_flush then Pm_flush { addr = a }
+          else if kind = k_fence then Pm_fence
+          else if kind = k_alloc then Pm_alloc { addr = a; words = b }
+          else if kind = k_free then Pm_free { addr = a; words = b }
+          else if kind = k_begin then Span_b { name = name_of t a; detail = b }
+          else if kind = k_end then Span_e { name = name_of t a }
+          else Inst { name = name_of t a; detail = b }
+        in
+        f ~tid ~ts ev
+      done)
+    t.rings
+
+let threads t = Array.length t.rings
+
+let event_count t =
+  Array.fold_left (fun acc r -> acc + min r.written r.cap) 0 t.rings
+
+let dropped_count t =
+  Array.fold_left (fun acc r -> acc + max 0 (r.written - r.cap)) 0 t.rings

@@ -1,0 +1,109 @@
+(** Event tracing on the simulator's deterministic clock.
+
+    A tracer owns one fixed-capacity ring buffer per simulated thread
+    (wraparound overwrites the oldest events) plus a {!Metrics}
+    registry.  Every event carries a timestamp from the tracer's clock:
+    inside {!Ff_mcsim.Mcsim.run} that is the global simulated time (so
+    multicore traces align on one timeline); outside it falls back to
+    the current thread's accumulated simulated nanoseconds.
+
+    Tracing must never perturb what it measures: events are recorded
+    with plain integer stores into preallocated rings, no simulated
+    time is charged, and every emitter is a no-op on a disabled tracer
+    ({!null}) after a single field test.  Hot paths may therefore call
+    these functions unconditionally. *)
+
+type t
+
+val null : t
+(** The shared disabled tracer: {!enabled} is false, every emitter
+    returns immediately, and its metrics registry is never written.
+    Default value of every instrumented component's tracer slot. *)
+
+val create :
+  ?capacity:int ->
+  ?threads:int ->
+  ?clock:(unit -> int) ->
+  ?tid:(unit -> int) ->
+  unit ->
+  t
+(** A standalone enabled tracer.  [capacity] is events per thread ring
+    (default 65536), [threads] the ring count (default 1).  The default
+    [clock] counts emitted events (deterministic and monotonic); the
+    default [tid] is the constant 0. *)
+
+val for_arena : ?capacity:int -> Ff_pmem.Arena.t -> t
+(** Tracer wired to an arena: installs the arena's event sink (PM
+    stores/flushes/fences/allocs/crashes become events), takes thread
+    ids from {!Ff_pmem.Arena.tid}, sizes the ring array from the
+    arena's [max_threads], and uses the simulated-time clock described
+    above.  Detach with [Arena.set_event_sink a None]. *)
+
+val enabled : t -> bool
+val metrics : t -> Metrics.t
+val now : t -> int
+(** Current clock value (0 on {!null}). *)
+
+(** {1 Span / instant names}
+
+    Interned to small ints so hot-path emitters store an id, not a
+    string.  The fixed tree-level names are pre-interned: *)
+
+val id_insert : int
+val id_delete : int
+val id_search : int
+val id_range : int
+val id_split : int
+val id_fast_shift : int
+val id_sibling_chase : int
+val id_dup_skip : int
+val id_recovery : int
+val id_crash : int
+
+val intern : t -> string -> int
+(** Id for an arbitrary name (stable within this tracer). *)
+
+(** {1 Emitters} (all no-ops when disabled) *)
+
+val span_begin : t -> int -> int -> unit
+(** [span_begin t name_id detail] *)
+
+val span_end : t -> int -> unit
+val instant : t -> int -> int -> unit
+
+val dup_skip : t -> leaf:bool -> unit
+(** A lock-free reader observed duplicate adjacent pointers and
+    skipped the entry — the paper's transient-inconsistency tolerance,
+    counted under ["fastfair.dup_skip.leaf"/".internal"] and emitted
+    as an instant event. *)
+
+val dup_skips : t -> int
+(** Total duplicate-pointer detections recorded so far. *)
+
+val incr : t -> string -> unit
+(** Metrics counter increment, gated on {!enabled}. *)
+
+val observe : t -> string -> int -> unit
+(** Metrics histogram sample, gated on {!enabled}. *)
+
+(** {1 Reading the rings} *)
+
+type event =
+  | Pm_store of { addr : int }
+  | Pm_flush of { addr : int }
+  | Pm_fence
+  | Pm_alloc of { addr : int; words : int }
+  | Pm_free of { addr : int; words : int }
+  | Span_b of { name : string; detail : int }
+  | Span_e of { name : string }
+  | Inst of { name : string; detail : int }
+
+val iter_events : t -> (tid:int -> ts:int -> event -> unit) -> unit
+(** Oldest-to-newest per thread ring, thread 0 first. *)
+
+val threads : t -> int
+val event_count : t -> int
+(** Events currently retained across all rings. *)
+
+val dropped_count : t -> int
+(** Events lost to ring wraparound. *)

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Ff_fastfair Ff_index Ff_mcsim Ff_pmem Ff_trace Ff_util Ff_workload Hashtbl List Option Printf

@@ -13,4 +13,5 @@ let () =
       ("fastfair-extra", Test_fastfair_extra.suite);
       ("kv", Test_kv.suite);
       ("harness", Test_harness.suite);
+      ("trace", Test_trace.suite);
     ]

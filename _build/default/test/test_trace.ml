@@ -1,0 +1,175 @@
+(* Observability: event rings, metrics, Perfetto export.
+
+   The interesting property is the last test: under a preempt-every-
+   access quantum, lock-free readers racing a FAST shift *observe* the
+   transient duplicate-adjacent-pointer state the paper argues is
+   endurable — and the tracer counts each tolerated occurrence. *)
+
+module Arena = Ff_pmem.Arena
+module Config = Ff_pmem.Config
+module Mcsim = Ff_mcsim.Mcsim
+module Locks = Ff_index.Locks
+module Tree = Ff_fastfair.Tree
+module Trace = Ff_trace.Trace
+module Metrics = Ff_trace.Metrics
+module Json = Ff_trace.Json
+module Perfetto = Ff_trace.Perfetto
+module Prng = Ff_util.Prng
+module W = Ff_workload.Workload
+
+let get_exn what = function Some v -> v | None -> Alcotest.fail ("missing " ^ what)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\nd");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("l", Json.Arr [ Json.Null; Json.Bool true; Json.Bool false ]);
+        ("o", Json.Obj [ ("nested", Json.Int 7) ]);
+      ]
+  in
+  let doc' = Json.of_string (Json.to_string doc) in
+  Alcotest.(check bool) "roundtrip" true (doc = doc');
+  Alcotest.(check string) "string survives escaping" "a\"b\\c\nd"
+    (get_exn "s" (Option.bind (Json.member "s" doc') Json.to_str))
+
+let test_ring_wraparound () =
+  let tr = Trace.create ~capacity:32 () in
+  let tick = Trace.intern tr "tick" in
+  for i = 1 to 100 do
+    Trace.instant tr tick i
+  done;
+  Alcotest.(check int) "kept" 32 (Trace.event_count tr);
+  Alcotest.(check int) "dropped" 68 (Trace.dropped_count tr);
+  let details = ref [] in
+  Trace.iter_events tr (fun ~tid:_ ~ts:_ ev ->
+      match ev with
+      | Trace.Inst { name = "tick"; detail } -> details := detail :: !details
+      | _ -> ());
+  let details = List.rev !details in
+  Alcotest.(check int) "oldest surviving event" 69 (List.hd details);
+  Alcotest.(check int) "newest event" 100 (List.nth details 31);
+  ignore
+    (List.fold_left
+       (fun prev d ->
+         if d <= prev then Alcotest.fail "events out of order after wrap";
+         d)
+       0 details)
+
+let test_null_inert () =
+  Trace.dup_skip Trace.null ~leaf:true;
+  Trace.span_begin Trace.null Trace.id_insert 1;
+  Trace.span_end Trace.null Trace.id_insert;
+  Trace.incr Trace.null "x";
+  Trace.observe Trace.null "h" 5;
+  Alcotest.(check int) "no events" 0 (Trace.event_count Trace.null);
+  Alcotest.(check int) "no dup skips" 0 (Trace.dup_skips Trace.null);
+  Alcotest.(check int) "no counters" 0
+    (Metrics.counter_value (Trace.metrics Trace.null) "x")
+
+(* A traced multithreaded run: 4 threads interleaving inserts and
+   searches on a 4-core simulated machine, PM events included. *)
+let traced_run () =
+  let config = { Config.default with Config.write_latency_ns = 300; max_threads = 16 } in
+  let a = Arena.create ~config ~words:(1 lsl 18) () in
+  let t = Tree.create ~lock_mode:Locks.Sim a in
+  let tr = Trace.for_arena ~capacity:(1 lsl 14) a in
+  Tree.set_tracer t tr;
+  let body tid =
+    let r = Prng.create (10 + tid) in
+    for i = 1 to 150 do
+      let k = (tid * 1000) + i in
+      Tree.insert t ~key:k ~value:(W.value_of k);
+      ignore (Tree.search t (1 + Prng.int r ((tid * 1000) + i)))
+    done
+  in
+  ignore
+    (Mcsim.run ~cores:4 ~quantum_ns:150 ~lock_ns:20 ~contention_ns:100 ~arena:a
+       (Array.init 4 (fun _ -> body)));
+  Arena.set_event_sink a None;
+  tr
+
+let test_perfetto_wellformed () =
+  let tr = traced_run () in
+  Alcotest.(check bool) "events recorded" true (Trace.event_count tr > 100);
+  let j = Json.of_string (Perfetto.to_string tr) in
+  let evs = get_exn "traceEvents" (Option.bind (Json.member "traceEvents" j) Json.to_list) in
+  let last_ts = Hashtbl.create 8 in
+  let data = ref 0 in
+  List.iter
+    (fun e ->
+      let ph = get_exn "ph" (Option.bind (Json.member "ph" e) Json.to_str) in
+      if ph <> "M" then begin
+        incr data;
+        let tid = get_exn "tid" (Option.bind (Json.member "tid" e) Json.to_int) in
+        let ts = get_exn "ts" (Option.bind (Json.member "ts" e) Json.to_float) in
+        (match Hashtbl.find_opt last_ts tid with
+        | Some prev when ts < prev ->
+            Alcotest.failf "ts went backwards on tid %d: %f < %f" tid ts prev
+        | Some _ | None -> ());
+        Hashtbl.replace last_ts tid ts
+      end)
+    evs;
+  Alcotest.(check int) "all ring events exported" (Trace.event_count tr) !data;
+  Alcotest.(check bool) "several thread tracks" true (Hashtbl.length last_ts >= 4)
+
+let test_deterministic () =
+  let p1 = Perfetto.to_string (traced_run ()) in
+  let m1 = Metrics.to_json_string (Trace.metrics (traced_run ())) in
+  let tr = traced_run () in
+  Alcotest.(check string) "identical perfetto output" p1 (Perfetto.to_string tr);
+  Alcotest.(check string) "identical metrics output" m1
+    (Metrics.to_json_string (Trace.metrics tr))
+
+let test_dup_skip_detected () =
+  (* One leaf (no splits: 20 < capacity at 512B nodes).  The writer
+     front-inserts descending keys so every insert FAST-shifts the
+     whole populated region; readers scan toward the largest key
+     through that region; a preempt-every-access quantum guarantees
+     they see mid-shift states. *)
+  let config = { Config.default with Config.max_threads = 8 } in
+  let a = Arena.create ~config ~words:(1 lsl 16) () in
+  let t = Tree.create ~lock_mode:Locks.Sim a in
+  let tr = Trace.for_arena a in
+  Tree.set_tracer t tr;
+  let writer _ =
+    for k = 20 downto 1 do
+      Tree.insert t ~key:(2 * k) ~value:(W.value_of (2 * k))
+    done
+  in
+  let reader _ =
+    for _ = 1 to 300 do
+      ignore (Tree.search t 40)
+    done
+  in
+  ignore (Mcsim.run ~cores:4 ~quantum_ns:1 ~arena:a [| writer; reader; reader; reader |]);
+  Arena.set_event_sink a None;
+  Alcotest.(check bool) "readers observed duplicate pointers" true (Trace.dup_skips tr > 0);
+  (* every inserted key is still found *)
+  for k = 1 to 20 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "key %d survives" (2 * k))
+      (Some (W.value_of (2 * k)))
+      (Tree.search t (2 * k))
+  done;
+  (* and the counter is exposed through the metrics JSON *)
+  let j = Json.of_string (Metrics.to_json_string (Trace.metrics tr)) in
+  let counters = get_exn "counters" (Json.member "counters" j) in
+  let leaf =
+    match Option.bind (Json.member "fastfair.dup_skip.leaf" counters) Json.to_int with
+    | Some n -> n
+    | None -> 0
+  in
+  Alcotest.(check bool) "dup_skip.leaf counter in JSON" true (leaf > 0)
+
+let suite =
+  [
+    Alcotest.test_case "json-roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "ring-wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "null-tracer-inert" `Quick test_null_inert;
+    Alcotest.test_case "perfetto-wellformed" `Quick test_perfetto_wellformed;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "dup-skip-detected" `Quick test_dup_skip_detected;
+  ]

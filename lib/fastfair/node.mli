@@ -36,14 +36,31 @@ val find_exact : Ff_pmem.Arena.t -> Layout.t -> Layout.node -> int -> int option
 (** Position of the valid entry holding exactly this key (writer-side;
     assumes the lock is held so no direction juggling is needed). *)
 
-val search : Ff_pmem.Arena.t -> Layout.t -> Layout.node -> mode:search_mode -> int -> int option
+val search :
+  Ff_pmem.Arena.t ->
+  Layout.t ->
+  Layout.node ->
+  mode:search_mode ->
+  ?tr:Ff_trace.Trace.t ->
+  int ->
+  int option
 (** Lock-free search of one node (Algorithm 3): direction chosen by
     the switch counter's parity, validity by the duplicate-pointer
-    rule, re-scan if the counter moved.  Returns the value. *)
+    rule, re-scan if the counter moved.  Returns the value.  [tr]
+    records each duplicate-adjacent-pointer skip (the paper's
+    tolerated transient inconsistency); defaults to the null tracer. *)
 
-val find_child : Ff_pmem.Arena.t -> Layout.t -> Layout.node -> mode:search_mode -> int -> int
+val find_child :
+  Ff_pmem.Arena.t ->
+  Layout.t ->
+  Layout.node ->
+  mode:search_mode ->
+  ?tr:Ff_trace.Trace.t ->
+  int ->
+  int
 (** Lock-free routing in an internal node: the child covering [key]
-    ([leftmost_ptr] when the key precedes all entries). *)
+    ([leftmost_ptr] when the key precedes all entries).  [tr] as in
+    {!search}. *)
 
 val insert_nonfull :
   Ff_pmem.Arena.t -> Layout.t -> Layout.node -> key:int -> value:int -> mode:search_mode -> unit

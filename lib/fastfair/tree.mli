@@ -73,6 +73,19 @@ val recover : ?lazy_:bool -> t -> unit
 val ops : t -> Ff_index.Intf.ops
 (** Uniform driver view. *)
 
+val set_tracer : t -> Ff_trace.Trace.t -> unit
+(** Attach an observability tracer (see {!Ff_trace.Trace}): tree
+    operations become spans, splits / sibling chases / root grows /
+    recovery fixes become counters, per-op latency and flush counts
+    feed histograms, and lock-free readers record every
+    duplicate-adjacent-pointer skip — the paper's tolerated transient
+    inconsistency, made visible.  Defaults to {!Ff_trace.Trace.null},
+    which costs one branch per site.  PM-level store/flush/fence
+    events additionally require the tracer to be built with
+    {!Ff_trace.Trace.for_arena}, which installs the arena sink. *)
+
+val tracer : t -> Ff_trace.Trace.t
+
 val height : t -> int
 val reachable_nodes : t -> Layout.node list
 (** All nodes reachable from the root (uncharged; checker/debug). *)

@@ -38,4 +38,9 @@ val diff : t -> t -> t
     [after]). *)
 
 val copy : t -> t
+
+val to_json : t -> string
+(** One flat JSON object (all counters plus ["total_ns"]), so external
+    tooling can consume the counters without parsing [pp] output. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,223 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* NaN/inf are not JSON; integral floats print without an exponent so
+   re-parsing them as Float round-trips. *)
+let float_repr f =
+  if Float.is_nan f then "0"
+  else if f = Float.infinity then "1e308"
+  else if f = Float.neg_infinity then "-1e308"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | Str s -> escape buf s
+  | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          to_buffer buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  to_buffer buf j;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Recursive-descent parser                                            *)
+(* ------------------------------------------------------------------ *)
+
+type state = { s : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.s
+    && match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st ("expected " ^ word)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.s then fail st "unterminated string";
+    let c = st.s.[st.pos] in
+    st.pos <- st.pos + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' ->
+        (if st.pos >= String.length st.s then fail st "unterminated escape";
+         let e = st.s.[st.pos] in
+         st.pos <- st.pos + 1;
+         match e with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'u' ->
+             if st.pos + 4 > String.length st.s then fail st "bad \\u escape";
+             let hex = String.sub st.s st.pos 4 in
+             st.pos <- st.pos + 4;
+             let code =
+               try int_of_string ("0x" ^ hex) with _ -> fail st "bad \\u escape"
+             in
+             (* ASCII pass-through is all our own emitter produces. *)
+             if code < 0x80 then Buffer.add_char buf (Char.chr code)
+             else Buffer.add_string buf (Printf.sprintf "\\u%04x" code)
+         | _ -> fail st "bad escape");
+        go ()
+    | c -> Buffer.add_char buf c; go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while st.pos < String.length st.s && is_num st.s.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  let text = String.sub st.s start (st.pos - start) in
+  let is_float =
+    String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text
+  in
+  if is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail st "bad number"
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> fail st "bad number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+      expect st '{';
+      skip_ws st;
+      if peek st = Some '}' then (expect st '}'; Obj [])
+      else begin
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' -> expect st ','; members ((k, v) :: acc)
+          | Some '}' -> expect st '}'; Obj (List.rev ((k, v) :: acc))
+          | _ -> fail st "expected ',' or '}'"
+        in
+        members []
+      end
+  | Some '[' ->
+      expect st '[';
+      skip_ws st;
+      if peek st = Some ']' then (expect st ']'; Arr [])
+      else begin
+        let rec elems acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' -> expect st ','; elems (v :: acc)
+          | Some ']' -> expect st ']'; Arr (List.rev (v :: acc))
+          | _ -> fail st "expected ',' or ']'"
+        in
+        elems []
+      end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some _ -> parse_number st
+
+let of_string s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let to_list = function Arr xs -> Some xs | _ -> None
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None

@@ -1,0 +1,35 @@
+(** Minimal JSON tree: enough to emit metrics/bench/Perfetto files and
+    to re-parse them in tests, without pulling an external dependency
+    into the image.  Not a general-purpose parser — no unicode escapes
+    beyond [\uXXXX] pass-through, no streaming. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (no whitespace) rendering; object key order is preserved,
+    so deterministic inputs give byte-identical output. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input.  Numbers with a fraction or
+    exponent parse as [Float], others as [Int]. *)
+
+(** {1 Accessors} (shallow; [None] on wrong constructor) *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_int : t -> int option
+val to_float : t -> float option
+(** [Int] values coerce to float too. *)
+
+val to_str : t -> string option
