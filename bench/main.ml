@@ -18,6 +18,8 @@ module Table = Ff_util.Table
 module Mcsim = Ff_mcsim.Mcsim
 module Locks = Ff_index.Locks
 module Intf = Ff_index.Intf
+module Descriptor = Ff_index.Descriptor
+module Registry = Ff_index.Registry
 module W = Ff_workload.Workload
 module Tree = Ff_fastfair.Tree
 module Tpcc = Ff_tpcc.Tpcc
@@ -31,59 +33,40 @@ let scale = ref 1.0
 let sc n = max 16 (int_of_float (float_of_int n *. !scale))
 
 (* ------------------------------------------------------------------ *)
-(* Builders                                                            *)
+(* Builders — resolved through the index registry                      *)
 (* ------------------------------------------------------------------ *)
 
 let arena ?(config = Config.default) words = Arena.create ~config ~words ()
 
 type maker = { label : string; build : Arena.t -> Intf.ops }
 
-let fastfair ?(node_bytes = 512) ?(mode = Ff_fastfair.Node.Linear)
-    ?(policy = Tree.Fair) ?(lock = Locks.Single) ?(leaf_locks = false) () =
+let of_registry ?label ?node_bytes ?(lock = Locks.Single) name =
+  let d = Registry.find_exn name in
   {
-    label =
-      (match (policy, leaf_locks) with
-      | Tree.Fair, false -> "fast+fair"
-      | Tree.Fair, true -> "ff+leaflock"
-      | Tree.Logged, _ -> "fast+log");
-    build =
-      (fun a ->
-        Tree.ops
-          (Tree.create ~node_bytes ~mode ~split_policy:policy ~lock_mode:lock
-             ~leaf_read_locks:leaf_locks a));
+    label = (match label with Some l -> l | None -> name);
+    build = d.Descriptor.build { Descriptor.node_bytes; lock_mode = lock };
   }
 
-let wbtree ?(node_bytes = 1024) () =
-  {
-    label = "wb+tree";
-    build = (fun a -> Ff_wbtree.Wbtree.ops (Ff_wbtree.Wbtree.create ~node_bytes a));
-  }
+let fastfair ?node_bytes ?lock () =
+  of_registry ~label:"fast+fair" ?node_bytes ?lock "fastfair"
 
-let fptree ?(leaf_bytes = 1024) ?(lock = Locks.Single) () =
-  {
-    label = "fp-tree";
-    build =
-      (fun a -> Ff_fptree.Fptree.ops (Ff_fptree.Fptree.create ~leaf_bytes ~lock_mode:lock a));
-  }
+let fastlog () = of_registry ~label:"fast+log" "fastfair-logged"
 
-let wort () =
-  { label = "wort"; build = (fun a -> Ff_wort.Wort.ops (Ff_wort.Wort.create a)) }
+let leaflock ?lock () = of_registry ~label:"ff+leaflock" ?lock "fastfair-leaflock"
 
-let skiplist ?(lock = Locks.Single) () =
-  {
-    label = "skiplist";
-    build =
-      (fun a ->
-        let s = Ff_skiplist.Skiplist.create a in
-        Ff_skiplist.Skiplist.set_lock_mode s lock;
-        Ff_skiplist.Skiplist.ops s);
-  }
+let wbtree ?node_bytes () = of_registry ~label:"wb+tree" ?node_bytes "wbtree"
 
-let blink ?(lock = Locks.Single) () =
-  {
-    label = "b-link";
-    build = (fun a -> Ff_blink.Blink.ops (Ff_blink.Blink.create ~lock_mode:lock a));
-  }
+let fptree ?leaf_bytes ?lock () =
+  of_registry ~label:"fp-tree" ?node_bytes:leaf_bytes ?lock "fptree"
+
+let wort () = of_registry "wort"
+let skiplist ?lock () = of_registry ?lock "skiplist"
+let blink ?lock () = of_registry ~label:"b-link" ?lock "blink"
+
+(* Search-mode (linear vs binary FAST) is a node-level ablation knob of
+   the fastfair library, not an index-level capability; Figure 3 and
+   ablation (4) build it directly. *)
+let fastfair_mode ~node_bytes ~mode a = Tree.ops (Tree.create ~node_bytes ~mode a)
 
 (* ------------------------------------------------------------------ *)
 (* Measurement helpers                                                 *)
@@ -113,7 +96,7 @@ let fig3 () =
         let a = arena (n * 48) in
         let rng = Prng.create 1 in
         let keys = W.distinct_uniform rng ~n ~space:(8 * n) in
-        let t = (fastfair ~node_bytes ~mode ()).build a in
+        let t = fastfair_mode ~node_bytes ~mode a in
         (match phase with
         | `Insert ->
             Arena.reset_stats a;
@@ -197,14 +180,7 @@ let fig4 () =
 (* ------------------------------------------------------------------ *)
 
 let insert_makers () =
-  [
-    fastfair ();
-    fastfair ~policy:Tree.Logged ();
-    fptree ();
-    wbtree ();
-    wort ();
-    skiplist ();
-  ]
+  [ fastfair (); fastlog (); fptree (); wbtree (); wort (); skiplist () ]
 
 let search_makers () =
   [ fastfair (); fptree (); wbtree (); wort (); skiplist () ]
@@ -365,11 +341,7 @@ type sim_ix = {
 let fig7_makers () =
   [
     { sl = "fast+fair"; sbuild = (fastfair ~lock:Locks.Sim ()).build; searchable = true };
-    {
-      sl = "ff+leaflock";
-      sbuild = (fastfair ~lock:Locks.Sim ~leaf_locks:true ()).build;
-      searchable = true;
-    };
+    { sl = "ff+leaflock"; sbuild = (leaflock ~lock:Locks.Sim ()).build; searchable = true };
     { sl = "fp-tree"; sbuild = (fptree ~lock:Locks.Sim ()).build; searchable = true };
     { sl = "b-link"; sbuild = (blink ~lock:Locks.Sim ()).build; searchable = true };
     { sl = "skiplist"; sbuild = (skiplist ~lock:Locks.Sim ()).build; searchable = true };
@@ -745,7 +717,7 @@ let ablation () =
       in
       let time mode =
         let a = arena ~config (n * 56) in
-        let t = (fastfair ~node_bytes:1024 ~mode ()).build a in
+        let t = fastfair_mode ~node_bytes:1024 ~mode a in
         let rng = Prng.create 22 in
         let ks = W.distinct_uniform rng ~n ~space in
         W.load_keys t ks;

@@ -1,11 +1,16 @@
 (* ffcli: exercise the persistent indexes from the command line.
 
+   Every structure-facing subcommand resolves its index through
+   Ff_index.Registry, so each registered structure (including blink and
+   the KV layer) is reachable here with no per-binary builder table.
+
    Subcommands:
+     list        registered indexes and their capability matrix
      fuzz        random ops cross-checked against a model
      crash-test  crash-point sweep with recovery validation
      stats       PM event statistics for a load (text or --json)
      dump        print the structure of a small FAST+FAIR tree
-     persist     save the persisted PM image to a file and reload it
+     persist     save a persisted PM image to a file and reload it
      trace       record a multithreaded run as a Perfetto JSON trace *)
 
 module Arena = Ff_pmem.Arena
@@ -14,23 +19,44 @@ module Stats = Ff_pmem.Stats
 module Storelog = Ff_pmem.Storelog
 module Prng = Ff_util.Prng
 module Intf = Ff_index.Intf
+module Descriptor = Ff_index.Descriptor
+module Registry = Ff_index.Registry
 module W = Ff_workload.Workload
+module Harness = Ff_workload.Crash_harness
 module Tree = Ff_fastfair.Tree
 open Cmdliner
 
-let index_names = [ "fastfair"; "wbtree"; "fptree"; "wort"; "skiplist" ]
-
-let build_index name arena =
-  match name with
-  | "fastfair" -> Tree.ops (Tree.create arena)
-  | "wbtree" -> Ff_wbtree.Wbtree.ops (Ff_wbtree.Wbtree.create arena)
-  | "fptree" -> Ff_fptree.Fptree.ops (Ff_fptree.Fptree.create arena)
-  | "wort" -> Ff_wort.Wort.ops (Ff_wort.Wort.create arena)
-  | "skiplist" -> Ff_skiplist.Skiplist.ops (Ff_skiplist.Skiplist.create arena)
-  | other -> invalid_arg ("unknown index: " ^ other)
-
 let mk_arena ?(read_ns = 300) ?(write_ns = 300) words =
   Arena.create ~config:(Config.pm ~read_ns ~write_ns ()) ~words ()
+
+(* Node size used by the crash sweep: small nodes maximize structural
+   events (splits, merges) per store. *)
+let small_nodes d =
+  {
+    Descriptor.default_config with
+    Descriptor.node_bytes =
+      (if d.Descriptor.caps.Descriptor.tunable_node_bytes then Some 256 else None);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let list_indexes names_only persistent_only =
+  let ds =
+    List.filter
+      (fun d ->
+        (not persistent_only) || d.Descriptor.caps.Descriptor.is_persistent)
+      (Registry.all ())
+  in
+  if names_only then List.iter (fun d -> print_endline d.Descriptor.name) ds
+  else
+    List.iter
+      (fun d ->
+        Printf.printf "%-18s %s\n%-18s   %s\n" d.Descriptor.name
+          d.Descriptor.summary "" (Descriptor.caps_line d))
+      ds;
+  0
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
@@ -39,13 +65,13 @@ let mk_arena ?(read_ns = 300) ?(write_ns = 300) words =
 let fuzz index_name ops_count seed =
   let rng = Prng.create seed in
   let arena = mk_arena (max (ops_count * 64) (1 lsl 16)) in
-  let t = build_index index_name arena in
+  let t = Registry.build index_name arena in
   let model = Hashtbl.create 1024 in
   let space = max 64 (ops_count / 2) in
   let mismatches = ref 0 in
   for step = 1 to ops_count do
     let k = 1 + Prng.int rng space in
-    (match Prng.int rng 10 with
+    (match Prng.int rng 12 with
     | 0 | 1 ->
         let expected = Hashtbl.mem model k in
         let got = t.Intf.delete k in
@@ -64,6 +90,13 @@ let fuzz index_name ops_count seed =
             Printf.printf "step %d: search %d -> %s, expected %s\n" step k
               (match got with Some v -> string_of_int v | None -> "none")
               (match expected with Some v -> string_of_int v | None -> "none"))
+    | 4 ->
+        let expected = Hashtbl.mem model k in
+        let got = t.Intf.update k (W.value_of k) in
+        if got <> expected then begin
+          incr mismatches;
+          Printf.printf "step %d: update %d -> %b, expected %b\n" step k got expected
+        end
     | _ ->
         t.Intf.insert k (W.value_of k);
         Hashtbl.replace model k (W.value_of k))
@@ -75,6 +108,7 @@ let fuzz index_name ops_count seed =
         Printf.printf "final: key %d wrong\n" k
       end)
     model;
+  t.Intf.close ();
   if !mismatches = 0 then begin
     Printf.printf "fuzz ok: %d ops on %s, %d live keys\n" ops_count index_name
       (Hashtbl.length model);
@@ -86,55 +120,45 @@ let fuzz index_name ops_count seed =
   end
 
 (* ------------------------------------------------------------------ *)
-(* crash-test (FAST+FAIR)                                              *)
+(* crash-test: generic crash-point sweep over any recoverable index    *)
 (* ------------------------------------------------------------------ *)
 
-let crash_test keys points seed =
-  let arena = Arena.create ~words:(max (keys * 80) (1 lsl 16)) () in
-  let t = Tree.create ~node_bytes:256 arena in
-  let rng = Prng.create seed in
-  let ks = W.distinct_uniform rng ~n:keys ~space:(8 * keys) in
-  Array.iter (fun k -> Tree.insert t ~key:k ~value:(W.value_of k)) ks;
-  Arena.drain arena;
-  let extra = (16 * keys) + 1 in
-  let total =
-    let c = Arena.clone arena in
-    let tc = Tree.open_existing ~node_bytes:256 c in
-    let before = Arena.store_count c in
-    Tree.insert tc ~key:extra ~value:(W.value_of extra);
-    ignore (Tree.delete tc ks.(0));
-    Arena.store_count c - before
-  in
-  let failures = ref 0 in
-  let tested = ref 0 in
-  let step = max 1 (total / max 1 points) in
-  let k = ref 0 in
-  while !k <= total do
-    incr tested;
-    let c = Arena.clone arena in
-    let tc = Tree.open_existing ~node_bytes:256 c in
-    Arena.set_crash_plan c (Arena.After_stores (Arena.store_count c + !k));
-    (try
-       Tree.insert tc ~key:extra ~value:(W.value_of extra);
-       ignore (Tree.delete tc ks.(0))
-     with Arena.Crashed -> ());
-    Arena.power_fail c (Storelog.Random_eviction (Prng.create !k));
-    let tc = Tree.open_existing ~node_bytes:256 c in
-    Tree.recover tc;
-    let ok =
-      Ff_fastfair.Invariant.check tc = []
-      && Array.for_all
-           (fun key -> key = ks.(0) || Tree.search tc key = Some (W.value_of key))
-           ks
+let crash_test index_name keys points seed =
+  let d = Registry.find_exn index_name in
+  if not d.Descriptor.caps.Descriptor.has_recovery then begin
+    Printf.printf "crash-test: %s has no recovery capability (volatile); nothing to test\n"
+      index_name;
+    0
+  end
+  else begin
+    let config = small_nodes d in
+    let base = Arena.create ~words:(max (keys * 100) (1 lsl 16)) () in
+    let t = d.Descriptor.build config base in
+    let rng = Prng.create seed in
+    let ks = W.distinct_uniform rng ~n:keys ~space:(8 * keys) in
+    W.load_keys t ks;
+    t.Intf.close ();
+    let extra = (16 * keys) + 1 in
+    let batch (t : Intf.ops) =
+      t.Intf.insert extra (W.value_of extra);
+      ignore (t.Intf.delete ks.(0))
     in
-    if not ok then begin
-      incr failures;
-      Printf.printf "crash point %d: FAILURE\n" !k
-    end;
-    k := !k + step
-  done;
-  Printf.printf "crash-test: %d points over %d stores, %d failures\n" !tested total !failures;
-  if !failures = 0 then 0 else 1
+    let validate (t : Intf.ops) =
+      Array.for_all
+        (fun key -> key = ks.(0) || t.Intf.search key = Some (W.value_of key))
+        ks
+    in
+    let o =
+      Harness.enumerate ~max_points:points ~base
+        ~reopen:(d.Descriptor.open_existing config)
+        ~batch ~validate ()
+    in
+    Printf.printf
+      "crash-test %s: %d points over %d stores, tolerated pre-recovery %d, recovered %d\n"
+      index_name o.Harness.points o.Harness.store_span o.Harness.tolerated
+      o.Harness.recovered;
+    if o.Harness.recovered = o.Harness.points then 0 else 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                               *)
@@ -142,7 +166,7 @@ let crash_test keys points seed =
 
 let stats index_name keys seed json =
   let arena = mk_arena (max (keys * 64) (1 lsl 16)) in
-  let t = build_index index_name arena in
+  let t = Registry.build index_name arena in
   let rng = Prng.create seed in
   let ks = W.distinct_uniform rng ~n:keys ~space:(8 * keys) in
   Arena.reset_stats arena;
@@ -203,33 +227,45 @@ let dump keys =
   0
 
 (* ------------------------------------------------------------------ *)
-(* persist: save a tree image to disk and reload it                    *)
+(* persist: save any index's image to disk and reload it               *)
 (* ------------------------------------------------------------------ *)
 
-let persist keys path =
-  let arena = mk_arena (max (keys * 64) (1 lsl 16)) in
-  let t = Tree.create arena in
-  let rng = Prng.create 1 in
-  let ks = W.distinct_uniform rng ~n:keys ~space:(8 * keys) in
-  W.load_keys (Tree.ops t) ks;
-  Arena.drain arena;
-  Arena.save_to_file arena path;
-  Printf.printf "saved %d keys to %s (%d KiB persisted image)\n" keys path
-    (Arena.capacity arena * 8 / 1024);
-  (* reload as if after a reboot *)
-  let arena2 = Arena.load_from_file path in
-  let t2 = Tree.open_existing arena2 in
-  Tree.recover ~lazy_:true t2;
-  let missing = ref 0 in
-  Array.iter (fun k -> if Tree.search t2 k <> Some (W.value_of k) then incr missing) ks;
-  Sys.remove path;
-  if !missing = 0 then begin
-    Printf.printf "reloaded image: all %d keys present\n" keys;
+let persist index_name keys path =
+  let d = Registry.find_exn index_name in
+  if not d.Descriptor.caps.Descriptor.is_persistent then begin
+    Printf.printf "persist: %s is volatile; there is no image to save\n" index_name;
     0
   end
   else begin
-    Printf.printf "reloaded image: %d keys MISSING\n" !missing;
-    1
+    let arena = mk_arena (max (keys * 64) (1 lsl 16)) in
+    let t = Registry.build index_name arena in
+    let rng = Prng.create 1 in
+    let ks = W.distinct_uniform rng ~n:keys ~space:(8 * keys) in
+    W.load_keys t ks;
+    t.Intf.close ();
+    Arena.save_to_file arena path;
+    Printf.printf "saved %d keys of %s to %s (%d KiB persisted image)\n" keys
+      index_name path
+      (Arena.capacity arena * 8 / 1024);
+    (* Reload as if after a reboot; the root-slot manifest names the
+       index, so no out-of-band knowledge is needed. *)
+    let arena2 = Arena.load_from_file path in
+    let t2 = Registry.open_existing arena2 in
+    t2.Intf.recover ();
+    Printf.printf "manifest: %s\n" t2.Intf.name;
+    let missing = ref 0 in
+    Array.iter
+      (fun k -> if t2.Intf.search k <> Some (W.value_of k) then incr missing)
+      ks;
+    Sys.remove path;
+    if !missing = 0 then begin
+      Printf.printf "reloaded image: all %d keys present\n" keys;
+      0
+    end
+    else begin
+      Printf.printf "reloaded image: %d keys MISSING\n" !missing;
+      1
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -292,13 +328,39 @@ let trace keys ops threads seed out =
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Unknown names fail with the registry's own name list, which is the
+   single source of truth (no per-binary table to fall out of date). *)
+let index_conv =
+  let parse s =
+    match Registry.find s with
+    | Some _ -> Ok s
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown index %S (registered: %s)" s
+               (String.concat ", " (Registry.names ()))))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
 let index_arg =
-  let doc = "Index structure: " ^ String.concat ", " index_names ^ "." in
-  Arg.(value & opt (enum (List.map (fun n -> (n, n)) index_names)) "fastfair"
-       & info [ "index"; "i" ] ~docv:"INDEX" ~doc)
+  let doc = "Index structure: " ^ String.concat ", " (Registry.names ()) ^ "." in
+  Arg.(value & opt index_conv "fastfair" & info [ "index"; "i" ] ~docv:"INDEX" ~doc)
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let list_cmd =
+  let names_only =
+    Arg.(value & flag & info [ "names" ] ~doc:"Print bare names, one per line.")
+  in
+  let persistent_only =
+    Arg.(
+      value & flag
+      & info [ "persistent" ] ~doc:"Only indexes whose contents survive a power failure.")
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List registered indexes and their capabilities")
+    Term.(const list_indexes $ names_only $ persistent_only)
 
 let fuzz_cmd =
   let ops =
@@ -317,8 +379,8 @@ let crash_cmd =
   in
   Cmd.v
     (Cmd.info "crash-test"
-       ~doc:"Crash a FAST+FAIR insert+delete at sampled store points and validate recovery")
-    Term.(const crash_test $ keys $ points $ seed_arg)
+       ~doc:"Crash an insert+delete batch at sampled store points and validate recovery")
+    Term.(const crash_test $ index_arg $ keys $ points $ seed_arg)
 
 let stats_cmd =
   let keys =
@@ -348,8 +410,9 @@ let persist_cmd =
          ~doc:"Image file path.")
   in
   Cmd.v
-    (Cmd.info "persist" ~doc:"Save the persisted PM image to a file and reload it")
-    Term.(const persist $ keys $ path)
+    (Cmd.info "persist"
+       ~doc:"Save any index's persisted PM image to a file and reload it via the manifest")
+    Term.(const persist $ index_arg $ keys $ path)
 
 let trace_cmd =
   let keys =
@@ -376,4 +439,5 @@ let () =
   let info = Cmd.info "ffcli" ~doc:"FAST+FAIR persistent B+-tree playground" in
   exit
     (Cmd.eval'
-       (Cmd.group info [ fuzz_cmd; crash_cmd; stats_cmd; dump_cmd; persist_cmd; trace_cmd ]))
+       (Cmd.group info
+          [ list_cmd; fuzz_cmd; crash_cmd; stats_cmd; dump_cmd; persist_cmd; trace_cmd ]))

@@ -313,11 +313,31 @@ let height t =
   go t.root
 
 let ops t =
-  {
-    Intf.name = "blink";
-    insert = (fun k v -> insert t ~key:k ~value:v);
-    search = (fun k -> search t k);
-    delete = (fun k -> delete t k);
-    range = (fun lo hi f -> range t ~lo ~hi f);
-    recover = (fun () -> ());
-  }
+  Intf.make ~name:"blink"
+    ~insert:(fun k v -> insert t ~key:k ~value:v)
+    ~search:(fun k -> search t k)
+    ~delete:(fun k -> delete t k)
+    ~range:(fun lo hi f -> range t ~lo ~hi f)
+    ~recover:(fun () -> ())
+    ()
+
+let () =
+  let module D = Ff_index.Descriptor in
+  Ff_index.Registry.register
+    {
+      D.name = "blink";
+      summary = "volatile B-link tree (Lehman & Yao; Figure 7's concurrency reference)";
+      caps =
+        {
+          D.has_range = true;
+          has_delete = true;
+          has_recovery = false;
+          is_persistent = false;
+          lock_modes = [ Locks.Single; Locks.Sim ];
+          tunable_node_bytes = false;
+        };
+      build = (fun cfg a -> ops (create ~lock_mode:cfg.D.lock_mode a));
+      open_existing =
+        (fun _cfg _a ->
+          invalid_arg "blink is volatile: no persisted image to reopen");
+    }

@@ -74,11 +74,39 @@ let recover ?lazy_ t =
   t.pool_used <- Arena.words_per_line
 
 let ops t =
-  {
-    Intf.name = "fastfair-kv";
-    insert = (fun k v -> put t ~key:k ~value:v);
-    search = (fun k -> get t k);
-    delete = (fun k -> delete t k);
-    range = (fun lo hi f -> range t ~lo ~hi f);
-    recover = (fun () -> recover t);
-  }
+  Intf.make ~name:"fastfair-kv"
+    ~insert:(fun k v -> put t ~key:k ~value:v)
+    ~search:(fun k -> get t k)
+    ~delete:(fun k -> delete t k)
+    ~range:(fun lo hi f -> range t ~lo ~hi f)
+    ~recover:(fun () -> recover t)
+    ~update:(fun k v ->
+      match get t k with
+      | None -> false
+      | Some _ ->
+          put t ~key:k ~value:v;
+          true)
+    ~close:(fun () -> Arena.drain t.arena)
+    ()
+
+let () =
+  let module D = Ff_index.Descriptor in
+  Ff_index.Registry.register
+    {
+      D.name = "fastfair-kv";
+      summary =
+        "KV layer over FAST+FAIR: values in persistent cells, so duplicates \
+         and zero are allowed";
+      caps =
+        {
+          D.has_range = true;
+          has_delete = true;
+          has_recovery = true;
+          is_persistent = true;
+          lock_modes = [ Ff_index.Locks.Single ];
+          tunable_node_bytes = true;
+        };
+      build = (fun cfg a -> ops (create ?node_bytes:cfg.D.node_bytes a));
+      open_existing =
+        (fun cfg a -> ops (open_existing ?node_bytes:cfg.D.node_bytes a));
+    }

@@ -587,14 +587,14 @@ let reachable_nodes t =
   List.rev !acc
 
 let ops t =
-  {
-    Intf.name = "fastfair";
-    insert = (fun k v -> insert t ~key:k ~value:v);
-    search = (fun k -> search t k);
-    delete = (fun k -> delete t k);
-    range = (fun lo hi f -> range t ~lo ~hi f);
-    recover = (fun () -> recover t);
-  }
+  Intf.make ~name:"fastfair"
+    ~insert:(fun k v -> insert t ~key:k ~value:v)
+    ~search:(fun k -> search t k)
+    ~delete:(fun k -> delete t k)
+    ~range:(fun lo hi f -> range t ~lo ~hi f)
+    ~recover:(fun () -> recover t)
+    ~close:(fun () -> Arena.drain t.arena)
+    ()
 
 let min_entry t =
   let a = t.arena and l = t.layout in
@@ -633,3 +633,47 @@ let cardinal t =
     else go (L.sibling a n) (acc + List.length (Node.entries_debug a l n))
   in
   go (leftmost (root t)) 0
+
+(* ------------------------------------------------------------------ *)
+(* Registry descriptors: one per policy/lock variant                   *)
+(* ------------------------------------------------------------------ *)
+
+let descriptor ~name ~summary ?split_policy ?(leaf_read_locks = false) () =
+  let module D = Ff_index.Descriptor in
+  {
+    D.name;
+    summary;
+    caps =
+      {
+        D.has_range = true;
+        has_delete = true;
+        has_recovery = true;
+        is_persistent = true;
+        lock_modes = [ Locks.Single; Locks.Sim ];
+        tunable_node_bytes = true;
+      };
+    build =
+      (fun cfg a ->
+        ops
+          (create ?node_bytes:cfg.D.node_bytes ?split_policy
+             ~lock_mode:cfg.D.lock_mode ~leaf_read_locks a));
+    open_existing =
+      (fun cfg a ->
+        ops
+          (open_existing ?node_bytes:cfg.D.node_bytes ?split_policy
+             ~lock_mode:cfg.D.lock_mode ~leaf_read_locks a));
+  }
+
+let () =
+  let r = Ff_index.Registry.register in
+  r
+    (descriptor ~name:"fastfair"
+       ~summary:"FAST+FAIR persistent B+-tree (the paper's design)" ());
+  r
+    (descriptor ~name:"fastfair-logged"
+       ~summary:"FAST with legacy logged splits (Figure 5's FAST+Logging)"
+       ~split_policy:Logged ());
+  r
+    (descriptor ~name:"fastfair-leaflock"
+       ~summary:"FAST+FAIR with serializable leaf read locks (Section 4.1)"
+       ~leaf_read_locks:true ())

@@ -130,6 +130,59 @@ let new_leaf t =
   Arena.flush_range t.arena n t.leaf_words;
   n
 
+(* Rebuild the volatile inner levels bottom-up from the leaf chain.
+   This is a restart cost, not a crash-repair step: the DRAM inners
+   exist only in this process, so {e every} reopen must pay it before
+   the tree can route keys (the uLog replay in [recover] is the
+   crash-repair part). *)
+let rebuild_inners t =
+  let head = Arena.root_get t.arena t.root_slot in
+  let rec leaves n acc = if n = 0 then List.rev acc else leaves (sibling t n) (n :: acc) in
+  let chain = leaves head [] in
+  let seps =
+    List.filter_map (fun n -> Option.map (fun k -> (k, n)) (leaf_min_key t n)) chain
+  in
+  let nodes = List.map (fun (k, n) -> (k, Leaf n)) seps in
+  (* Build levels bottom-up: each (k, c) pair is a subtree covering
+     keys >= k; within a parent, the i-th child's lower bound is the
+     (i-1)-th routing key. *)
+  let rec build nodes =
+    match nodes with
+    | [] -> Leaf head
+    | [ (_, c) ] -> c
+    | _ ->
+        let fan = t.inner_fanout in
+        let rec chunk l acc =
+          match l with
+          | [] -> List.rev acc
+          | _ ->
+              let rec take n l got =
+                match l with
+                | x :: rest when n > 0 -> take (n - 1) rest (x :: got)
+                | _ -> (List.rev got, l)
+              in
+              let grp, rest = take (fan + 1) l [] in
+              chunk rest (grp :: acc)
+        in
+        let parent grp =
+          match grp with
+          | [] -> assert false
+          | (k0, _) :: _ ->
+              let m = List.length grp in
+              let ka = Array.make fan 0 in
+              let ca = Array.make (fan + 1) (Leaf 0) in
+              List.iteri
+                (fun i (k, c) ->
+                  ca.(i) <- c;
+                  if i > 0 then ka.(i - 1) <- k)
+                grp;
+              (k0, Inner { keys = ka; children = ca; n = m - 1 })
+        in
+        build (List.map parent (chunk nodes []))
+  in
+  t.root <- build nodes;
+  Hashtbl.reset t.versions
+
 (* ------------------------------------------------------------------ *)
 (* Creation                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -143,8 +196,8 @@ let create ?leaf_bytes ?inner_fanout ?root_slot ?lock_mode arena =
 
 let open_existing ?leaf_bytes ?inner_fanout ?root_slot ?lock_mode arena =
   let t = make ?leaf_bytes ?inner_fanout ?root_slot ?lock_mode arena in
-  t.root <- Leaf (Arena.root_get arena t.root_slot);
   t.log_area <- Arena.root_get arena (t.root_slot + 1);
+  rebuild_inners t;
   t
 
 (* ------------------------------------------------------------------ *)
@@ -461,64 +514,44 @@ let recover t =
      end;
      log_split_end t
    end);
-  (* Rebuild the volatile inner levels bottom-up from the leaf chain. *)
-  let head = Arena.root_get t.arena t.root_slot in
-  let rec leaves n acc = if n = 0 then List.rev acc else leaves (sibling t n) (n :: acc) in
-  let chain = leaves head [] in
-  let seps =
-    List.filter_map (fun n -> Option.map (fun k -> (k, n)) (leaf_min_key t n)) chain
-  in
-  let nodes = List.map (fun (k, n) -> (k, Leaf n)) seps in
-  (* Build levels bottom-up: each (k, c) pair is a subtree covering
-     keys >= k; within a parent, the i-th child's lower bound is the
-     (i-1)-th routing key. *)
-  let rec build nodes =
-    match nodes with
-    | [] -> Leaf head
-    | [ (_, c) ] -> c
-    | _ ->
-        let fan = t.inner_fanout in
-        let rec chunk l acc =
-          match l with
-          | [] -> List.rev acc
-          | _ ->
-              let rec take n l got =
-                match l with
-                | x :: rest when n > 0 -> take (n - 1) rest (x :: got)
-                | _ -> (List.rev got, l)
-              in
-              let grp, rest = take (fan + 1) l [] in
-              chunk rest (grp :: acc)
-        in
-        let parent grp =
-          match grp with
-          | [] -> assert false
-          | (k0, _) :: _ ->
-              let m = List.length grp in
-              let ka = Array.make fan 0 in
-              let ca = Array.make (fan + 1) (Leaf 0) in
-              List.iteri
-                (fun i (k, c) ->
-                  ca.(i) <- c;
-                  if i > 0 then ka.(i - 1) <- k)
-                grp;
-              (k0, Inner { keys = ka; children = ca; n = m - 1 })
-        in
-        build (List.map parent (chunk nodes []))
-  in
-  t.root <- build nodes;
-  Hashtbl.reset t.versions
+  (* The replay may have changed leaf occupancy; rebuild routing. *)
+  rebuild_inners t
 
 let height t =
   let rec go = function Leaf _ -> 1 | Inner i -> 1 + go i.children.(0) in
   go t.root
 
 let ops t =
-  {
-    Intf.name = "fptree";
-    insert = (fun k v -> insert t ~key:k ~value:v);
-    search = (fun k -> search t k);
-    delete = (fun k -> delete t k);
-    range = (fun lo hi f -> range t ~lo ~hi f);
-    recover = (fun () -> recover t);
-  }
+  Intf.make ~name:"fptree"
+    ~insert:(fun k v -> insert t ~key:k ~value:v)
+    ~search:(fun k -> search t k)
+    ~delete:(fun k -> delete t k)
+    ~range:(fun lo hi f -> range t ~lo ~hi f)
+    ~recover:(fun () -> recover t)
+    ~close:(fun () -> Arena.drain t.arena)
+    ()
+
+let () =
+  let module D = Ff_index.Descriptor in
+  Ff_index.Registry.register
+    {
+      D.name = "fptree";
+      summary = "FP-tree baseline (fingerprinted PM leaves, volatile inner levels)";
+      caps =
+        {
+          D.has_range = true;
+          has_delete = true;
+          has_recovery = true;
+          is_persistent = true;
+          lock_modes = [ Locks.Single; Locks.Sim ];
+          tunable_node_bytes = true;
+        };
+      build =
+        (fun cfg a ->
+          ops (create ?leaf_bytes:cfg.D.node_bytes ~lock_mode:cfg.D.lock_mode a));
+      open_existing =
+        (fun cfg a ->
+          ops
+            (open_existing ?leaf_bytes:cfg.D.node_bytes
+               ~lock_mode:cfg.D.lock_mode a));
+    }

@@ -24,8 +24,11 @@ val create :
 val open_existing :
   ?leaf_bytes:int -> ?inner_fanout:int -> ?root_slot:int ->
   ?lock_mode:Ff_index.Locks.mode -> Ff_pmem.Arena.t -> t
-(** Reattach after a crash; {!recover} must run before use (the inner
-    levels are gone). *)
+(** Reattach to a persisted image.  The volatile inner levels are
+    rebuilt from the leaf chain immediately (a restart cost every
+    reopen pays — the non-instant restart the paper criticizes); after
+    a crash, {!recover} must still run before relying on the tree (it
+    replays the leaf-split micro-log). *)
 
 val insert : t -> key:int -> value:int -> unit
 val search : t -> int -> int option
@@ -33,9 +36,8 @@ val delete : t -> int -> bool
 val range : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
 
 val recover : t -> unit
-(** Walk the persistent leaf chain and rebuild all inner nodes —
-    the non-instant recovery the paper criticizes.  Also replays the
-    leaf-split micro-log. *)
+(** Replay the leaf-split micro-log, then rebuild the inner levels
+    from the (possibly repaired) leaf chain. *)
 
 val ops : t -> Ff_index.Intf.ops
 val height : t -> int

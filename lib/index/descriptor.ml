@@ -1,0 +1,46 @@
+type caps = {
+  has_range : bool;
+  has_delete : bool;
+  has_recovery : bool;
+  is_persistent : bool;
+  lock_modes : Locks.mode list;
+  tunable_node_bytes : bool;
+}
+
+type config = { node_bytes : int option; lock_mode : Locks.mode }
+
+let default_config = { node_bytes = None; lock_mode = Locks.Single }
+
+type t = {
+  name : string;
+  summary : string;
+  caps : caps;
+  build : config -> Ff_pmem.Arena.t -> Intf.ops;
+  open_existing : config -> Ff_pmem.Arena.t -> Intf.ops;
+}
+
+let supports_lock_mode d mode = List.mem mode d.caps.lock_modes
+
+(* FNV-1a over the name, folded into a positive OCaml int.  Stable
+   across runs (no randomized hashing): the value is persisted in the
+   arena's root-slot manifest and must resolve after a reload. *)
+let name_hash name =
+  let h = ref 0x2bf29ce484222325 (* FNV offset basis, truncated to fit *) in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    name;
+  let h = !h land max_int in
+  if h = 0 then 1 else h
+
+let caps_line d =
+  let b v = if v then "yes" else "-" in
+  Printf.sprintf "range=%s delete=%s recovery=%s persistent=%s locks=%s node-size=%s"
+    (b d.caps.has_range) (b d.caps.has_delete) (b d.caps.has_recovery)
+    (b d.caps.is_persistent)
+    (String.concat "/"
+       (List.map
+          (function Locks.Single -> "single" | Locks.Sim -> "sim")
+          d.caps.lock_modes))
+    (if d.caps.tunable_node_bytes then "tunable" else "fixed")

@@ -1,0 +1,50 @@
+(** Capability-typed index descriptors.
+
+    A descriptor packages everything a driver needs to use an index
+    structure generically: how to build a fresh instance on an arena,
+    how to reattach to a persisted one, and a capability record that
+    says which parts of the uniform {!Intf.ops} contract the structure
+    actually honours (so harnesses can skip, not crash, on structures
+    that e.g. cannot recover).  Structures register their descriptors
+    in {!Registry} at module-initialization time. *)
+
+type caps = {
+  has_range : bool;      (** ordered range scans *)
+  has_delete : bool;
+  has_recovery : bool;   (** can be reopened and validated after an
+                             arbitrary crash point *)
+  is_persistent : bool;  (** contents survive {!Ff_pmem.Arena.power_fail}
+                             and an image save/reload *)
+  lock_modes : Locks.mode list;  (** supported driver lock modes *)
+  tunable_node_bytes : bool;     (** honours [config.node_bytes] *)
+}
+
+type config = {
+  node_bytes : int option;
+      (** node (or leaf) size in bytes; [None] = structure default.
+          Ignored by structures with [tunable_node_bytes = false]. *)
+  lock_mode : Locks.mode;
+}
+
+val default_config : config
+(** [{ node_bytes = None; lock_mode = Single }] *)
+
+type t = {
+  name : string;             (** unique registry key *)
+  summary : string;          (** one-line description *)
+  caps : caps;
+  build : config -> Ff_pmem.Arena.t -> Intf.ops;
+      (** fresh instance on an empty region of the arena *)
+  open_existing : config -> Ff_pmem.Arena.t -> Intf.ops;
+      (** reattach to a persisted instance (after a crash or an image
+          reload); the caller runs [ops.recover] before relying on it *)
+}
+
+val supports_lock_mode : t -> Locks.mode -> bool
+
+val name_hash : string -> int
+(** Stable positive hash of a descriptor name; persisted in the
+    root-slot manifest (see {!Registry}). *)
+
+val caps_line : t -> string
+(** Human-readable capability summary. *)

@@ -5,7 +5,30 @@ type ops = {
   delete : int -> bool;
   range : int -> int -> (int -> int -> unit) -> unit;
   recover : unit -> unit;
+  update : int -> int -> bool;
+  bulk_insert : (int * int) array -> unit;
+  close : unit -> unit;
 }
+
+let make ~name ~insert ~search ~delete ~range ~recover ?update ?bulk_insert
+    ?(close = fun () -> ()) () =
+  let update =
+    match update with
+    | Some u -> u
+    | None -> (
+        fun k v ->
+          match search k with
+          | None -> false
+          | Some _ ->
+              insert k v;
+              true)
+  in
+  let bulk_insert =
+    match bulk_insert with
+    | Some b -> b
+    | None -> fun pairs -> Array.iter (fun (k, v) -> insert k v) pairs
+  in
+  { name; insert; search; delete; range; recover; update; bulk_insert; close }
 
 let range_count t lo hi =
   let n = ref 0 in

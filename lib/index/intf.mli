@@ -18,7 +18,31 @@ type ops = {
           in ascending order. *)
   recover : unit -> unit;
       (** Reattach/rebuild after a crash ({!Ff_pmem.Arena.power_fail}). *)
+  update : int -> int -> bool;
+      (** [update key value] overwrites an existing binding; returns
+          false (and stores nothing) when the key is absent. *)
+  bulk_insert : (int * int) array -> unit;
+      (** Insert many (key, value) pairs; structures with a cheaper
+          bulk path may override the default insert loop. *)
+  close : unit -> unit;
+      (** Quiesce the index: persist pending stores so the arena image
+          is complete.  The handle must not be used afterwards. *)
 }
+
+val make :
+  name:string ->
+  insert:(int -> int -> unit) ->
+  search:(int -> int option) ->
+  delete:(int -> bool) ->
+  range:(int -> int -> (int -> int -> unit) -> unit) ->
+  recover:(unit -> unit) ->
+  ?update:(int -> int -> bool) ->
+  ?bulk_insert:((int * int) array -> unit) ->
+  ?close:(unit -> unit) ->
+  unit ->
+  ops
+(** Smart constructor.  [update] defaults to search-then-insert,
+    [bulk_insert] to an insert loop, [close] to a no-op. *)
 
 val range_count : ops -> int -> int -> int
 (** Number of entries a range query visits. *)

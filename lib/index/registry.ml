@@ -1,0 +1,84 @@
+module Arena = Ff_pmem.Arena
+
+let table : (string, Descriptor.t) Hashtbl.t = Hashtbl.create 16
+let by_hash : (int, Descriptor.t) Hashtbl.t = Hashtbl.create 16
+
+let register (d : Descriptor.t) =
+  if Hashtbl.mem table d.name then
+    invalid_arg ("Registry.register: duplicate index name " ^ d.name);
+  let h = Descriptor.name_hash d.name in
+  (match Hashtbl.find_opt by_hash h with
+  | Some other ->
+      invalid_arg
+        (Printf.sprintf "Registry.register: name hash collision: %s vs %s"
+           other.Descriptor.name d.name)
+  | None -> ());
+  Hashtbl.replace table d.name d;
+  Hashtbl.replace by_hash h d
+
+let names () = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) table [])
+let all () = List.filter_map (Hashtbl.find_opt table) (names ())
+let find name = Hashtbl.find_opt table name
+
+let find_exn name =
+  match find name with
+  | Some d -> d
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown index %S (registered: %s)" name
+           (String.concat ", " (names ())))
+
+(* ------------------------------------------------------------------ *)
+(* Root-slot manifest                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The top three of the arena's reserved root slots record which
+   registered structure owns the image and with what node size, so an
+   arbitrary persisted arena can be reopened without out-of-band
+   knowledge.  Each root_set is store + flush + fence, and the magic is
+   written last, so a crash mid-manifest leaves the image unnamed
+   rather than misnamed. *)
+let slot_magic = 61
+let slot_id = 62
+let slot_node_bytes = 63
+let magic = 0x46464d31 (* "FFM1" *)
+
+let write_manifest arena (d : Descriptor.t) (config : Descriptor.config) =
+  Arena.root_set arena slot_id (Descriptor.name_hash d.name);
+  Arena.root_set arena slot_node_bytes
+    (match config.node_bytes with Some b -> b | None -> 0);
+  Arena.root_set arena slot_magic magic
+
+let manifest arena =
+  if Arena.root_get arena slot_magic <> magic then None
+  else
+    match Hashtbl.find_opt by_hash (Arena.root_get arena slot_id) with
+    | None -> None
+    | Some d ->
+        let nb = Arena.root_get arena slot_node_bytes in
+        Some
+          ( d,
+            {
+              Descriptor.node_bytes = (if nb = 0 then None else Some nb);
+              lock_mode = Locks.Single;
+            } )
+
+let build ?(config = Descriptor.default_config) name arena =
+  let d = find_exn name in
+  let ops = d.Descriptor.build config arena in
+  write_manifest arena d config;
+  { ops with Intf.name = d.Descriptor.name }
+
+let open_existing ?lock_mode arena =
+  match manifest arena with
+  | None ->
+      invalid_arg
+        "Registry.open_existing: arena carries no index manifest (build it \
+         through Registry.build)"
+  | Some (d, config) ->
+      let config =
+        match lock_mode with
+        | Some m -> { config with Descriptor.lock_mode = m }
+        | None -> config
+      in
+      { (d.Descriptor.open_existing config arena) with Intf.name = d.Descriptor.name }

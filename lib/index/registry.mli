@@ -1,0 +1,43 @@
+(** First-class registry of index {!Descriptor}s.
+
+    Every index library self-registers its descriptor(s) at
+    module-initialization time (their dune stanzas pass [-linkall] so
+    linking the library is enough).  Drivers — the benchmark harness,
+    [ffcli], the crash harness, tests — resolve structures by name
+    instead of hard-coding builder tables, so adding a new PM index is
+    a one-file change.
+
+    The registry also owns the {e root-slot manifest}: {!build} stamps
+    three reserved arena root slots (magic, descriptor-name hash, node
+    size) so that {!open_existing} can reopen {e any} persisted arena
+    image — e.g. one reloaded via {!Ff_pmem.Arena.load_from_file} —
+    without being told what index it holds. *)
+
+val register : Descriptor.t -> unit
+(** @raise Invalid_argument on duplicate names. *)
+
+val names : unit -> string list
+(** Sorted names of all registered descriptors. *)
+
+val all : unit -> Descriptor.t list
+
+val find : string -> Descriptor.t option
+
+val find_exn : string -> Descriptor.t
+(** @raise Invalid_argument with the registered-name list. *)
+
+val build :
+  ?config:Descriptor.config -> string -> Ff_pmem.Arena.t -> Intf.ops
+(** Build a fresh index by registry name and write the root-slot
+    manifest.  The returned ops carry the descriptor name. *)
+
+val manifest :
+  Ff_pmem.Arena.t -> (Descriptor.t * Descriptor.config) option
+(** Decode the root-slot manifest, if the arena carries one whose
+    descriptor is registered. *)
+
+val open_existing :
+  ?lock_mode:Locks.mode -> Ff_pmem.Arena.t -> Intf.ops
+(** Reattach to whatever index the arena's manifest names, with the
+    persisted node size.  The caller runs [ops.recover] before use.
+    @raise Invalid_argument when the arena carries no manifest. *)

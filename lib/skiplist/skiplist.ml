@@ -231,11 +231,38 @@ let length t =
   !n
 
 let ops t =
-  {
-    Intf.name = "skiplist";
-    insert = (fun k v -> insert t ~key:k ~value:v);
-    search = (fun k -> search t k);
-    delete = (fun k -> delete t k);
-    range = (fun lo hi f -> range t ~lo ~hi f);
-    recover = (fun () -> recover t);
-  }
+  Intf.make ~name:"skiplist"
+    ~insert:(fun k v -> insert t ~key:k ~value:v)
+    ~search:(fun k -> search t k)
+    ~delete:(fun k -> delete t k)
+    ~range:(fun lo hi f -> range t ~lo ~hi f)
+    ~recover:(fun () -> recover t)
+    ~close:(fun () -> Arena.drain t.arena)
+    ()
+
+let () =
+  let module D = Ff_index.Descriptor in
+  Ff_index.Registry.register
+    {
+      D.name = "skiplist";
+      summary = "persistent SkipList baseline (PM level-0 list, volatile towers)";
+      caps =
+        {
+          D.has_range = true;
+          has_delete = true;
+          has_recovery = true;
+          is_persistent = true;
+          lock_modes = [ Locks.Single; Locks.Sim ];
+          tunable_node_bytes = false;
+        };
+      build =
+        (fun cfg a ->
+          let s = create a in
+          set_lock_mode s cfg.D.lock_mode;
+          ops s);
+      open_existing =
+        (fun cfg a ->
+          let s = open_existing a in
+          set_lock_mode s cfg.D.lock_mode;
+          ops s);
+    }

@@ -1,6 +1,7 @@
 module Arena = Ff_pmem.Arena
 module Prng = Ff_util.Prng
 module Intf = Ff_index.Intf
+module Descriptor = Ff_index.Descriptor
 
 type config = {
   warehouses : int;
@@ -123,6 +124,13 @@ let load ~arena index cfg =
     done
   done;
   t
+
+(* Order-Status and Stock-Level scan; a structure without ordered
+   range queries cannot host the tables. *)
+let load_descriptor ~arena ?(dconfig = Descriptor.default_config) d cfg =
+  if not d.Descriptor.caps.Descriptor.has_range then
+    invalid_arg ("Tpcc: index " ^ d.Descriptor.name ^ " lacks range scans");
+  load ~arena (d.Descriptor.build dconfig arena) cfg
 
 (* ------------------------------------------------------------------ *)
 (* Transactions                                                        *)

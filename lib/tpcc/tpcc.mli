@@ -30,6 +30,15 @@ type t
 val load : arena:Ff_pmem.Arena.t -> Ff_index.Intf.ops -> config -> t
 (** Populate items, warehouses, districts, customers and stock. *)
 
+val load_descriptor :
+  arena:Ff_pmem.Arena.t ->
+  ?dconfig:Ff_index.Descriptor.config ->
+  Ff_index.Descriptor.t ->
+  config ->
+  t
+(** {!load} over an index built from a registry descriptor.
+    @raise Invalid_argument if the descriptor lacks range scans. *)
+
 (** {1 Transactions} *)
 
 val new_order : t -> unit

@@ -505,11 +505,31 @@ let check t =
   List.rev !acc
 
 let ops t =
-  {
-    Intf.name = "wbtree";
-    insert = (fun k v -> insert t ~key:k ~value:v);
-    search = (fun k -> search t k);
-    delete = (fun k -> delete t k);
-    range = (fun lo hi f -> range t ~lo ~hi f);
-    recover = (fun () -> recover t);
-  }
+  Intf.make ~name:"wbtree"
+    ~insert:(fun k v -> insert t ~key:k ~value:v)
+    ~search:(fun k -> search t k)
+    ~delete:(fun k -> delete t k)
+    ~range:(fun lo hi f -> range t ~lo ~hi f)
+    ~recover:(fun () -> recover t)
+    ~close:(fun () -> Arena.drain t.arena)
+    ()
+
+let () =
+  let module D = Ff_index.Descriptor in
+  Ff_index.Registry.register
+    {
+      D.name = "wbtree";
+      summary = "wB+-tree baseline (slot-array + bitmap nodes, logged splits)";
+      caps =
+        {
+          D.has_range = true;
+          has_delete = true;
+          has_recovery = true;
+          is_persistent = true;
+          lock_modes = [ Ff_index.Locks.Single ];
+          tunable_node_bytes = true;
+        };
+      build = (fun cfg a -> ops (create ?node_bytes:cfg.D.node_bytes a));
+      open_existing =
+        (fun cfg a -> ops (open_existing ?node_bytes:cfg.D.node_bytes a));
+    }

@@ -2,6 +2,7 @@ module Arena = Ff_pmem.Arena
 module Storelog = Ff_pmem.Storelog
 module Prng = Ff_util.Prng
 module Intf = Ff_index.Intf
+module Descriptor = Ff_index.Descriptor
 
 type outcome = { points : int; tolerated : int; recovered : int; store_span : int }
 
@@ -11,6 +12,9 @@ let enumerate ?(max_points = 256) ?mode ~base ~reopen ~batch ~validate () =
     | Some m -> m
     | None -> fun k -> Storelog.Random_eviction (Prng.create k)
   in
+  (* A reader that cannot tolerate the crash state may raise rather
+     than miss; count that as failed validation, not a harness error. *)
+  let validate t = try validate t with _ -> false in
   Arena.drain base;
   let store_span =
     let c = Arena.clone base in
@@ -36,3 +40,12 @@ let enumerate ?(max_points = 256) ?mode ~base ~reopen ~batch ~validate () =
     k := !k + step
   done;
   { points = !points; tolerated = !tolerated; recovered = !recovered; store_span }
+
+let enumerate_descriptor ?max_points ?mode ?(config = Descriptor.default_config)
+    ~base ~descriptor ~batch ~validate () =
+  if not descriptor.Descriptor.caps.Descriptor.has_recovery then None
+  else
+    Some
+      (enumerate ?max_points ?mode ~base
+         ~reopen:(descriptor.Descriptor.open_existing config)
+         ~batch ~validate ())

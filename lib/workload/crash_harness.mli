@@ -31,4 +31,21 @@ val enumerate :
     pre-recovery and once after calling the ops' [recover]).
     [max_points] (default 256) samples evenly across the store span;
     [mode] picks the crash semantics per point (default
-    [Random_eviction] seeded by the point). *)
+    [Random_eviction] seeded by the point).  A [validate] call that
+    raises counts as failed validation (a reader may crash, not just
+    miss, on an intolerable transient state). *)
+
+val enumerate_descriptor :
+  ?max_points:int ->
+  ?mode:(int -> Ff_pmem.Storelog.crash_mode) ->
+  ?config:Ff_index.Descriptor.config ->
+  base:Ff_pmem.Arena.t ->
+  descriptor:Ff_index.Descriptor.t ->
+  batch:(Ff_index.Intf.ops -> unit) ->
+  validate:(Ff_index.Intf.ops -> bool) ->
+  unit ->
+  outcome option
+(** {!enumerate} with [reopen] supplied by a registry descriptor.
+    Returns [None] when the descriptor's capabilities exclude recovery
+    (e.g. a volatile structure), so generic sweeps can skip instead of
+    fail. *)

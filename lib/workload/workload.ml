@@ -69,4 +69,5 @@ let run_op (t : Intf.ops) op =
 
 let run_trace t ops = Array.fold_left (fun acc op -> acc + run_op t op) 0 ops
 
-let load_keys t keys = Array.iter (fun k -> t.Intf.insert k (value_of k)) keys
+let load_keys t keys =
+  t.Intf.bulk_insert (Array.map (fun k -> (k, value_of k)) keys)

@@ -259,11 +259,30 @@ let range t ~lo ~hi f =
 let recover _t = ()
 
 let ops t =
-  {
-    Intf.name = "wort";
-    insert = (fun k v -> insert t ~key:k ~value:v);
-    search = (fun k -> search t k);
-    delete = (fun k -> delete t k);
-    range = (fun lo hi f -> range t ~lo ~hi f);
-    recover = (fun () -> recover t);
-  }
+  Intf.make ~name:"wort"
+    ~insert:(fun k v -> insert t ~key:k ~value:v)
+    ~search:(fun k -> search t k)
+    ~delete:(fun k -> delete t k)
+    ~range:(fun lo hi f -> range t ~lo ~hi f)
+    ~recover:(fun () -> recover t)
+    ~close:(fun () -> Arena.drain t.arena)
+    ()
+
+let () =
+  let module D = Ff_index.Descriptor in
+  Ff_index.Registry.register
+    {
+      D.name = "wort";
+      summary = "WORT baseline (write-optimal radix tree, 4-bit span)";
+      caps =
+        {
+          D.has_range = true;
+          has_delete = true;
+          has_recovery = true;
+          is_persistent = true;
+          lock_modes = [ Ff_index.Locks.Single ];
+          tunable_node_bytes = false;
+        };
+      build = (fun _cfg a -> ops (create a));
+      open_existing = (fun _cfg a -> ops (open_existing a));
+    }

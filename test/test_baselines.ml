@@ -5,6 +5,8 @@
 open Ff_pmem
 module Prng = Ff_util.Prng
 module Intf = Ff_index.Intf
+module D = Ff_index.Descriptor
+module Registry = Ff_index.Registry
 
 let value_of k = (2 * k) + 1
 
@@ -16,36 +18,23 @@ type maker = {
   reopen : (Arena.t -> Intf.ops) option; (* None = volatile *)
 }
 
-let makers =
-  [
+(* Makers come from the registry; only the comparator baselines are
+   exercised here (fastfair has its own suites). *)
+let maker_of name =
+  let d = Registry.find_exn name in
+  let cfg =
     {
-      label = "wbtree";
-      build = (fun a -> Ff_wbtree.Wbtree.ops (Ff_wbtree.Wbtree.create ~node_bytes:256 a));
-      reopen =
-        Some (fun a -> Ff_wbtree.Wbtree.ops (Ff_wbtree.Wbtree.open_existing ~node_bytes:256 a));
-    };
-    {
-      label = "fptree";
-      build = (fun a -> Ff_fptree.Fptree.ops (Ff_fptree.Fptree.create ~leaf_bytes:256 a));
-      reopen =
-        Some (fun a -> Ff_fptree.Fptree.ops (Ff_fptree.Fptree.open_existing ~leaf_bytes:256 a));
-    };
-    {
-      label = "wort";
-      build = (fun a -> Ff_wort.Wort.ops (Ff_wort.Wort.create a));
-      reopen = Some (fun a -> Ff_wort.Wort.ops (Ff_wort.Wort.open_existing a));
-    };
-    {
-      label = "skiplist";
-      build = (fun a -> Ff_skiplist.Skiplist.ops (Ff_skiplist.Skiplist.create a));
-      reopen = Some (fun a -> Ff_skiplist.Skiplist.ops (Ff_skiplist.Skiplist.open_existing a));
-    };
-    {
-      label = "blink";
-      build = (fun a -> Ff_blink.Blink.ops (Ff_blink.Blink.create ~fanout:8 a));
-      reopen = None;
-    };
-  ]
+      D.default_config with
+      D.node_bytes = (if d.D.caps.D.tunable_node_bytes then Some 256 else None);
+    }
+  in
+  {
+    label = name;
+    build = d.D.build cfg;
+    reopen = (if d.D.caps.D.has_recovery then Some (d.D.open_existing cfg) else None);
+  }
+
+let makers = List.map maker_of [ "wbtree"; "fptree"; "wort"; "skiplist"; "blink" ]
 
 let test_basic m () =
   let a = mk_arena () in

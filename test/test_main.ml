@@ -13,5 +13,6 @@ let () =
       ("fastfair-extra", Test_fastfair_extra.suite);
       ("kv", Test_kv.suite);
       ("harness", Test_harness.suite);
+      ("registry", Test_registry.suite);
       ("trace", Test_trace.suite);
     ]

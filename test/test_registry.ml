@@ -1,0 +1,178 @@
+(* Registry-generic coverage: every registered descriptor gets a
+   model-cross-checked fuzz, a capability-gated crash-point sweep, and
+   a persist -> power-fail -> reopen round trip that goes through the
+   root-slot manifest (no out-of-band knowledge of what the image
+   holds). *)
+
+open Ff_pmem
+module Prng = Ff_util.Prng
+module Intf = Ff_index.Intf
+module D = Ff_index.Descriptor
+module Registry = Ff_index.Registry
+module Harness = Ff_workload.Crash_harness
+
+let value_of k = (2 * k) + 1
+let mk_arena ?(words = 1 lsl 21) () = Arena.create ~words ()
+
+let small_config d =
+  {
+    D.default_config with
+    D.node_bytes = (if d.D.caps.D.tunable_node_bytes then Some 256 else None);
+  }
+
+let expected_names =
+  [
+    "blink"; "fastfair"; "fastfair-kv"; "fastfair-leaflock"; "fastfair-logged";
+    "fptree"; "skiplist"; "wbtree"; "wort";
+  ]
+
+let test_names () =
+  Alcotest.(check (list string)) "registered" expected_names (Registry.names ())
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_unknown_name () =
+  Alcotest.(check bool) "find" true (Registry.find "no-such-index" = None);
+  match Registry.find_exn "no-such-index" with
+  | _ -> Alcotest.fail "find_exn should raise"
+  | exception Invalid_argument msg ->
+      List.iter
+        (fun n ->
+          Alcotest.(check bool) (n ^ " listed in error") true (contains msg n))
+        expected_names
+
+(* Model-cross-checked fuzz through the full extended ops contract
+   (insert / search / delete / update / bulk_insert / close), built by
+   registry name so the manifest path is exercised too. *)
+let test_fuzz d () =
+  let a = mk_arena () in
+  let config = small_config d in
+  let t = Registry.build ~config d.D.name a in
+  Alcotest.(check string) "ops name stamped" d.D.name t.Intf.name;
+  (match Registry.manifest a with
+  | Some (d', cfg) ->
+      Alcotest.(check string) "manifest name" d.D.name d'.D.name;
+      Alcotest.(check bool) "manifest node size" true (cfg.D.node_bytes = config.D.node_bytes)
+  | None -> Alcotest.fail "manifest missing after Registry.build");
+  let model = Hashtbl.create 512 in
+  let seed_keys = Array.init 64 (fun i -> (i + 1) * 101) in
+  t.Intf.bulk_insert (Array.map (fun k -> (k, value_of k)) seed_keys);
+  Array.iter (fun k -> Hashtbl.replace model k (value_of k)) seed_keys;
+  let rng = Prng.create (D.name_hash d.D.name land 0xffff) in
+  for _ = 1 to 2500 do
+    let k = 1 + Prng.int rng 4000 in
+    match Prng.int rng 12 with
+    | (0 | 1) when d.D.caps.D.has_delete ->
+        let expected = Hashtbl.mem model k in
+        Alcotest.(check bool) "delete" expected (t.Intf.delete k);
+        Hashtbl.remove model k
+    | 2 | 3 ->
+        Alcotest.(check (option int)) "search" (Hashtbl.find_opt model k) (t.Intf.search k)
+    | 4 ->
+        let expected = Hashtbl.mem model k in
+        Alcotest.(check bool) "update" expected (t.Intf.update k (k + 7));
+        if expected then Hashtbl.replace model k (k + 7)
+    | _ ->
+        t.Intf.insert k (value_of k);
+        Hashtbl.replace model k (value_of k)
+  done;
+  Hashtbl.iter
+    (fun k v -> Alcotest.(check (option int)) "model" (Some v) (t.Intf.search k))
+    model;
+  if d.D.caps.D.has_range then begin
+    let scanned = ref 0 in
+    t.Intf.range 1 10_000 (fun k v ->
+        incr scanned;
+        Alcotest.(check (option int)) "range pair" (Some v) (Hashtbl.find_opt model k));
+    Alcotest.(check int) "range complete" (Hashtbl.length model) !scanned
+  end;
+  t.Intf.close ()
+
+(* Capability-gated crash-point sweep: every recoverable descriptor
+   must validate at every sampled crash point after recovery; the
+   volatile ones must be skipped (None), not crash the sweep. *)
+let test_crash_sweep d () =
+  let base = Arena.create ~words:(1 lsl 20) () in
+  let config = small_config d in
+  let t = d.D.build config base in
+  let keys = List.init 120 (fun i -> (i + 1) * 3) in
+  List.iter (fun k -> t.Intf.insert k (value_of k)) keys;
+  let batch (t : Intf.ops) =
+    for i = 1 to 10 do
+      t.Intf.insert (10_000 + i) (value_of (10_000 + i))
+    done;
+    if d.D.caps.D.has_delete then ignore (t.Intf.delete 3)
+  in
+  let validate (t : Intf.ops) =
+    List.for_all (fun k -> k = 3 || t.Intf.search k = Some (value_of k)) keys
+  in
+  match
+    Harness.enumerate_descriptor ~max_points:40 ~config ~base ~descriptor:d
+      ~batch ~validate ()
+  with
+  | None ->
+      Alcotest.(check bool)
+        (d.D.name ^ " skipped only when volatile")
+        false d.D.caps.D.has_recovery
+  | Some o ->
+      Alcotest.(check bool) (d.D.name ^ " span > 0") true (o.Harness.store_span > 0);
+      Alcotest.(check int)
+        (d.D.name ^ " recovered everywhere")
+        o.Harness.points o.Harness.recovered
+
+(* Unified persistent lifecycle: build by name, close, save the image,
+   reload it, reopen purely from the manifest (no name supplied), and
+   find everything intact. *)
+let test_persist_roundtrip d () =
+  let a = mk_arena () in
+  let config = small_config d in
+  let t = Registry.build ~config d.D.name a in
+  let keys = Array.init 400 (fun i -> (i * 17) + 1) in
+  t.Intf.bulk_insert (Array.map (fun k -> (k, value_of k)) keys);
+  t.Intf.close ();
+  let file = Filename.temp_file "ffreg" ".img" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Arena.save_to_file a file;
+      let b = Arena.load_from_file file in
+      Arena.power_fail b Storelog.Keep_all;
+      let t' = Registry.open_existing b in
+      Alcotest.(check string) "manifest routes reopen" d.D.name t'.Intf.name;
+      t'.Intf.recover ();
+      Array.iter
+        (fun k ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "%s key %d" d.D.name k)
+            (Some (value_of k)) (t'.Intf.search k))
+        keys;
+      t'.Intf.close ())
+
+let test_no_manifest () =
+  let a = mk_arena () in
+  match Registry.open_existing a with
+  | _ -> Alcotest.fail "open_existing on blank arena should raise"
+  | exception Invalid_argument _ -> ()
+
+let per_descriptor d =
+  let fuzz = [ Alcotest.test_case (d.D.name ^ " registry fuzz") `Quick (test_fuzz d) ] in
+  let sweep =
+    [ Alcotest.test_case (d.D.name ^ " crash sweep") `Quick (test_crash_sweep d) ]
+  in
+  let persist =
+    if d.D.caps.D.is_persistent then
+      [ Alcotest.test_case (d.D.name ^ " persist roundtrip") `Quick (test_persist_roundtrip d) ]
+    else []
+  in
+  fuzz @ sweep @ persist
+
+let suite =
+  [
+    Alcotest.test_case "registered names" `Quick test_names;
+    Alcotest.test_case "unknown name error" `Quick test_unknown_name;
+    Alcotest.test_case "no manifest" `Quick test_no_manifest;
+  ]
+  @ List.concat_map per_descriptor (Registry.all ())
