@@ -21,6 +21,8 @@ module Intf = Ff_index.Intf
 module Descriptor = Ff_index.Descriptor
 module Registry = Ff_index.Registry
 module W = Ff_workload.Workload
+module Shard = Ff_shard.Shard
+module Histogram = Ff_util.Histogram
 module Tree = Ff_fastfair.Tree
 module Tpcc = Ff_tpcc.Tpcc
 
@@ -44,7 +46,9 @@ let of_registry ?label ?node_bytes ?(lock = Locks.Single) name =
   let d = Registry.find_exn name in
   {
     label = (match label with Some l -> l | None -> name);
-    build = d.Descriptor.build { Descriptor.node_bytes; lock_mode = lock };
+    build =
+      d.Descriptor.build
+        { Descriptor.default_config with Descriptor.node_bytes; lock_mode = lock };
   }
 
 let fastfair ?node_bytes ?lock () =
@@ -845,6 +849,106 @@ let latencies () =
     "   (tails: FAIR splits / skiplist tower rebuilds / wB+ logged splits show in p99+)"
 
 (* ------------------------------------------------------------------ *)
+(* Sharded serving layer (--shards N,M,... ; target: sharded)          *)
+(* ------------------------------------------------------------------ *)
+
+let shard_counts : int list ref = ref []
+let base_seed = ref 42
+
+type sharded_row = {
+  sh_shards : int;
+  sh_group : bool;
+  sh_ops : int;
+  sh_kops : float; (* ops over the slowest shard's simulated time *)
+  sh_fences_per_op : float;
+  sh_flushes_per_op : float;
+  sh_imb_max : int;
+  sh_imb_mean : float;
+  sh_p50 : int;
+  sh_p99 : int;
+}
+
+let sharded_run ~shards ~group =
+  let n = sc 40_000 in
+  let config = Config.pm ~read_ns:300 ~write_ns:300 () in
+  let words = max (1 lsl 16) (n * 64 / shards) in
+  let t =
+    Shard.create ~pm_config:config ~words ~batch_cap:64 ~group
+      ~inner:"fastfair" ~shards ()
+  in
+  (* One deterministic trace per shard stream, seeded from the base
+     seed and the shard id, interleaved round-robin into a single
+     submission stream (the scheduler re-partitions by key anyway). *)
+  let per = n / shards in
+  let mix =
+    {
+      W.insert_pct = 60;
+      search_pct = 30;
+      delete_pct = 5;
+      range_pct = 5;
+      range_len = 16;
+    }
+  in
+  let traces =
+    Array.init shards (fun s ->
+        W.mixed_trace
+          (Prng.create (W.shard_seed ~base:!base_seed ~shard:s))
+          ~n:per ~space:(8 * n) mix)
+  in
+  let ops =
+    Array.init (per * shards) (fun i -> traces.(i mod shards).(i / shards))
+  in
+  ignore (Shard.submit t ops);
+  let arenas = Shard.arenas t in
+  let wall =
+    Array.fold_left
+      (fun acc a -> max acc (Stats.total_ns (Arena.total_stats a)))
+      0 arenas
+  in
+  let sum f = Array.fold_left (fun acc a -> acc + f (Arena.total_stats a)) 0 arenas in
+  let fences = sum (fun s -> s.Stats.fences) in
+  let flushes = sum (fun s -> s.Stats.flushes) in
+  let imb_max, imb_mean = Shard.imbalance t in
+  let lat = Shard.merged_latency t in
+  let nops = Array.length ops in
+  {
+    sh_shards = shards;
+    sh_group = group;
+    sh_ops = nops;
+    sh_kops =
+      (if wall = 0 then 0.
+       else float_of_int nops /. (float_of_int wall /. 1e9) /. 1000.);
+    sh_fences_per_op = float_of_int fences /. float_of_int nops;
+    sh_flushes_per_op = float_of_int flushes /. float_of_int nops;
+    sh_imb_max = imb_max;
+    sh_imb_mean = imb_mean;
+    sh_p50 = Histogram.percentile lat 50.;
+    sh_p99 = Histogram.percentile lat 99.;
+  }
+
+let sharded_rows () =
+  let counts = match !shard_counts with [] -> [ 1; 4; 8 ] | l -> l in
+  List.concat_map
+    (fun shards ->
+      [ sharded_run ~shards ~group:false; sharded_run ~shards ~group:true ])
+    counts
+
+let sharded_target () =
+  print_endline "== sharded serving layer: scaling and group-flush amortization ==";
+  Printf.printf "   (mixed 60:30:5:5 workload, hash partition, batch_cap=64, seed %d)\n"
+    !base_seed;
+  Printf.printf "%8s %6s %10s %11s %12s %14s %9s %9s\n" "shards" "group"
+    "kops" "fences/op" "flushes/op" "imbalance" "p50(ns)" "p99(ns)";
+  List.iter
+    (fun r ->
+      Printf.printf "%8d %6s %10.1f %11.3f %12.3f %8d/%5.0f %9d %9d\n"
+        r.sh_shards
+        (if r.sh_group then "on" else "off")
+        r.sh_kops r.sh_fences_per_op r.sh_flushes_per_op r.sh_imb_max
+        r.sh_imb_mean r.sh_p50 r.sh_p99)
+    (sharded_rows ())
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable results (--json FILE)                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -902,20 +1006,38 @@ let json_report file =
         ("results", J.Arr (List.map (fun m -> measure m phase) makers));
       ]
   in
-  let doc =
+  let sharded_row_json r =
     J.Obj
       [
-        ("bench", J.Str "fastfair");
-        ("scale", J.Float !scale);
-        ("pm", J.Obj [ ("read_ns", J.Int 300); ("write_ns", J.Int 300) ]);
-        ( "workloads",
-          J.Arr
-            [
-              workload "insert" `Insert (insert_makers ());
-              workload "search" `Search (search_makers ());
-              workload "range" `Range [ fastfair (); skiplist () ];
-            ] );
+        ("shards", J.Int r.sh_shards);
+        ("group_flush", J.Bool r.sh_group);
+        ("ops", J.Int r.sh_ops);
+        ("kops", J.Float r.sh_kops);
+        ("fences_per_op", J.Float r.sh_fences_per_op);
+        ("flushes_per_op", J.Float r.sh_flushes_per_op);
+        ("imbalance_max", J.Int r.sh_imb_max);
+        ("imbalance_mean", J.Float r.sh_imb_mean);
+        ("latency_p50_ns", J.Int r.sh_p50);
+        ("latency_p99_ns", J.Int r.sh_p99);
       ]
+  in
+  let doc =
+    J.Obj
+      ([
+         ("bench", J.Str "fastfair");
+         ("scale", J.Float !scale);
+         ("pm", J.Obj [ ("read_ns", J.Int 300); ("write_ns", J.Int 300) ]);
+         ( "workloads",
+           J.Arr
+             [
+               workload "insert" `Insert (insert_makers ());
+               workload "search" `Search (search_makers ());
+               workload "range" `Range [ fastfair (); skiplist () ];
+             ] );
+       ]
+      @
+      if !shard_counts = [] then []
+      else [ ("sharded", J.Arr (List.map sharded_row_json (sharded_rows ()))) ])
   in
   let oc = open_out file in
   output_string oc (J.to_string doc);
@@ -1001,6 +1123,7 @@ let targets =
     ("ycsb", ycsb);
     ("latencies", latencies);
     ("micro", micro);
+    ("sharded", sharded_target);
   ]
 
 let () =
@@ -1018,17 +1141,35 @@ let () =
       ( "--trace",
         Arg.Set_string trace_file,
         "FILE  record a multithreaded mixed run as a Perfetto/chrome://tracing JSON file" );
+      ( "--shards",
+        Arg.String
+          (fun s ->
+            shard_counts :=
+              List.map
+                (fun c ->
+                  match int_of_string_opt (String.trim c) with
+                  | Some n when n >= 1 -> n
+                  | _ -> raise (Arg.Bad ("--shards: bad count " ^ c)))
+                (String.split_on_char ',' s)),
+        "N,M,...  shard counts for the sharded serving-layer report (default 1,4,8)"
+      );
+      ( "--seed",
+        Arg.Set_int base_seed,
+        "S  base PRNG seed; shard s uses Workload.shard_seed ~base:S ~shard:s (default 42)"
+      );
     ]
   in
   let usage =
-    "main.exe [targets] [--scale S] [--json FILE] [--trace FILE]\ntargets: "
+    "main.exe [targets] [--scale S] [--json FILE] [--trace FILE] [--shards N,M,...]\n\
+     targets: "
     ^ String.concat " " (List.map fst targets)
-    ^ " (default: all; --json/--trace alone run only their own workloads)"
+    ^ " (default: all; --json/--trace/--shards alone run only their own workloads)"
   in
   Arg.parse spec (fun t -> selected := t :: !selected) usage;
   let selected =
     if !selected = [] then
       if !json_file <> "" || !trace_file <> "" then []
+      else if !shard_counts <> [] then [ "sharded" ]
       else List.map fst targets
     else List.rev !selected
   in

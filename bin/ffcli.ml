@@ -23,6 +23,7 @@ module Descriptor = Ff_index.Descriptor
 module Registry = Ff_index.Registry
 module W = Ff_workload.Workload
 module Harness = Ff_workload.Crash_harness
+module Shard = Ff_shard.Shard
 module Tree = Ff_fastfair.Tree
 open Cmdliner
 
@@ -54,7 +55,11 @@ let list_indexes names_only persistent_only =
     List.iter
       (fun d ->
         Printf.printf "%-18s %s\n%-18s   %s\n" d.Descriptor.name
-          d.Descriptor.summary "" (Descriptor.caps_line d))
+          d.Descriptor.summary "" (Descriptor.caps_line d);
+        match d.Descriptor.composite with
+        | Some (inner, n) ->
+            Printf.printf "%-18s   composite: %d shards over %s\n" "" n inner
+        | None -> ())
       ds;
   0
 
@@ -62,10 +67,24 @@ let list_indexes names_only persistent_only =
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let fuzz index_name ops_count seed =
+(* With --shards N, the named index becomes the inner structure of an
+   on-the-fly sharded composite; the capability gate's rejection (e.g.
+   a volatile inner) is surfaced verbatim. *)
+let fuzz index_name ops_count seed shards =
+  match
+    if shards = 0 then Ok (fun arena -> Registry.build index_name arena)
+    else
+      match Shard.descriptor ~inner:index_name ~shards () with
+      | d -> Ok (d.Descriptor.build Descriptor.default_config)
+      | exception Invalid_argument msg -> Error msg
+  with
+  | Error msg ->
+      Printf.printf "fuzz: %s\n" msg;
+      1
+  | Ok build ->
   let rng = Prng.create seed in
   let arena = mk_arena (max (ops_count * 64) (1 lsl 16)) in
-  let t = Registry.build index_name arena in
+  let t = build arena in
   let model = Hashtbl.create 1024 in
   let space = max 64 (ops_count / 2) in
   let mismatches = ref 0 in
@@ -110,7 +129,7 @@ let fuzz index_name ops_count seed =
     model;
   t.Intf.close ();
   if !mismatches = 0 then begin
-    Printf.printf "fuzz ok: %d ops on %s, %d live keys\n" ops_count index_name
+    Printf.printf "fuzz ok: %d ops on %s, %d live keys\n" ops_count t.Intf.name
       (Hashtbl.length model);
     0
   end
@@ -366,9 +385,13 @@ let fuzz_cmd =
   let ops =
     Arg.(value & opt int 50_000 & info [ "ops"; "n" ] ~docv:"N" ~doc:"Operation count.")
   in
+  let shards =
+    Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N"
+         ~doc:"Fuzz an N-way sharded composite over the chosen index (0 = unsharded).")
+  in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Random operations cross-checked against a hash-table model")
-    Term.(const fuzz $ index_arg $ ops $ seed_arg)
+    Term.(const fuzz $ index_arg $ ops $ seed_arg $ shards)
 
 let crash_cmd =
   let keys =

@@ -335,7 +335,9 @@ let () =
           is_persistent = false;
           lock_modes = [ Locks.Single; Locks.Sim ];
           tunable_node_bytes = false;
+          relocatable_root = false;
         };
+      composite = None;
       build = (fun cfg a -> ops (create ~lock_mode:cfg.D.lock_mode a));
       open_existing =
         (fun _cfg _a ->

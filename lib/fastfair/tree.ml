@@ -651,17 +651,21 @@ let descriptor ~name ~summary ?split_policy ?(leaf_read_locks = false) () =
         is_persistent = true;
         lock_modes = [ Locks.Single; Locks.Sim ];
         tunable_node_bytes = true;
+        relocatable_root = true;
       };
+    composite = None;
     build =
       (fun cfg a ->
         ops
           (create ?node_bytes:cfg.D.node_bytes ?split_policy
-             ~lock_mode:cfg.D.lock_mode ~leaf_read_locks a));
+             ~lock_mode:cfg.D.lock_mode ~leaf_read_locks
+             ~root_slot:cfg.D.root_slot a));
     open_existing =
       (fun cfg a ->
         ops
           (open_existing ?node_bytes:cfg.D.node_bytes ?split_policy
-             ~lock_mode:cfg.D.lock_mode ~leaf_read_locks a));
+             ~lock_mode:cfg.D.lock_mode ~leaf_read_locks
+             ~root_slot:cfg.D.root_slot a));
   }
 
 let () =

@@ -545,13 +545,17 @@ let () =
           is_persistent = true;
           lock_modes = [ Locks.Single; Locks.Sim ];
           tunable_node_bytes = true;
+          relocatable_root = true;
         };
+      composite = None;
       build =
         (fun cfg a ->
-          ops (create ?leaf_bytes:cfg.D.node_bytes ~lock_mode:cfg.D.lock_mode a));
+          ops
+            (create ?leaf_bytes:cfg.D.node_bytes ~lock_mode:cfg.D.lock_mode
+               ~root_slot:cfg.D.root_slot a));
       open_existing =
         (fun cfg a ->
           ops
             (open_existing ?leaf_bytes:cfg.D.node_bytes
-               ~lock_mode:cfg.D.lock_mode a));
+               ~lock_mode:cfg.D.lock_mode ~root_slot:cfg.D.root_slot a));
     }

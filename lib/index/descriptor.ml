@@ -5,16 +5,23 @@ type caps = {
   is_persistent : bool;
   lock_modes : Locks.mode list;
   tunable_node_bytes : bool;
+  relocatable_root : bool;
 }
 
-type config = { node_bytes : int option; lock_mode : Locks.mode }
+type config = {
+  node_bytes : int option;
+  lock_mode : Locks.mode;
+  root_slot : int;
+}
 
-let default_config = { node_bytes = None; lock_mode = Locks.Single }
+let default_config =
+  { node_bytes = None; lock_mode = Locks.Single; root_slot = 0 }
 
 type t = {
   name : string;
   summary : string;
   caps : caps;
+  composite : (string * int) option;
   build : config -> Ff_pmem.Arena.t -> Intf.ops;
   open_existing : config -> Ff_pmem.Arena.t -> Intf.ops;
 }
@@ -36,7 +43,8 @@ let name_hash name =
 
 let caps_line d =
   let b v = if v then "yes" else "-" in
-  Printf.sprintf "range=%s delete=%s recovery=%s persistent=%s locks=%s node-size=%s"
+  Printf.sprintf
+    "range=%s delete=%s recovery=%s persistent=%s locks=%s node-size=%s root=%s"
     (b d.caps.has_range) (b d.caps.has_delete) (b d.caps.has_recovery)
     (b d.caps.is_persistent)
     (String.concat "/"
@@ -44,3 +52,4 @@ let caps_line d =
           (function Locks.Single -> "single" | Locks.Sim -> "sim")
           d.caps.lock_modes))
     (if d.caps.tunable_node_bytes then "tunable" else "fixed")
+    (if d.caps.relocatable_root then "relocatable" else "fixed")

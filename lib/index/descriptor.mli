@@ -17,6 +17,11 @@ type caps = {
                              and an image save/reload *)
   lock_modes : Locks.mode list;  (** supported driver lock modes *)
   tunable_node_bytes : bool;     (** honours [config.node_bytes] *)
+  relocatable_root : bool;
+      (** honours [config.root_slot]: the structure confines its root
+          metadata to slots [root_slot] and [root_slot + 1], so several
+          instances can share one arena (the sharding layer's
+          requirement for carving an arena into shards) *)
 }
 
 type config = {
@@ -24,15 +29,22 @@ type config = {
       (** node (or leaf) size in bytes; [None] = structure default.
           Ignored by structures with [tunable_node_bytes = false]. *)
   lock_mode : Locks.mode;
+  root_slot : int;
+      (** first reserved root slot this instance may use (default 0).
+          Ignored by structures with [relocatable_root = false]. *)
 }
 
 val default_config : config
-(** [{ node_bytes = None; lock_mode = Single }] *)
+(** [{ node_bytes = None; lock_mode = Single; root_slot = 0 }] *)
 
 type t = {
   name : string;             (** unique registry key *)
   summary : string;          (** one-line description *)
   caps : caps;
+  composite : (string * int) option;
+      (** [Some (inner, shards)] for composed descriptors (e.g. the
+          sharded serving layer) — the inner structure's registry name
+          and the shard count; [None] for plain structures *)
   build : config -> Ff_pmem.Arena.t -> Intf.ops;
       (** fresh instance on an empty region of the arena *)
   open_existing : config -> Ff_pmem.Arena.t -> Intf.ops;

@@ -59,8 +59,8 @@ let manifest arena =
         Some
           ( d,
             {
+              Descriptor.default_config with
               Descriptor.node_bytes = (if nb = 0 then None else Some nb);
-              lock_mode = Locks.Single;
             } )
 
 let build ?(config = Descriptor.default_config) name arena =

@@ -101,6 +101,28 @@ val fence_if_not_tso : t -> unit
 val cpu_work : t -> int -> unit
 (** Charge pure CPU time (key comparisons, branch penalties). *)
 
+(** {1 Group flush}
+
+    Inside a group-flush scope every {!flush} behaves like [clwb]
+    instead of [clflush_with_mfence]: the line is still written back to
+    the persisted image immediately (a legal TSO state, so crash
+    semantics are unchanged and every crash-sweep result carries over),
+    but no fence is implied — the write-back cost overlaps with other
+    in-flight write-backs at the MLP discount and no per-flush fence is
+    counted.  {!group_end} issues the single fence that makes the whole
+    batch durable.  This is the serving layer's group-commit primitive:
+    durability is acknowledged at batch granularity, fence and flush
+    costs amortize across the batch. *)
+
+val group_begin : t -> unit
+(** @raise Invalid_argument if a scope is already open. *)
+
+val group_end : t -> unit
+(** Close the scope and issue the batch's durability {!fence}.
+    @raise Invalid_argument if no scope is open. *)
+
+val in_group : t -> bool
+
 val peek : t -> int -> int
 (** Uncharged volatile read (checkers and debugging only). *)
 

@@ -1,0 +1,495 @@
+module Arena = Ff_pmem.Arena
+module Config = Ff_pmem.Config
+module Stats = Ff_pmem.Stats
+module Histogram = Ff_util.Histogram
+module Heap = Ff_util.Heap
+module Intf = Ff_index.Intf
+module D = Ff_index.Descriptor
+module Registry = Ff_index.Registry
+module Trace = Ff_trace.Trace
+module Metrics = Ff_trace.Metrics
+module Mcsim = Ff_mcsim.Mcsim
+module Workload = Ff_workload.Workload
+
+(* ------------------------------------------------------------------ *)
+(* Partitioning                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Partition = struct
+  type t = Hash of int | Range of int array
+
+  let hash ~shards =
+    if shards < 1 then invalid_arg "Partition.hash: shards must be >= 1";
+    Hash shards
+
+  let range ~bounds =
+    let n = Array.length bounds in
+    for i = 1 to n - 1 do
+      if bounds.(i) <= bounds.(i - 1) then
+        invalid_arg "Partition.range: bounds must be strictly ascending"
+    done;
+    Range (Array.copy bounds)
+
+  let even_range ~shards ~space =
+    if shards < 1 then invalid_arg "Partition.even_range: shards must be >= 1";
+    range ~bounds:(Array.init (shards - 1) (fun i -> ((space / shards) * (i + 1)) + 1))
+
+  let shards = function Hash n -> n | Range b -> Array.length b + 1
+
+  (* Multiplicative scramble (low 62 bits of a SplitMix64 constant, so
+     the literal fits OCaml's boxed-free int). *)
+  let shard_of t key =
+    match t with
+    | Hash n -> key * 0x2545F4914F6CDD1D land max_int mod n
+    | Range b ->
+        (* Smallest i with key < b.(i); the last shard owns the tail. *)
+        let lo = ref 0 and hi = ref (Array.length b) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if key < b.(mid) then hi := mid else lo := mid + 1
+        done;
+        !lo
+
+  (* Inclusive shard-index interval a [lo, hi] scan must visit.  Hash
+     scatters the key space, so every shard overlaps every range. *)
+  let overlapping t ~lo ~hi =
+    match t with
+    | Hash n -> (0, n - 1)
+    | Range _ -> (shard_of t lo, shard_of t hi)
+
+  let tag = function Hash _ -> 0 | Range _ -> 1
+  let bounds = function Hash _ -> [||] | Range b -> Array.copy b
+end
+
+(* ------------------------------------------------------------------ *)
+(* Capability gating and persisted metadata                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Shard i confines its inner instance to root slots 2i and 2i+1; the
+   top of the reserved window holds the shard manifest (58-60) and the
+   registry manifest (61-63). *)
+let slot_shards = 60
+let slot_policy = 59
+let slot_bounds = 58
+let max_shards = 28
+
+let check_shards n =
+  if n < 1 || n > max_shards then
+    invalid_arg
+      (Printf.sprintf
+         "Shard: shard count must be in [1, %d] (each shard owns 2 reserved \
+          root slots), got %d"
+         max_shards n)
+
+let require_shardable (d : D.t) =
+  let c = d.D.caps in
+  let missing =
+    (if c.D.is_persistent then [] else [ "persistence" ])
+    @ (if c.D.has_recovery then [] else [ "crash recovery" ])
+    @ (if c.D.has_range then [] else [ "range scans" ])
+    @ if c.D.relocatable_root then [] else [ "a relocatable root" ]
+  in
+  if missing <> [] then
+    invalid_arg
+      (Printf.sprintf
+         "Shard: '%s' cannot be sharded: it lacks %s (the serving layer needs \
+          a persistent, recoverable, range-scannable inner structure whose \
+          root honours config.root_slot)"
+         d.D.name
+         (String.concat ", " missing))
+
+let shard_config (base : D.config) i = { base with D.root_slot = 2 * i }
+
+(* ------------------------------------------------------------------ *)
+(* The serving layer                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type instance = {
+  mutable ops : Intf.ops;
+  arena : Arena.t;
+  lat : Histogram.t;
+  mutable routed : int;
+  mutable batches : int;
+}
+
+type t = {
+  partition : Partition.t;
+  inner : D.t;
+  inner_config : D.config;
+  instances : instance array;
+  multi : bool; (* one arena per shard (serving) vs one carved arena *)
+  batch_cap : int;
+  group : bool; (* batches run under a group-flush scope *)
+  tracer : Trace.t;
+  queues : Workload.op list ref array;
+  qlen : int array;
+}
+
+let mk_instance ops arena =
+  { ops; arena; lat = Histogram.create (); routed = 0; batches = 0 }
+
+let make ~partition ~inner ~inner_config ~instances ~multi ~batch_cap ~group
+    ~tracer =
+  let n = Array.length instances in
+  {
+    partition;
+    inner;
+    inner_config;
+    instances;
+    multi;
+    batch_cap;
+    group;
+    tracer;
+    queues = Array.init n (fun _ -> ref []);
+    qlen = Array.make n 0;
+  }
+
+let shards t = Array.length t.instances
+let partition t = t.partition
+let group t = t.group
+let arenas t = Array.map (fun i -> i.arena) t.instances
+let shard_of_key t k = Partition.shard_of t.partition k
+let inst t k = t.instances.(shard_of_key t k)
+
+let create ?(pm_config = Config.default) ?(words = 1 lsl 20)
+    ?(inner_config = D.default_config) ?partition ?(batch_cap = 64)
+    ?(group = true) ?(tracer = Trace.null) ~inner ~shards () =
+  check_shards shards;
+  let d = Registry.find_exn inner in
+  require_shardable d;
+  let partition =
+    match partition with
+    | None -> Partition.hash ~shards
+    | Some p ->
+        if Partition.shards p <> shards then
+          invalid_arg "Shard.create: partition disagrees with shard count";
+        p
+  in
+  let instances =
+    Array.init shards (fun _ ->
+        let a = Arena.create ~config:pm_config ~words () in
+        mk_instance (Registry.build ~config:inner_config inner a) a)
+  in
+  make ~partition ~inner:d ~inner_config ~instances ~multi:true ~batch_cap
+    ~group ~tracer
+
+(* Single-arena composite: all shards carved from one arena, so the
+   whole ensemble persists, crashes and reloads as one image. *)
+
+let persist_meta arena partition =
+  (match partition with
+  | Partition.Hash _ -> Arena.root_set arena slot_bounds 0
+  | Partition.Range b ->
+      let len = Array.length b in
+      let blk = Arena.alloc arena (len + 1) in
+      Arena.write arena blk len;
+      Array.iteri (fun i v -> Arena.write arena (blk + 1 + i) v) b;
+      Arena.flush_range arena blk (len + 1);
+      Arena.fence arena;
+      Arena.root_set arena slot_bounds blk);
+  Arena.root_set arena slot_policy (Partition.tag partition);
+  Arena.root_set arena slot_shards (Partition.shards partition)
+
+let build_single ?(batch_cap = 64) ?(group = false) ?(tracer = Trace.null)
+    ~inner:(d : D.t) ~partition cfg arena =
+  require_shardable d;
+  check_shards (Partition.shards partition);
+  let instances =
+    Array.init (Partition.shards partition) (fun i ->
+        mk_instance (d.D.build (shard_config cfg i) arena) arena)
+  in
+  persist_meta arena partition;
+  make ~partition ~inner:d ~inner_config:cfg ~instances ~multi:false ~batch_cap
+    ~group ~tracer
+
+let attach_with ?(batch_cap = 64) ?(group = false) ?(tracer = Trace.null)
+    (d : D.t) cfg arena =
+  let n = Arena.root_get arena slot_shards in
+  if n < 1 || n > max_shards then
+    invalid_arg "Shard.attach: arena carries no shard metadata";
+  let partition =
+    match Arena.root_get arena slot_policy with
+    | 0 -> Partition.hash ~shards:n
+    | 1 ->
+        let blk = Arena.root_get arena slot_bounds in
+        let len = Arena.read arena blk in
+        Partition.range ~bounds:(Array.init len (fun i -> Arena.read arena (blk + 1 + i)))
+    | tag ->
+        invalid_arg
+          (Printf.sprintf "Shard.attach: unknown partition policy tag %d" tag)
+  in
+  let instances =
+    Array.init n (fun i ->
+        mk_instance (d.D.open_existing (shard_config cfg i) arena) arena)
+  in
+  make ~partition ~inner:d ~inner_config:cfg ~instances ~multi:false ~batch_cap
+    ~group ~tracer
+
+let attach ?batch_cap ?group ?tracer ?(config = D.default_config) ~inner arena =
+  let d = Registry.find_exn inner in
+  require_shardable d;
+  attach_with ?batch_cap ?group ?tracer d config arena
+
+(* ------------------------------------------------------------------ *)
+(* Routed point operations and the merged range cursor                 *)
+(* ------------------------------------------------------------------ *)
+
+let insert t ~key ~value =
+  let i = inst t key in
+  i.routed <- i.routed + 1;
+  i.ops.Intf.insert key value
+
+let search t key = (inst t key).ops.Intf.search key
+let delete t key = (inst t key).ops.Intf.delete key
+let update t ~key ~value = (inst t key).ops.Intf.update key value
+
+let bulk_insert t pairs =
+  (* Partition first so each inner sees one call and may use its bulk
+     path; within a shard the submission order is preserved. *)
+  let buckets = Array.make (shards t) [] in
+  Array.iter
+    (fun (k, v) ->
+      let i = shard_of_key t k in
+      buckets.(i) <- (k, v) :: buckets.(i))
+    pairs;
+  Array.iteri
+    (fun i b ->
+      if b <> [] then begin
+        let arr = Array.of_list (List.rev b) in
+        t.instances.(i).routed <- t.instances.(i).routed + Array.length arr;
+        t.instances.(i).ops.Intf.bulk_insert arr
+      end)
+    buckets
+
+(* Cross-shard ordered scan: materialize each overlapping shard's
+   slice (already ascending) and k-way merge on a stable min-heap.
+   Keys are globally unique across shards, so ties cannot occur. *)
+let range t ~lo ~hi f =
+  let slo, shi = Partition.overlapping t.partition ~lo ~hi in
+  let nsh = shi - slo + 1 in
+  if Trace.enabled t.tracer then Trace.instant t.tracer Trace.id_merge nsh;
+  if nsh = 1 then t.instances.(slo).ops.Intf.range lo hi f
+  else begin
+    let slices =
+      Array.init nsh (fun j ->
+          let buf = ref [] in
+          t.instances.(slo + j).ops.Intf.range lo hi (fun k v ->
+              buf := (k, v) :: !buf);
+          Array.of_list (List.rev !buf))
+    in
+    let cursor = Array.make nsh 0 in
+    let heap = Heap.create () in
+    Array.iteri
+      (fun j s -> if Array.length s > 0 then Heap.push heap (fst s.(0)) j)
+      slices;
+    let rec drain () =
+      match Heap.pop heap with
+      | None -> ()
+      | Some (_, j) ->
+          let s = slices.(j) in
+          let k, v = s.(cursor.(j)) in
+          f k v;
+          cursor.(j) <- cursor.(j) + 1;
+          if cursor.(j) < Array.length s then
+            Heap.push heap (fst s.(cursor.(j))) j;
+          drain ()
+    in
+    drain ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Batched scheduler with group flush                                  *)
+(* ------------------------------------------------------------------ *)
+
+let key_of_op = function
+  | Workload.Insert k | Workload.Search k | Workload.Delete k -> k
+  | Workload.Range (lo, _) -> lo
+
+(* Drain shard [i]'s queue as one batch.  Ops are stably sorted by key
+   (same-key submission order survives; distinct point ops commute, so
+   results match sequential execution) and run under one group-flush
+   scope: per-op flushes persist at the MLP discount and the single
+   group_end fence makes the whole batch durable. *)
+let exec_batch t i =
+  if t.qlen.(i) = 0 then 0
+  else begin
+    let q = t.queues.(i) in
+    let batch =
+      List.stable_sort
+        (fun a b -> compare (key_of_op a) (key_of_op b))
+        (List.rev !q)
+    in
+    q := [];
+    let count = t.qlen.(i) in
+    t.qlen.(i) <- 0;
+    let it = t.instances.(i) in
+    let a = it.arena in
+    if t.group then Arena.group_begin a;
+    let acc =
+      List.fold_left
+        (fun acc op ->
+          let before = Stats.total_ns (Arena.total_stats a) in
+          let r = Workload.run_op it.ops op in
+          Histogram.add it.lat (Stats.total_ns (Arena.total_stats a) - before);
+          acc + r)
+        0 batch
+    in
+    if t.group then Arena.group_end a;
+    it.batches <- it.batches + 1;
+    it.routed <- it.routed + count;
+    if Trace.enabled t.tracer then begin
+      Trace.instant t.tracer Trace.id_batch count;
+      Metrics.add (Trace.metrics t.tracer)
+        (Metrics.shard_label "shard.batch_ops" i)
+        count
+    end;
+    acc
+  end
+
+let drain_queues t =
+  let acc = ref 0 in
+  for i = 0 to shards t - 1 do
+    acc := !acc + exec_batch t i
+  done;
+  !acc
+
+(* Enqueue a trace; a shard executes whenever its queue reaches
+   [batch_cap].  Range is a scheduling barrier: all queues drain so the
+   merged cursor sees every prior write, matching sequential order. *)
+let submit t ops =
+  let acc = ref 0 in
+  Array.iter
+    (fun op ->
+      match op with
+      | Workload.Range (lo, len) ->
+          acc := !acc + drain_queues t;
+          let n = ref 0 in
+          range t ~lo ~hi:(lo + (len * 4)) (fun _ _ -> incr n);
+          acc := !acc + !n
+      | op ->
+          let i = shard_of_key t (key_of_op op) in
+          t.queues.(i) := op :: !(t.queues.(i));
+          t.qlen.(i) <- t.qlen.(i) + 1;
+          if t.qlen.(i) >= t.batch_cap then acc := !acc + exec_batch t i)
+    ops;
+  acc := !acc + drain_queues t;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Occupancy and latency statistics                                    *)
+(* ------------------------------------------------------------------ *)
+
+let key_space_hi = (1 lsl 60) - 1
+
+let occupancy t =
+  Array.map (fun it -> Intf.range_count it.ops 1 key_space_hi) t.instances
+
+let imbalance t =
+  let occ = occupancy t in
+  let mx = Array.fold_left max 0 occ in
+  let mean =
+    float_of_int (Array.fold_left ( + ) 0 occ) /. float_of_int (Array.length occ)
+  in
+  (mx, mean)
+
+let routed t = Array.map (fun it -> it.routed) t.instances
+let batches t = Array.fold_left (fun acc it -> acc + it.batches) 0 t.instances
+let latency t i = t.instances.(i).lat
+
+let merged_latency t =
+  let acc = Histogram.create () in
+  Array.iter (fun it -> Histogram.merge acc it.lat) t.instances;
+  acc
+
+(* ------------------------------------------------------------------ *)
+(* Crash and recovery                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let close t = Array.iter (fun it -> it.ops.Intf.close ()) t.instances
+
+let power_fail t mode =
+  ignore (drain_queues t);
+  if t.multi then
+    Array.iter (fun it -> Arena.power_fail it.arena mode) t.instances
+  else Arena.power_fail t.instances.(0).arena mode
+
+let reopen_instance t i =
+  let it = t.instances.(i) in
+  let cfg =
+    if t.multi then t.inner_config else shard_config t.inner_config i
+  in
+  it.ops <- t.inner.D.open_existing cfg it.arena
+
+let recover t =
+  Array.iteri
+    (fun i it ->
+      reopen_instance t i;
+      it.ops.Intf.recover ())
+    t.instances
+
+(* Parallel recovery: one simulated thread per shard.  In multi-arena
+   mode every arena's yield hook feeds the simulator clock directly;
+   in single-arena mode the simulator manages the shared arena. *)
+let recover_parallel ?cores t =
+  let n = shards t in
+  let cores = match cores with Some c -> c | None -> n in
+  let bodies =
+    Array.mapi
+      (fun i it _tid ->
+        reopen_instance t i;
+        it.ops.Intf.recover ())
+      t.instances
+  in
+  if t.multi then begin
+    Array.iter
+      (fun it -> Arena.set_yield_hook it.arena (Some Mcsim.charge))
+      t.instances;
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter (fun it -> Arena.set_yield_hook it.arena None) t.instances)
+      (fun () -> Mcsim.run ~cores bodies)
+  end
+  else Mcsim.run ~cores ~arena:t.instances.(0).arena bodies
+
+(* ------------------------------------------------------------------ *)
+(* Composite registry descriptor                                       *)
+(* ------------------------------------------------------------------ *)
+
+let ops_of t name =
+  Intf.make ~name
+    ~insert:(fun k v -> insert t ~key:k ~value:v)
+    ~search:(fun k -> search t k)
+    ~delete:(fun k -> delete t k)
+    ~range:(fun lo hi f -> range t ~lo ~hi f)
+    ~recover:(fun () -> recover t)
+    ~update:(fun k v -> update t ~key:k ~value:v)
+    ~bulk_insert:(fun pairs -> bulk_insert t pairs)
+    ~close:(fun () -> close t)
+    ()
+
+let descriptor ?(policy = `Hash) ~inner ~shards () =
+  check_shards shards;
+  let d = Registry.find_exn inner in
+  require_shardable d;
+  let partition =
+    match policy with
+    | `Hash -> Partition.hash ~shards
+    | `Range bounds ->
+        let p = Partition.range ~bounds in
+        if Partition.shards p <> shards then
+          invalid_arg "Shard.descriptor: bounds imply a different shard count";
+        p
+  in
+  let name = "sharded-" ^ inner in
+  {
+    D.name;
+    summary =
+      Printf.sprintf "%d-way sharded %s: partitioned serving layer, merged \
+                      range cursor, per-shard recovery" shards d.D.name;
+    caps = { d.D.caps with D.relocatable_root = false };
+    composite = Some (inner, shards);
+    build = (fun cfg a -> ops_of (build_single ~inner:d ~partition cfg a) name);
+    open_existing = (fun cfg a -> ops_of (attach_with d cfg a) name);
+  }
+
+let () = Registry.register (descriptor ~inner:"fastfair" ~shards:4 ())

@@ -1,0 +1,174 @@
+(** Sharded serving layer: partitioned ensembles of registry indexes
+    with batched group-flush execution and a merged range cursor.
+
+    The layer composes any capability-qualified inner structure (it
+    must be persistent, recoverable, range-scannable and honour
+    [config.root_slot]) into an [N]-way partitioned index:
+
+    - {b Serving mode} ({!create}): one arena per shard, a request
+      scheduler ({!submit}) that enqueues point ops per shard and
+      drains each queue as one batch under an {!Ff_pmem.Arena}
+      group-flush scope — flush write-backs overlap and one fence per
+      batch replaces one fence per op.
+    - {b Composite mode} ({!descriptor}): all shards carved from a
+      single arena (shard [i]'s inner root at slots [2i, 2i+1], the
+      shard manifest at slots 58-60), so the ensemble registers in
+      {!Ff_index.Registry}, persists, crash-sweeps and reloads exactly
+      like a plain structure.  ["sharded-fastfair"] self-registers.
+
+    Cross-shard [range] merges per-shard ascending slices through a
+    stable k-way heap cursor, so results are globally ordered even
+    when a scan straddles shard boundaries.  After {!power_fail},
+    {!recover_parallel} reopens and recovers every shard on its own
+    simulated thread ({!Ff_mcsim.Mcsim}). *)
+
+module Partition : sig
+  type t =
+    | Hash of int  (** scrambled modulo over [n] shards *)
+    | Range of int array
+        (** [n-1] strictly ascending upper bounds; shard [i] owns keys
+            below [bounds.(i)], the last shard owns the tail *)
+
+  val hash : shards:int -> t
+  val range : bounds:int array -> t
+  val even_range : shards:int -> space:int -> t
+  (** Equal-width range partition of the key space [\[1, space\]]. *)
+
+  val shards : t -> int
+  val shard_of : t -> int -> int
+  (** Owning shard of a key. *)
+
+  val overlapping : t -> lo:int -> hi:int -> int * int
+  (** Inclusive shard-index interval a [\[lo, hi\]] scan must visit. *)
+
+  val tag : t -> int
+  (** Persisted policy tag: 0 = hash, 1 = range. *)
+
+  val bounds : t -> int array
+  (** Range bounds ([[||]] for hash). *)
+end
+
+type t
+
+val max_shards : int
+(** 28 — each shard owns two reserved root slots below the manifests. *)
+
+(** {1 Construction} *)
+
+val create :
+  ?pm_config:Ff_pmem.Config.t ->
+  ?words:int ->
+  ?inner_config:Ff_index.Descriptor.config ->
+  ?partition:Partition.t ->
+  ?batch_cap:int ->
+  ?group:bool ->
+  ?tracer:Ff_trace.Trace.t ->
+  inner:string ->
+  shards:int ->
+  unit ->
+  t
+(** Serving mode: one arena of [words] per shard, each holding a fresh
+    inner instance built through the registry (so every shard arena
+    carries its own root-slot manifest).  [partition] defaults to
+    {!Partition.hash}; [group] (default true) runs scheduler batches
+    under a group-flush scope.
+    @raise Invalid_argument if the inner structure lacks a required
+    capability, or the partition disagrees with [shards]. *)
+
+val attach :
+  ?batch_cap:int ->
+  ?group:bool ->
+  ?tracer:Ff_trace.Trace.t ->
+  ?config:Ff_index.Descriptor.config ->
+  inner:string ->
+  Ff_pmem.Arena.t ->
+  t
+(** Reattach to a single-arena composite image from its persisted
+    shard manifest (count, policy tag, range bounds).  The caller runs
+    {!recover} before relying on the contents. *)
+
+(** {1 Topology} *)
+
+val shards : t -> int
+val partition : t -> Partition.t
+val group : t -> bool
+val arenas : t -> Ff_pmem.Arena.t array
+val shard_of_key : t -> int -> int
+
+(** {1 Routed operations} *)
+
+val insert : t -> key:int -> value:int -> unit
+val search : t -> int -> int option
+val delete : t -> int -> bool
+val update : t -> key:int -> value:int -> bool
+val bulk_insert : t -> (int * int) array -> unit
+
+val range : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** Globally ordered scan across all overlapping shards (k-way merged
+    cursor; emits one [merge] trace instant). *)
+
+(** {1 Batched scheduler} *)
+
+val submit : t -> Ff_workload.Workload.op array -> int
+(** Enqueue a trace shard-by-shard; a shard's queue drains as one
+    batch when it reaches [batch_cap] (and at the end of the call).
+    Within a batch, ops are stably sorted by key — same-key order is
+    preserved and distinct point ops commute, so the returned checksum
+    equals sequential {!Ff_workload.Workload.run_trace}.  [Range] ops
+    are scheduling barriers: all queues drain first, then the merged
+    cursor runs.  Each batch emits a [batch] trace instant and bumps
+    the per-shard [shard.batch_ops.shard<i>] metric. *)
+
+val drain_queues : t -> int
+(** Force-drain every pending queue; returns the checksum sum. *)
+
+(** {1 Statistics} *)
+
+val occupancy : t -> int array
+(** Keys resident per shard (by full-range count). *)
+
+val imbalance : t -> int * float
+(** [(max, mean)] of {!occupancy} — max/mean is the skew factor. *)
+
+val routed : t -> int array
+(** Ops routed to each shard since construction. *)
+
+val batches : t -> int
+val latency : t -> int -> Ff_util.Histogram.t
+(** Per-op simulated-ns latency histogram of one shard's batches. *)
+
+val merged_latency : t -> Ff_util.Histogram.t
+(** All shards' latency histograms merged
+    ({!Ff_util.Histogram.merge}). *)
+
+(** {1 Crash and recovery} *)
+
+val close : t -> unit
+
+val power_fail : t -> Ff_pmem.Storelog.crash_mode -> unit
+(** Drain pending queues, then crash every shard arena (one arena in
+    composite mode). *)
+
+val recover : t -> unit
+(** Sequentially reopen ([open_existing]) and recover every shard. *)
+
+val recover_parallel : ?cores:int -> t -> Ff_mcsim.Mcsim.outcome
+(** Recover every shard on its own simulated thread; the outcome's
+    makespan is the parallel recovery time.  [cores] defaults to the
+    shard count. *)
+
+(** {1 Registry composition} *)
+
+val descriptor :
+  ?policy:[ `Hash | `Range of int array ] ->
+  inner:string ->
+  shards:int ->
+  unit ->
+  Ff_index.Descriptor.t
+(** Composite descriptor ["sharded-<inner>"] over a registered inner
+    structure: [build] carves one arena into [shards] instances and
+    persists the shard manifest; [open_existing] reattaches from it.
+    The composite keeps the inner capabilities but clears
+    [relocatable_root] (composites cannot be nested).
+    @raise Invalid_argument if the inner structure lacks persistence,
+    recovery, range scans or a relocatable root. *)

@@ -254,15 +254,17 @@ let () =
           is_persistent = true;
           lock_modes = [ Locks.Single; Locks.Sim ];
           tunable_node_bytes = false;
+          relocatable_root = true;
         };
+      composite = None;
       build =
         (fun cfg a ->
-          let s = create a in
+          let s = create ~root_slot:cfg.D.root_slot a in
           set_lock_mode s cfg.D.lock_mode;
           ops s);
       open_existing =
         (fun cfg a ->
-          let s = open_existing a in
+          let s = open_existing ~root_slot:cfg.D.root_slot a in
           set_lock_mode s cfg.D.lock_mode;
           ops s);
     }

@@ -49,6 +49,18 @@ let observe t name sample =
 
 let histogram t name = Hashtbl.find_opt t.hists name
 
+(* Per-shard metric names appear on hot paths; memoize so repeated
+   lookups don't allocate a fresh string each op. *)
+let shard_label =
+  let tbl = Hashtbl.create 64 in
+  fun base shard ->
+    match Hashtbl.find_opt tbl (base, shard) with
+    | Some s -> s
+    | None ->
+        let s = Printf.sprintf "%s.shard%d" base shard in
+        Hashtbl.add tbl (base, shard) s;
+        s
+
 let sorted_bindings tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)

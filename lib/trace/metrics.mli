@@ -32,6 +32,10 @@ val observe : t -> string -> int -> unit
 
 val histogram : t -> string -> Ff_util.Histogram.t option
 
+val shard_label : string -> int -> string
+(** [shard_label base i] is ["<base>.shard<i>"], memoized so hot-path
+    emitters don't allocate a fresh name per op. *)
+
 (** {1 Exposition} *)
 
 val to_json : t -> Json.t

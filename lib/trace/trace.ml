@@ -42,11 +42,13 @@ let id_sibling_chase = 6
 let id_dup_skip = 7
 let id_recovery = 8
 let id_crash = 9
+let id_batch = 10
+let id_merge = 11
 
 let predefined =
   [|
     "insert"; "delete"; "search"; "range"; "split"; "fast_shift";
-    "sibling_chase"; "dup_skip"; "recovery"; "crash";
+    "sibling_chase"; "dup_skip"; "recovery"; "crash"; "batch"; "merge";
   |]
 
 let make ~enabled ~capacity ~threads ~clock ~tid =

@@ -60,6 +60,13 @@ val id_dup_skip : int
 val id_recovery : int
 val id_crash : int
 
+val id_batch : int
+(** One scheduler batch executed under a group-flush scope
+    (detail = number of ops drained). *)
+
+val id_merge : int
+(** One cross-shard k-way merge (detail = number of shards touched). *)
+
 val intern : t -> string -> int
 (** Id for an arbitrary name (stable within this tracer). *)
 

@@ -528,8 +528,15 @@ let () =
           is_persistent = true;
           lock_modes = [ Ff_index.Locks.Single ];
           tunable_node_bytes = true;
+          relocatable_root = true;
         };
-      build = (fun cfg a -> ops (create ?node_bytes:cfg.D.node_bytes a));
+      composite = None;
+      build =
+        (fun cfg a ->
+          ops (create ?node_bytes:cfg.D.node_bytes ~root_slot:cfg.D.root_slot a));
       open_existing =
-        (fun cfg a -> ops (open_existing ?node_bytes:cfg.D.node_bytes a));
+        (fun cfg a ->
+          ops
+            (open_existing ?node_bytes:cfg.D.node_bytes
+               ~root_slot:cfg.D.root_slot a));
     }

@@ -69,5 +69,13 @@ let run_op (t : Intf.ops) op =
 
 let run_trace t ops = Array.fold_left (fun acc op -> acc + run_op t op) 0 ops
 
+let shard_seed ~base ~shard =
+  (* Splitmix-style scramble so adjacent shard ids do not yield
+     correlated PRNG streams, yet the mapping stays deterministic. *)
+  let z = base + ((shard + 1) * 0x9E3779B9) in
+  let z = (z lxor (z lsr 16)) * 0x45D9F3B in
+  let z = (z lxor (z lsr 16)) * 0x45D9F3B in
+  (z lxor (z lsr 16)) land max_int
+
 let load_keys t keys =
   t.Intf.bulk_insert (Array.map (fun k -> (k, value_of k)) keys)

@@ -48,5 +48,11 @@ val run_op : Ff_index.Intf.ops -> op -> int
 
 val run_trace : Ff_index.Intf.ops -> op array -> int
 
+val shard_seed : base:int -> shard:int -> int
+(** Deterministic per-shard PRNG seed derived from a base seed and a
+    shard id, scrambled so neighbouring shards get uncorrelated
+    streams.  Benches use this so a sharded run is reproducible from
+    one [--seed]. *)
+
 val load_keys : Ff_index.Intf.ops -> int array -> unit
 (** Bulk-insert keys with their standard values. *)

@@ -282,7 +282,9 @@ let () =
           is_persistent = true;
           lock_modes = [ Ff_index.Locks.Single ];
           tunable_node_bytes = false;
+          relocatable_root = true;
         };
-      build = (fun _cfg a -> ops (create a));
-      open_existing = (fun _cfg a -> ops (open_existing a));
+      composite = None;
+      build = (fun cfg a -> ops (create ~root_slot:cfg.D.root_slot a));
+      open_existing = (fun cfg a -> ops (open_existing ~root_slot:cfg.D.root_slot a));
     }

@@ -14,5 +14,6 @@ let () =
       ("kv", Test_kv.suite);
       ("harness", Test_harness.suite);
       ("registry", Test_registry.suite);
+      ("shard", Test_shard.suite);
       ("trace", Test_trace.suite);
     ]

@@ -133,6 +133,31 @@ let test_heap_stability () =
     | Some _ | None -> Alcotest.fail "bad pop"
   done
 
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  let samples_a = [ 10; 100; 1000; 50; 5 ] in
+  let samples_b = [ 20_000; 3; 777 ] in
+  List.iter (Histogram.add a) samples_a;
+  List.iter (Histogram.add b) samples_b;
+  (* Reference: the same samples recorded into one histogram. *)
+  let all = Histogram.create () in
+  List.iter (Histogram.add all) (samples_a @ samples_b);
+  Histogram.merge a b;
+  Alcotest.(check int) "count" (Histogram.count all) (Histogram.count a);
+  Alcotest.(check (float 0.001)) "mean" (Histogram.mean all) (Histogram.mean a);
+  Alcotest.(check int) "max sample" (Histogram.max_sample all)
+    (Histogram.max_sample a);
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "p%g" p)
+        (Histogram.percentile all p) (Histogram.percentile a p))
+    [ 0.; 50.; 90.; 99.; 100. ];
+  (* Merging an empty histogram is the identity. *)
+  let before = Histogram.count a in
+  Histogram.merge a (Histogram.create ());
+  Alcotest.(check int) "merge empty is identity" before (Histogram.count a)
+
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
   let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
@@ -161,5 +186,6 @@ let suite =
     Alcotest.test_case "vec" `Quick test_vec;
     Alcotest.test_case "heap order" `Quick test_heap_order;
     Alcotest.test_case "heap stability" `Quick test_heap_stability;
+    Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
     Alcotest.test_case "table render" `Quick test_table_render;
   ]
