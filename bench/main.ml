@@ -34,6 +34,14 @@ let scale = ref 1.0
 
 let sc n = max 16 (int_of_float (float_of_int n *. !scale))
 
+(* Scheduling policy for the concurrent (multi-thread) Mcsim runs.
+   Recorded in the --json report so concurrency numbers are
+   reproducible: rerunning with the same policy+seed replays the same
+   interleavings. *)
+let sched_policy = ref "fifo"
+let sched_seed = ref 0
+let sched () = Mcsim.policy_of_spec ~seed:!sched_seed !sched_policy
+
 (* ------------------------------------------------------------------ *)
 (* Builders — resolved through the index registry                      *)
 (* ------------------------------------------------------------------ *)
@@ -398,7 +406,8 @@ let fig7_run ~workload ~threads ~preload ~total_ops ix =
         done
   in
   let outcome =
-    Mcsim.run ~cores:16 ~quantum_ns:150 ~lock_ns:20 ~contention_ns:100 ~arena:a
+    Mcsim.run ~cores:16 ~quantum_ns:150 ~lock_ns:20 ~contention_ns:100
+      ~policy:(sched ()) ~arena:a
       (Array.init threads (fun _ -> body))
   in
   let ops = per * threads in
@@ -1027,6 +1036,8 @@ let json_report file =
          ("bench", J.Str "fastfair");
          ("scale", J.Float !scale);
          ("pm", J.Obj [ ("read_ns", J.Int 300); ("write_ns", J.Int 300) ]);
+         ( "sched",
+           J.Obj [ ("policy", J.Str !sched_policy); ("seed", J.Int !sched_seed) ] );
          ( "workloads",
            J.Arr
              [
@@ -1092,7 +1103,8 @@ let trace_target file =
     done
   in
   ignore
-    (Mcsim.run ~cores:16 ~quantum_ns:150 ~lock_ns:20 ~contention_ns:100 ~arena:a
+    (Mcsim.run ~cores:16 ~quantum_ns:150 ~lock_ns:20 ~contention_ns:100
+       ~policy:(sched ()) ~arena:a
        (Array.init threads (fun _ -> body)));
   Arena.set_event_sink a None;
   Ff_trace.Perfetto.write_file tr file;
@@ -1157,6 +1169,18 @@ let () =
         Arg.Set_int base_seed,
         "S  base PRNG seed; shard s uses Workload.shard_seed ~base:S ~shard:s (default 42)"
       );
+      ( "--sched-policy",
+        Arg.String
+          (fun p ->
+            (* Validate eagerly so a typo fails before minutes of warmup. *)
+            (try ignore (Mcsim.policy_of_spec ~seed:0 p)
+             with Invalid_argument m -> raise (Arg.Bad m));
+            sched_policy := p),
+        "P  Mcsim scheduling policy for concurrent runs: fifo|random|pct (default fifo)"
+      );
+      ( "--sched-seed",
+        Arg.Set_int sched_seed,
+        "S  seed for --sched-policy random/pct (default 0); recorded in --json" );
     ]
   in
   let usage =

@@ -176,6 +176,14 @@ let crash_test index_name keys points seed =
       "crash-test %s: %d points over %d stores, tolerated pre-recovery %d, recovered %d\n"
       index_name o.Harness.points o.Harness.store_span o.Harness.tolerated
       o.Harness.recovered;
+    let show label = function
+      | [] -> ()
+      | pts ->
+          Printf.printf "  %s at stores: %s\n" label
+            (String.concat ", " (List.map string_of_int pts))
+    in
+    show "intolerant" o.Harness.failed_tolerance;
+    show "recovery FAILED" o.Harness.failed_recovery;
     if o.Harness.recovered = o.Harness.points then 0 else 1
   end
 
@@ -344,6 +352,81 @@ let trace keys ops threads seed out =
   0
 
 (* ------------------------------------------------------------------ *)
+(* check: model-check schedules and crash states                       *)
+(* ------------------------------------------------------------------ *)
+
+let print_check_report ~out (r : Ff_check.Check.report) =
+  print_endline (Ff_check.Check.report_summary r);
+  List.iteri
+    (fun i (v : Ff_check.Check.violation) ->
+      Printf.printf "\nviolation %d (%s):\n%s\n" (i + 1)
+        (Ff_check.Check.kind_to_string v.Ff_check.Check.kind)
+        v.Ff_check.Check.detail;
+      match out with
+      | None -> ()
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let path = Filename.concat dir (Printf.sprintf "cx-%d.json" (i + 1)) in
+          Ff_check.Counterexample.save v.Ff_check.Check.counterexample path;
+          Printf.printf "counterexample saved to %s (replay with: ffcli check --replay %s)\n"
+            path path)
+    r.Ff_check.Check.violations;
+  if r.Ff_check.Check.violations = [] then 0 else 1
+
+let check index_name writers readers ops keyspace prefill seed explorer schedules
+    no_crashes crash_budget non_tso elide out replay =
+  let module C = Ff_check.Check in
+  match replay with
+  | Some path -> (
+      match Ff_check.Counterexample.load path with
+      | Error msg ->
+          Printf.printf "check --replay: %s\n" msg;
+          2
+      | Ok cx ->
+          Printf.printf "replaying %s counterexample for %s (crash: %s)\n"
+            cx.Ff_check.Counterexample.kind cx.Ff_check.Counterexample.index
+            (match cx.Ff_check.Counterexample.crash with
+            | None -> "none"
+            | Some c ->
+                Printf.sprintf "%s at store %d" c.Ff_check.Counterexample.mode
+                  c.Ff_check.Counterexample.store_count);
+          let r = C.replay cx in
+          let rc = print_check_report ~out:None r in
+          if rc = 1 then begin
+            print_endline "counterexample REPRODUCED";
+            1
+          end
+          else begin
+            print_endline "counterexample did NOT reproduce";
+            2
+          end)
+  | None ->
+      let explorer =
+        match explorer with
+        | "dfs" -> C.Dfs
+        | "pct" -> C.Pct
+        | s -> invalid_arg (Printf.sprintf "unknown explorer %S (dfs, pct)" s)
+      in
+      let config =
+        {
+          C.default with
+          C.writers;
+          readers;
+          ops_per_thread = ops;
+          keyspace;
+          prefill;
+          seed;
+          explorer;
+          schedules;
+          crashes = not no_crashes;
+          crash_budget;
+          non_tso;
+          elide_flush = elide;
+        }
+      in
+      print_check_report ~out (C.run ~config index_name)
+
+(* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -458,9 +541,64 @@ let trace_cmd =
        ~doc:"Record a multithreaded FAST+FAIR run as a Perfetto JSON trace and print metrics")
     Term.(const trace $ keys $ ops $ threads $ seed_arg $ out)
 
+let check_cmd =
+  let writers =
+    Arg.(value & opt int 2 & info [ "writers"; "w" ] ~docv:"N" ~doc:"Concurrent writer threads.")
+  in
+  let readers =
+    Arg.(value & opt int 1 & info [ "readers"; "r" ] ~docv:"N" ~doc:"Concurrent reader threads.")
+  in
+  let ops =
+    Arg.(value & opt int 2 & info [ "ops"; "n" ] ~docv:"N" ~doc:"Operations per thread.")
+  in
+  let keyspace =
+    Arg.(value & opt int 8 & info [ "keyspace" ] ~docv:"K" ~doc:"Keys drawn from 1..K.")
+  in
+  let prefill =
+    Arg.(value & opt int 4 & info [ "prefill" ] ~docv:"N" ~doc:"Keys inserted before the concurrent phase.")
+  in
+  let explorer =
+    Arg.(value & opt string "pct" & info [ "explorer"; "e" ] ~docv:"MODE"
+         ~doc:"Schedule exploration: $(b,pct) (randomized priorities) or $(b,dfs) (bounded exhaustive).")
+  in
+  let schedules =
+    Arg.(value & opt int 16 & info [ "schedules" ] ~docv:"N" ~doc:"Exploration budget (schedules).")
+  in
+  let no_crashes =
+    Arg.(value & flag & info [ "no-crashes" ] ~doc:"Skip the crash x schedule product engine.")
+  in
+  let crash_budget =
+    Arg.(value & opt int 256 & info [ "crash-budget" ] ~docv:"N"
+         ~doc:"Global cap on crash executions across all schedules.")
+  in
+  let non_tso =
+    Arg.(value & flag & info [ "non-tso" ]
+         ~doc:"Run under non-TSO memory order and sweep every fence-epoch cutoff exhaustively.")
+  in
+  let elide =
+    Arg.(value & flag & info [ "mutate-elide-flush" ]
+         ~doc:"Fault injection: drop every flush during the concurrent phase (demonstrates \
+               counterexample generation; a correct structure then fails durability).")
+  in
+  let out =
+    Arg.(value & opt (some string) (Some "counterexamples") & info [ "out"; "o" ] ~docv:"DIR"
+         ~doc:"Directory for counterexample artifacts.")
+  in
+  let replay =
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE"
+         ~doc:"Re-execute a recorded counterexample deterministically instead of exploring.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Model-check an index: explore schedules, verify linearizability, and crash \
+             every explored schedule at each fence")
+    Term.(const check $ index_arg $ writers $ readers $ ops $ keyspace $ prefill $ seed_arg
+          $ explorer $ schedules $ no_crashes $ crash_budget $ non_tso $ elide $ out $ replay)
+
 let () =
   let info = Cmd.info "ffcli" ~doc:"FAST+FAIR persistent B+-tree playground" in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; fuzz_cmd; crash_cmd; stats_cmd; dump_cmd; persist_cmd; trace_cmd ]))
+          [ list_cmd; fuzz_cmd; crash_cmd; check_cmd; stats_cmd; dump_cmd; persist_cmd;
+            trace_cmd ]))

@@ -334,6 +334,7 @@ let () =
           has_recovery = false;
           is_persistent = false;
           lock_modes = [ Locks.Single; Locks.Sim ];
+          lock_free_reads = false;
           tunable_node_bytes = false;
           relocatable_root = false;
         };

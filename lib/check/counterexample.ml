@@ -1,0 +1,175 @@
+module Json = Ff_trace.Json
+
+type workload = {
+  writers : int;
+  readers : int;
+  ops_per_thread : int;
+  keyspace : int;
+  prefill : int;
+  seed : int;
+  non_tso : bool;
+  elide_flush : bool;
+}
+
+type crash = {
+  store_count : int;
+  mode : string;
+  crash_seed : int;
+  cutoff : int option;
+}
+
+type t = {
+  index : string;
+  node_bytes : int option;
+  kind : string;
+  workload : workload;
+  decisions : int array;
+  crash : crash option;
+  detail : string;
+}
+
+let version = 1
+
+let to_json t =
+  let w = t.workload in
+  Json.to_string
+    (Json.Obj
+       [
+         ("version", Json.Int version);
+         ("index", Json.Str t.index);
+         ( "node_bytes",
+           match t.node_bytes with None -> Json.Null | Some n -> Json.Int n );
+         ("kind", Json.Str t.kind);
+         ( "workload",
+           Json.Obj
+             [
+               ("writers", Json.Int w.writers);
+               ("readers", Json.Int w.readers);
+               ("ops_per_thread", Json.Int w.ops_per_thread);
+               ("keyspace", Json.Int w.keyspace);
+               ("prefill", Json.Int w.prefill);
+               ("seed", Json.Int w.seed);
+               ("non_tso", Json.Bool w.non_tso);
+               ("elide_flush", Json.Bool w.elide_flush);
+             ] );
+         ( "decisions",
+           Json.Arr (Array.to_list (Array.map (fun d -> Json.Int d) t.decisions)) );
+         ( "crash",
+           match t.crash with
+           | None -> Json.Null
+           | Some c ->
+               Json.Obj
+                 [
+                   ("store_count", Json.Int c.store_count);
+                   ("mode", Json.Str c.mode);
+                   ("seed", Json.Int c.crash_seed);
+                   ( "cutoff",
+                     match c.cutoff with None -> Json.Null | Some e -> Json.Int e );
+                 ] );
+         ("detail", Json.Str t.detail);
+       ])
+
+let field name conv j =
+  match Json.member name j with
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "counterexample: bad field %S" name))
+  | None -> Error (Printf.sprintf "counterexample: missing field %S" name)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let of_json s =
+  match Json.of_string s with
+  | exception Json.Parse_error m -> Error ("counterexample: " ^ m)
+  | j ->
+      let* v = field "version" Json.to_int j in
+      if v <> version then
+        Error (Printf.sprintf "counterexample: unsupported version %d" v)
+      else
+        let* index = field "index" Json.to_str j in
+        let node_bytes =
+          match Json.member "node_bytes" j with
+          | Some (Json.Int n) -> Some n
+          | _ -> None
+        in
+        let* kind = field "kind" Json.to_str j in
+        let* wj = field "workload" Option.some j in
+        let* writers = field "writers" Json.to_int wj in
+        let* readers = field "readers" Json.to_int wj in
+        let* ops_per_thread = field "ops_per_thread" Json.to_int wj in
+        let* keyspace = field "keyspace" Json.to_int wj in
+        let* prefill = field "prefill" Json.to_int wj in
+        let* seed = field "seed" Json.to_int wj in
+        let bool_field name =
+          match Json.member name wj with Some (Json.Bool b) -> b | _ -> false
+        in
+        let non_tso = bool_field "non_tso" in
+        let elide_flush = bool_field "elide_flush" in
+        let* decisions = field "decisions" Json.to_list j in
+        let* decisions =
+          try
+            Ok
+              (Array.of_list
+                 (List.map
+                    (fun d ->
+                      match Json.to_int d with
+                      | Some i -> i
+                      | None -> failwith "non-int decision")
+                    decisions))
+          with Failure m -> Error ("counterexample: " ^ m)
+        in
+        let* crash =
+          match Json.member "crash" j with
+          | None | Some Json.Null -> Ok None
+          | Some cj ->
+              let* store_count = field "store_count" Json.to_int cj in
+              let* mode = field "mode" Json.to_str cj in
+              let* crash_seed = field "seed" Json.to_int cj in
+              let cutoff =
+                match Json.member "cutoff" cj with
+                | Some (Json.Int e) -> Some e
+                | _ -> None
+              in
+              Ok (Some { store_count; mode; crash_seed; cutoff })
+        in
+        let* detail = field "detail" Json.to_str j in
+        Ok
+          {
+            index;
+            node_bytes;
+            kind;
+            workload =
+              {
+                writers;
+                readers;
+                ops_per_thread;
+                keyspace;
+                prefill;
+                seed;
+                non_tso;
+                elide_flush;
+              };
+            decisions;
+            crash;
+            detail;
+          }
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json t);
+      output_char oc '\n')
+
+let load path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      of_json s

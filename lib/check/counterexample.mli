@@ -1,0 +1,48 @@
+(** Replayable counterexample artifacts.
+
+    A failure found by the model checker is fully determined by:
+    the index and workload parameters (every script is derived from
+    the seed), the recorded scheduling decisions, and — for crash
+    failures — the crash point (absolute store count), crash-mode
+    name, PRNG seed and optional epoch cutoff.  This module
+    round-trips that tuple through JSON so `ffcli check --replay`
+    can re-execute it deterministically on any build. *)
+
+type workload = {
+  writers : int;
+  readers : int;
+  ops_per_thread : int;
+  keyspace : int;
+  prefill : int;
+  seed : int;
+  non_tso : bool;
+      (** arena ran with [Non_tso] memory order (affects fence
+          placement, hence execution determinism) *)
+  elide_flush : bool;
+      (** fault injection was active (mutant run, test-only) *)
+}
+
+type crash = {
+  store_count : int;  (** crash fires at this absolute store count *)
+  mode : string;      (** "keep_none" | "keep_all" | "random_eviction"
+                          | "non_tso_cutoff" *)
+  crash_seed : int;
+  cutoff : int option;  (** epoch cutoff for "non_tso_cutoff" *)
+}
+
+type t = {
+  index : string;       (** registry name *)
+  node_bytes : int option;
+  kind : string;        (** "linearizability" | "tolerance" | "durability" *)
+  workload : workload;
+  decisions : int array;
+  crash : crash option;
+  detail : string;      (** human-readable failure description *)
+}
+
+val version : int
+
+val to_json : t -> string
+val of_json : string -> (t, string) result
+val save : t -> string -> unit
+val load : string -> (t, string) result

@@ -1,0 +1,35 @@
+type op = Insert of int * int | Delete of int | Search of int
+type resp = Done | Deleted of bool | Found of int option
+
+type t = (int, int) Hashtbl.t
+
+let create ?(initial = []) () =
+  let m = Hashtbl.create 32 in
+  List.iter (fun (k, v) -> Hashtbl.replace m k v) initial;
+  m
+
+let copy = Hashtbl.copy
+
+let apply m = function
+  | Insert (k, v) ->
+      Hashtbl.replace m k v;
+      Done
+  | Delete k ->
+      let present = Hashtbl.mem m k in
+      Hashtbl.remove m k;
+      Deleted present
+  | Search k -> Found (Hashtbl.find_opt m k)
+
+let bindings m =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) m [])
+
+let op_to_string = function
+  | Insert (k, v) -> Printf.sprintf "insert(%d,%d)" k v
+  | Delete k -> Printf.sprintf "delete(%d)" k
+  | Search k -> Printf.sprintf "search(%d)" k
+
+let resp_to_string = function
+  | Done -> "ok"
+  | Deleted b -> Printf.sprintf "deleted:%b" b
+  | Found None -> "none"
+  | Found (Some v) -> Printf.sprintf "found:%d" v

@@ -1,0 +1,28 @@
+(** Sequential specification of the uniform {!Ff_index.Intf.ops}
+    contract — the oracle every explored schedule is linearized
+    against.
+
+    [insert] is insert-or-update, [delete] reports presence, [search]
+    returns the current binding: exactly the semantics the registry's
+    structures implement. *)
+
+type op = Insert of int * int | Delete of int | Search of int
+type resp = Done | Deleted of bool | Found of int option
+
+type t
+(** Mutable map state. *)
+
+val create : ?initial:(int * int) list -> unit -> t
+val copy : t -> t
+
+val apply : t -> op -> resp
+(** Apply one operation sequentially and return its specified
+    response. *)
+
+val bindings : t -> (int * int) list
+(** Sorted (key, value) list — the canonical state used both as the
+    memoization key of the linearizability search and to compare
+    against a post-recovery dump. *)
+
+val op_to_string : op -> string
+val resp_to_string : resp -> string

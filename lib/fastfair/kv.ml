@@ -104,6 +104,7 @@ let () =
           has_recovery = true;
           is_persistent = true;
           lock_modes = [ Ff_index.Locks.Single ];
+          lock_free_reads = false;
           tunable_node_bytes = true;
           relocatable_root = true;
         };

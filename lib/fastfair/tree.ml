@@ -650,6 +650,7 @@ let descriptor ~name ~summary ?split_policy ?(leaf_read_locks = false) () =
         has_recovery = true;
         is_persistent = true;
         lock_modes = [ Locks.Single; Locks.Sim ];
+        lock_free_reads = not leaf_read_locks;
         tunable_node_bytes = true;
         relocatable_root = true;
       };

@@ -544,6 +544,7 @@ let () =
           has_recovery = true;
           is_persistent = true;
           lock_modes = [ Locks.Single; Locks.Sim ];
+          lock_free_reads = false;
           tunable_node_bytes = true;
           relocatable_root = true;
         };

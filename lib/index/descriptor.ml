@@ -4,6 +4,7 @@ type caps = {
   has_recovery : bool;
   is_persistent : bool;
   lock_modes : Locks.mode list;
+  lock_free_reads : bool;
   tunable_node_bytes : bool;
   relocatable_root : bool;
 }
@@ -44,12 +45,13 @@ let name_hash name =
 let caps_line d =
   let b v = if v then "yes" else "-" in
   Printf.sprintf
-    "range=%s delete=%s recovery=%s persistent=%s locks=%s node-size=%s root=%s"
+    "range=%s delete=%s recovery=%s persistent=%s locks=%s lf-reads=%s node-size=%s root=%s"
     (b d.caps.has_range) (b d.caps.has_delete) (b d.caps.has_recovery)
     (b d.caps.is_persistent)
     (String.concat "/"
        (List.map
           (function Locks.Single -> "single" | Locks.Sim -> "sim")
           d.caps.lock_modes))
+    (b d.caps.lock_free_reads)
     (if d.caps.tunable_node_bytes then "tunable" else "fixed")
     (if d.caps.relocatable_root then "relocatable" else "fixed")

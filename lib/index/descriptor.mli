@@ -16,6 +16,11 @@ type caps = {
   is_persistent : bool;  (** contents survive {!Ff_pmem.Arena.power_fail}
                              and an image save/reload *)
   lock_modes : Locks.mode list;  (** supported driver lock modes *)
+  lock_free_reads : bool;
+      (** readers take no locks and tolerate concurrent writers
+          (FAST+FAIR's central claim); the model checker and the
+          suspended-reader interleaving tests require this to run
+          readers unsynchronized against writers *)
   tunable_node_bytes : bool;     (** honours [config.node_bytes] *)
   relocatable_root : bool;
       (** honours [config.root_slot]: the structure confines its root

@@ -89,7 +89,64 @@ let sim_now () =
 (* Scheduler                                                            *)
 (* ------------------------------------------------------------------ *)
 
-type policy = Fifo | Random of Prng.t
+type policy = Fifo | Random of Prng.t | Choose of (int array -> int)
+
+(* PCT-style priority scheduling (Burckhardt et al., ASPLOS'10): every
+   thread gets a distinct random priority; the scheduler always runs
+   the highest-priority runnable thread; at [change_points] randomly
+   chosen decision steps the running-priority thread is demoted below
+   everyone, which is what surfaces bugs needing d preemptions.
+   Implemented on top of [Choose], so the same controlled-scheduling
+   hook serves PCT, bounded-exhaustive DFS and counterexample replay. *)
+let pct_policy ?(change_points = 3) ?(horizon = 4096) ~seed () =
+  let rng = Prng.create seed in
+  let prio = Hashtbl.create 16 in
+  (* Fresh priorities are drawn lazily per tid; demotions push below
+     every priority handed out so far. *)
+  let next_hi = ref 0 and next_lo = ref 0 in
+  let priority tid =
+    match Hashtbl.find_opt prio tid with
+    | Some p -> p
+    | None ->
+        (* random insertion among the high band *)
+        incr next_hi;
+        let p = (!next_hi * 1024) + Prng.int rng 1024 in
+        Hashtbl.replace prio tid p;
+        p
+  in
+  let change_steps = Hashtbl.create 8 in
+  for _ = 1 to change_points do
+    Hashtbl.replace change_steps (Prng.int rng horizon) ()
+  done;
+  let step = ref 0 in
+  Choose
+    (fun tids ->
+      let s = !step in
+      incr step;
+      let best = ref 0 in
+      for i = 1 to Array.length tids - 1 do
+        if priority tids.(i) > priority tids.(!best) then best := i
+      done;
+      if Hashtbl.mem change_steps s then begin
+        (* demote the thread about to run below every known priority *)
+        decr next_lo;
+        Hashtbl.replace prio tids.(!best) !next_lo;
+        let best' = ref 0 in
+        for i = 1 to Array.length tids - 1 do
+          if priority tids.(i) > priority tids.(!best') then best' := i
+        done;
+        !best'
+      end
+      else !best)
+
+let policy_of_spec ?(seed = 42) name =
+  match name with
+  | "fifo" -> Fifo
+  | "random" -> Random (Prng.create seed)
+  | "pct" -> pct_policy ~seed ()
+  | s ->
+      invalid_arg
+        (Printf.sprintf "Mcsim.policy_of_spec: unknown policy %S (fifo, random, pct)" s)
 
 type outcome = { makespan_ns : int; thread_end_ns : int array; events : int }
 
@@ -123,6 +180,20 @@ let run ?(cores = 16) ?(quantum_ns = 400) ?(lock_ns = 20) ?contention_ns
         let th = Vec.get runq i in
         let last = Vec.pop runq in
         if i < Vec.length runq then Vec.set runq i last;
+        th
+    | Choose f ->
+        let len = Vec.length runq in
+        let tids = Array.init len (fun i -> (Vec.get runq i).thread_tid) in
+        let i = f tids in
+        let i = if i < 0 || i >= len then 0 else i in
+        let th = Vec.get runq i in
+        (* Ordered removal keeps the runnable array the chooser sees in
+           a stable queue order, so recorded decision indices replay
+           identically. *)
+        for j = i to len - 2 do
+          Vec.set runq j (Vec.get runq (j + 1))
+        done;
+        ignore (Vec.pop runq);
         th
   in
   let events : [ `Free of int | `Wake of thread ] Heap.t = Heap.create () in

@@ -59,6 +59,27 @@ val sim_now : unit -> int option
 type policy =
   | Fifo  (** deterministic round-robin *)
   | Random of Ff_util.Prng.t  (** seeded random runnable-thread choice *)
+  | Choose of (int array -> int)
+      (** Controlled scheduling: at every scheduling decision the
+          callback receives the runnable thread ids in queue order and
+          returns the index (into that array) of the thread to run
+          next; out-of-range returns fall back to 0.  Everything else
+          in the simulator is deterministic, so the sequence of
+          returned indices fully determines the schedule — the model
+          checker ({!Ff_check.Check}) uses this both to enumerate
+          interleavings and to replay a recorded counterexample
+          decision-for-decision. *)
+
+val pct_policy : ?change_points:int -> ?horizon:int -> seed:int -> unit -> policy
+(** PCT-style probabilistic concurrency testing: distinct random
+    priorities per thread, highest-priority runnable thread runs, and
+    at [change_points] (default 3) decision steps drawn uniformly from
+    [\[0, horizon)] (default 4096) the running thread is demoted below
+    all others.  Deterministic for a given seed. *)
+
+val policy_of_spec : ?seed:int -> string -> policy
+(** ["fifo"], ["random"] or ["pct"], seeded; for CLI/bench flags.
+    @raise Invalid_argument on other names. *)
 
 type outcome = {
   makespan_ns : int;  (** simulated time at which the last thread finished *)

@@ -30,6 +30,7 @@ type t = {
   mutable yield_hook : (int -> unit) option;
   mutable sink : event_sink option;
   mutable group : bool;
+  mutable elide_flush : bool;
   mutable bump : int;
   free_lists : (int, int list) Hashtbl.t;
 }
@@ -55,6 +56,7 @@ let create ?(config = Config.default) ~words () =
     yield_hook = None;
     sink = None;
     group = false;
+    elide_flush = false;
     bump = reserved_words;
     free_lists = Hashtbl.create 8;
   }
@@ -173,7 +175,11 @@ let flush t addr =
   t.flushes <- t.flushes + 1;
   let s = t.ctxs.(t.cur).stats in
   s.Stats.flushes <- s.Stats.flushes + 1;
-  Storelog.flush_line t.log ~persisted:t.persisted (line_of addr);
+  (* Fault injection: an elided flush performs all the accounting of a
+     real one (events, counters, cost, epoch) but leaves the stores in
+     the volatile cache — the bug pattern of a forgotten clflush. *)
+  if not t.elide_flush then
+    Storelog.flush_line t.log ~persisted:t.persisted (line_of addr);
   if t.group then
     (* Group-flush scope: the line is written back asynchronously
        ([clwb]), so no fence is implied and the write latency overlaps
@@ -268,6 +274,10 @@ let root_set t slot v =
 let set_crash_plan t plan = t.plan <- plan
 let store_count t = t.stores
 let flush_count t = t.flushes
+let epoch t = t.epoch
+let set_flush_elision t b = t.elide_flush <- b
+let flush_elision t = t.elide_flush
+let pending_epochs t = Storelog.pending_epochs t.log
 
 let power_fail t mode =
   (match t.sink with None -> () | Some s -> s.ev_crash ());
@@ -275,7 +285,11 @@ let power_fail t mode =
   Array.blit t.persisted 0 t.volatile 0 (Array.length t.persisted);
   Array.iter (fun c -> Cachesim.clear c.cache) t.ctxs;
   t.plan <- Never;
-  t.group <- false
+  t.group <- false;
+  (* Fault injection applies to the pre-crash execution only: recovery
+     code after the power failure runs with real flushes, so a mutant's
+     missing-flush bug is confined to the phase under test. *)
+  t.elide_flush <- false
 
 let drain t =
   Storelog.evict_to t.log ~persisted:t.persisted ~target:0
@@ -302,6 +316,7 @@ let clone t =
     yield_hook = None;
     sink = None;
     group = false;
+    elide_flush = false;
     bump = t.bump;
     free_lists = Hashtbl.copy t.free_lists;
   }

@@ -158,6 +158,26 @@ val set_crash_plan : t -> crash_plan -> unit
 val store_count : t -> int
 val flush_count : t -> int
 
+val epoch : t -> int
+(** Current store epoch (bumped by every {!fence} and every non-group
+    {!flush}).  The model checker records epochs at fence events to
+    enumerate crash cutoffs. *)
+
+val pending_epochs : t -> int list
+(** Distinct epochs among not-yet-persisted stores, sorted ascending:
+    the meaningful {!Storelog.Non_tso_cutoff} values right now. *)
+
+val set_flush_elision : t -> bool -> unit
+(** Fault injection: while enabled, {!flush} does all its accounting
+    (events, counters, simulated cost, epoch bump) but does {e not}
+    persist the line — the missing-[clflush] bug pattern the model
+    checker's mutant descriptors use to prove the crash engine can
+    detect real durability violations.  Disabled by {!power_fail}
+    (recovery code always runs with real flushes) and never inherited
+    by {!clone}. *)
+
+val flush_elision : t -> bool
+
 val power_fail : t -> Storelog.crash_mode -> unit
 (** Apply a crash state to the persisted image, then reset the
     volatile image to it, clear caches and the store log, and disarm

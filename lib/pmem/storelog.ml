@@ -112,6 +112,15 @@ type crash_mode =
   | Keep_all
   | Random_eviction of Prng.t
   | Non_tso_random of Prng.t
+  | Non_tso_cutoff of int * Prng.t
+
+let pending_epochs t =
+  let seen = Hashtbl.create 16 in
+  let n = Vec.length t.addrs in
+  for i = 0 to n - 1 do
+    if not (Vec.get t.applied i) then Hashtbl.replace seen (Vec.get t.epochs i) ()
+  done;
+  List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) seen [])
 
 let clear t =
   Vec.clear t.addrs;
@@ -121,6 +130,40 @@ let clear t =
   Vec.clear t.applied;
   Hashtbl.reset t.by_line;
   t.live <- 0
+
+(* All randomized modes iterate lines/words in sorted order, never in
+   Hashtbl order: the PRNG draw sequence is then a function of the
+   logged stores alone, so a recorded (seed, crash point) pair replays
+   to the identical persisted image on any OCaml version (Hashtbl
+   iteration order depends on Hashtbl.hash internals and is not a
+   cross-version contract). *)
+
+let apply_non_tso_cutoff t persisted cutoff rng =
+  let n = Vec.length t.addrs in
+  for i = 0 to n - 1 do
+    if (not (Vec.get t.applied i)) && Vec.get t.epochs i < cutoff then
+      apply_entry t persisted i
+  done;
+  (* Per-word random prefixes at the cutoff epoch. *)
+  let by_word = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    if (not (Vec.get t.applied i)) && Vec.get t.epochs i = cutoff then begin
+      let addr = Vec.get t.addrs i in
+      let lst = try Hashtbl.find by_word addr with Not_found -> [] in
+      Hashtbl.replace by_word addr (i :: lst)
+    end
+  done;
+  let words =
+    List.sort compare (Hashtbl.fold (fun addr _ acc -> addr :: acc) by_word [])
+  in
+  List.iter
+    (fun addr ->
+      let idxs = Array.of_list (List.rev (Hashtbl.find by_word addr)) in
+      let k = Prng.int rng (Array.length idxs + 1) in
+      for i = 0 to k - 1 do
+        apply_entry t persisted idxs.(i)
+      done)
+    words
 
 let apply_crash t ~persisted mode =
   (match mode with
@@ -132,8 +175,12 @@ let apply_crash t ~persisted mode =
       done
   | Random_eviction rng ->
       (* Independent per-line prefix of the line's pending stores. *)
-      Hashtbl.iter
-        (fun _line lst ->
+      let lines =
+        List.sort compare (Hashtbl.fold (fun line _ acc -> line :: acc) t.by_line [])
+      in
+      List.iter
+        (fun line ->
+          let lst = Hashtbl.find t.by_line line in
           let unapplied =
             Array.of_seq
               (Seq.filter
@@ -147,7 +194,7 @@ let apply_crash t ~persisted mode =
               apply_entry t persisted unapplied.(i)
             done
           end)
-        t.by_line
+        lines
   | Non_tso_random rng ->
       (* Pick an epoch cutoff e*: all pending stores with epoch < e*
          persist; at epoch = e*, each word independently persists a
@@ -163,28 +210,9 @@ let apply_crash t ~persisted mode =
       done;
       if !min_e <= !max_e then begin
         let cutoff = Prng.in_range rng !min_e (!max_e + 2) in
-        for i = 0 to n - 1 do
-          if (not (Vec.get t.applied i)) && Vec.get t.epochs i < cutoff then
-            apply_entry t persisted i
-        done;
-        (* Per-word random prefixes at the cutoff epoch. *)
-        let by_word = Hashtbl.create 16 in
-        for i = 0 to n - 1 do
-          if (not (Vec.get t.applied i)) && Vec.get t.epochs i = cutoff then begin
-            let addr = Vec.get t.addrs i in
-            let lst = try Hashtbl.find by_word addr with Not_found -> [] in
-            Hashtbl.replace by_word addr (i :: lst)
-          end
-        done;
-        Hashtbl.iter
-          (fun _addr rev_idxs ->
-            let idxs = Array.of_list (List.rev rev_idxs) in
-            let k = Prng.int rng (Array.length idxs + 1) in
-            for i = 0 to k - 1 do
-              apply_entry t persisted idxs.(i)
-            done)
-          by_word
-      end);
+        apply_non_tso_cutoff t persisted cutoff rng
+      end
+  | Non_tso_cutoff (cutoff, rng) -> apply_non_tso_cutoff t persisted cutoff rng);
   clear t
 
 let dirty_lines t =

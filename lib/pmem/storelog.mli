@@ -44,9 +44,23 @@ type crash_mode =
   | Non_tso_random of Ff_util.Prng.t
       (** Random downward-closed set under fence ordering: picks an
           epoch cutoff and random per-word prefixes at the cutoff. *)
+  | Non_tso_cutoff of int * Ff_util.Prng.t
+      (** Like {!Non_tso_random} but with the epoch cutoff fixed by the
+          caller: all pending stores with epoch < cutoff persist, and
+          each word at the cutoff epoch persists a random prefix of its
+          store sequence.  {!Ff_check} uses this to sweep every fence
+          epoch exhaustively instead of sampling one. *)
+
+val pending_epochs : t -> int list
+(** Distinct fence epochs among pending stores, sorted ascending —
+    the set of meaningful {!Non_tso_cutoff} values for this log. *)
 
 val apply_crash : t -> persisted:int array -> crash_mode -> unit
-(** Apply a crash state to [persisted] and clear the log. *)
+(** Apply a crash state to [persisted] and clear the log.
+    Randomized modes iterate lines/words in sorted order (never
+    [Hashtbl] order), so for a fixed log content and PRNG seed the
+    resulting image is identical across OCaml versions — recorded
+    counterexamples replay bit-for-bit. *)
 
 val clear : t -> unit
 

@@ -253,6 +253,8 @@ let () =
           has_recovery = true;
           is_persistent = true;
           lock_modes = [ Locks.Single; Locks.Sim ];
+          (* writers serialize on a mutex; readers traverse unlocked *)
+          lock_free_reads = true;
           tunable_node_bytes = false;
           relocatable_root = true;
         };

@@ -4,14 +4,26 @@ module Prng = Ff_util.Prng
 module Intf = Ff_index.Intf
 module Descriptor = Ff_index.Descriptor
 
-type outcome = { points : int; tolerated : int; recovered : int; store_span : int }
+type outcome = {
+  points : int;
+  tolerated : int;
+  recovered : int;
+  store_span : int;
+  failed_tolerance : int list;
+  failed_recovery : int list;
+}
 
-let enumerate ?(max_points = 256) ?mode ~base ~reopen ~batch ~validate () =
-  let mode =
-    match mode with
-    | Some m -> m
-    | None -> fun k -> Storelog.Random_eviction (Prng.create k)
-  in
+(* The default per-point crash mode derives its PRNG directly from the
+   crash-point index with Prng.create (SplitMix64), never from
+   Hashtbl.hash or any other value that may differ between OCaml
+   versions: the (point index, mode) pair is everything a recorded
+   counterexample stores, so the same pair must rebuild the identical
+   crash state anywhere. *)
+let default_mode k = Storelog.Random_eviction (Prng.create k)
+
+let enumerate ?(max_points = 256) ?(exhaustive = false) ?mode ~base ~reopen
+    ~batch ~validate () =
+  let mode = match mode with Some m -> m | None -> default_mode in
   (* A reader that cannot tolerate the crash state may raise rather
      than miss; count that as failed validation, not a harness error. *)
   let validate t = try validate t with _ -> false in
@@ -23,8 +35,9 @@ let enumerate ?(max_points = 256) ?mode ~base ~reopen ~batch ~validate () =
     batch t;
     Arena.store_count c - before
   in
-  let step = max 1 (store_span / max_points) in
+  let step = if exhaustive then 1 else max 1 (store_span / max_points) in
   let points = ref 0 and tolerated = ref 0 and recovered = ref 0 in
+  let failed_tolerance = ref [] and failed_recovery = ref [] in
   let k = ref 0 in
   while !k <= store_span do
     incr points;
@@ -34,18 +47,25 @@ let enumerate ?(max_points = 256) ?mode ~base ~reopen ~batch ~validate () =
     (try batch t with Arena.Crashed -> ());
     Arena.power_fail c (mode !k);
     let t = reopen c in
-    if validate t then incr tolerated;
+    if validate t then incr tolerated else failed_tolerance := !k :: !failed_tolerance;
     t.Intf.recover ();
-    if validate t then incr recovered;
+    if validate t then incr recovered else failed_recovery := !k :: !failed_recovery;
     k := !k + step
   done;
-  { points = !points; tolerated = !tolerated; recovered = !recovered; store_span }
+  {
+    points = !points;
+    tolerated = !tolerated;
+    recovered = !recovered;
+    store_span;
+    failed_tolerance = List.rev !failed_tolerance;
+    failed_recovery = List.rev !failed_recovery;
+  }
 
-let enumerate_descriptor ?max_points ?mode ?(config = Descriptor.default_config)
-    ~base ~descriptor ~batch ~validate () =
+let enumerate_descriptor ?max_points ?exhaustive ?mode
+    ?(config = Descriptor.default_config) ~base ~descriptor ~batch ~validate () =
   if not descriptor.Descriptor.caps.Descriptor.has_recovery then None
   else
     Some
-      (enumerate ?max_points ?mode ~base
+      (enumerate ?max_points ?exhaustive ?mode ~base
          ~reopen:(descriptor.Descriptor.open_existing config)
          ~batch ~validate ())

@@ -3,9 +3,9 @@
     Encapsulates the pattern the paper's recoverability argument
     requires (and that the test suite applies to FAST+FAIR at every
     granularity): build a base image, probe how many 8-byte stores an
-    operation batch performs, then for (sampled) crash points k =
-    0..N, clone the device, crash before store k+1, apply a crash
-    semantics, and validate the reopened index — both {e before}
+    operation batch performs, then for (sampled or exhaustive) crash
+    points k = 0..N, clone the device, crash before store k+1, apply a
+    crash semantics, and validate the reopened index — both {e before}
     recovery (reader tolerance) and after. *)
 
 type outcome = {
@@ -13,10 +13,26 @@ type outcome = {
   tolerated : int;   (** validation passed before recovery ran *)
   recovered : int;   (** validation passed after recovery *)
   store_span : int;  (** total stores of the operation batch *)
+  failed_tolerance : int list;
+      (** crash-point indices (store counts) whose pre-recovery
+          validation failed, ascending — which store broke the readers *)
+  failed_recovery : int list;
+      (** crash-point indices whose post-recovery validation failed —
+          any entry here is a durability bug *)
 }
+
+val default_mode : int -> Ff_pmem.Storelog.crash_mode
+(** The default crash semantics for point [k]:
+    [Random_eviction (Prng.create k)].  The PRNG is seeded from the
+    point index alone via {!Ff_util.Prng.create} (SplitMix64) — never
+    [Hashtbl.hash] or anything else version-dependent — and
+    {!Ff_pmem.Storelog.apply_crash} draws in sorted line order, so a
+    recorded (point, seed) pair replays to the identical crash image
+    on every OCaml version. *)
 
 val enumerate :
   ?max_points:int ->
+  ?exhaustive:bool ->
   ?mode:(int -> Ff_pmem.Storelog.crash_mode) ->
   base:Ff_pmem.Arena.t ->
   reopen:(Ff_pmem.Arena.t -> Ff_index.Intf.ops) ->
@@ -30,13 +46,16 @@ val enumerate :
     to crash; [validate] checks the committed data (it runs once
     pre-recovery and once after calling the ops' [recover]).
     [max_points] (default 256) samples evenly across the store span;
+    [exhaustive] (default false) ignores [max_points] and tests every
+    store as a crash point — the model checker's non-sampled mode;
     [mode] picks the crash semantics per point (default
-    [Random_eviction] seeded by the point).  A [validate] call that
-    raises counts as failed validation (a reader may crash, not just
-    miss, on an intolerable transient state). *)
+    {!default_mode}).  A [validate] call that raises counts as failed
+    validation (a reader may crash, not just miss, on an intolerable
+    transient state). *)
 
 val enumerate_descriptor :
   ?max_points:int ->
+  ?exhaustive:bool ->
   ?mode:(int -> Ff_pmem.Storelog.crash_mode) ->
   ?config:Ff_index.Descriptor.config ->
   base:Ff_pmem.Arena.t ->

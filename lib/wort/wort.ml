@@ -281,6 +281,10 @@ let () =
           has_recovery = true;
           is_persistent = true;
           lock_modes = [ Ff_index.Locks.Single ];
+          (* no locks at all: readers are lock-free by construction,
+             but with only Single mode supported the driver must not
+             run writers concurrently *)
+          lock_free_reads = true;
           tunable_node_bytes = false;
           relocatable_root = true;
         };

@@ -16,4 +16,5 @@ let () =
       ("registry", Test_registry.suite);
       ("shard", Test_shard.suite);
       ("trace", Test_trace.suite);
+      ("check", Test_check.suite);
     ]
