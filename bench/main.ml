@@ -942,6 +942,88 @@ let sharded_rows () =
       [ sharded_run ~shards ~group:false; sharded_run ~shards ~group:true ])
     counts
 
+(* ------------------------------------------------------------------ *)
+(* Scrub cost: what a post-crash scrub pass adds to recovery time      *)
+(* ------------------------------------------------------------------ *)
+
+module Scrub = Ff_scrub.Scrub
+
+type scrub_row = {
+  sc_index : string;
+  sc_keys : int;
+  sc_scrub_ns : int;
+  sc_ns_per_key : float;
+  sc_leaked : int;
+  sc_reclaimed : int;
+  sc_repaired : int;
+  sc_quarantined : int;
+}
+
+(* One deterministic scenario per scrubbable index: load, crash an
+   insert batch mid-split (so a node leaks), poison two lines, then
+   time the full scrub-and-recover pass in simulated ns. *)
+let scrub_run_one name =
+  let d = Registry.find_exn name in
+  if not (Scrub.scrubbable d) then None
+  else begin
+    let n = sc 20_000 in
+    let config = Descriptor.default_config in
+    let a = arena ~config:(Config.pm ~read_ns:300 ~write_ns:300 ()) (n * 64) in
+    let t = d.Descriptor.build config a in
+    let rng = Prng.create 71 in
+    let keys = W.distinct_uniform rng ~n ~space:(8 * n) in
+    W.load_keys t keys;
+    t.Intf.close ();
+    Arena.drain a;
+    let t = d.Descriptor.open_existing config a in
+    Arena.set_crash_plan a (Arena.After_stores (Arena.store_count a + 40));
+    (try
+       for i = 1 to 64 do
+         let k = (8 * n) + i in
+         t.Intf.insert k (W.value_of k)
+       done
+     with Arena.Crashed -> ());
+    Arena.set_crash_plan a Arena.Never;
+    Arena.set_fault_plan a
+      (Some { Arena.fault_seed = 71; poison_lines = 2; flip_words = 0; stuck_words = 0 });
+    Arena.power_fail a (Ff_workload.Crash_harness.default_mode 40);
+    let r =
+      Scrub.run ~config d a ~recover:(fun () ->
+          let t = d.Descriptor.open_existing config a in
+          t.Intf.recover ())
+    in
+    Some
+      {
+        sc_index = name;
+        sc_keys = n;
+        sc_scrub_ns = r.Scrub.duration_ns;
+        sc_ns_per_key = float_of_int r.Scrub.duration_ns /. float_of_int n;
+        sc_leaked = r.Scrub.leaked_words;
+        sc_reclaimed = r.Scrub.reclaimed_words;
+        sc_repaired = List.length r.Scrub.repaired_lines;
+        sc_quarantined = List.length r.Scrub.quarantined_lines;
+      }
+  end
+
+let scrub_rows () =
+  List.filter_map scrub_run_one
+    [ "fastfair"; "fastfair-logged"; "fastfair-leaflock"; "sharded-fastfair" ]
+
+let scrub_target () =
+  print_endline
+    "== scrub cost: post-crash leak scan, media repair and reclamation ==";
+  print_endline
+    "   (crash mid-split over a preloaded tree, 2 poisoned lines, seed 71)";
+  Printf.printf "%18s %9s %11s %9s %9s %10s %9s %12s\n" "index" "keys"
+    "scrub(us)" "ns/key" "leaked" "reclaimed" "repaired" "quarantined";
+  List.iter
+    (fun r ->
+      Printf.printf "%18s %9d %11.1f %9.2f %9d %10d %9d %12d\n" r.sc_index
+        r.sc_keys
+        (float_of_int r.sc_scrub_ns /. 1000.)
+        r.sc_ns_per_key r.sc_leaked r.sc_reclaimed r.sc_repaired r.sc_quarantined)
+    (scrub_rows ())
+
 let sharded_target () =
   print_endline "== sharded serving layer: scaling and group-flush amortization ==";
   Printf.printf "   (mixed 60:30:5:5 workload, hash partition, batch_cap=64, seed %d)\n"
@@ -1015,6 +1097,19 @@ let json_report file =
         ("results", J.Arr (List.map (fun m -> measure m phase) makers));
       ]
   in
+  let scrub_row_json r =
+    J.Obj
+      [
+        ("index", J.Str r.sc_index);
+        ("keys", J.Int r.sc_keys);
+        ("scrub_ns", J.Int r.sc_scrub_ns);
+        ("ns_per_key", J.Float r.sc_ns_per_key);
+        ("leaked_words", J.Int r.sc_leaked);
+        ("reclaimed_words", J.Int r.sc_reclaimed);
+        ("repaired_lines", J.Int r.sc_repaired);
+        ("quarantined_lines", J.Int r.sc_quarantined);
+      ]
+  in
   let sharded_row_json r =
     J.Obj
       [
@@ -1045,6 +1140,7 @@ let json_report file =
                workload "search" `Search (search_makers ());
                workload "range" `Range [ fastfair (); skiplist () ];
              ] );
+         ("scrub", J.Arr (List.map scrub_row_json (scrub_rows ())));
        ]
       @
       if !shard_counts = [] then []
@@ -1136,6 +1232,7 @@ let targets =
     ("latencies", latencies);
     ("micro", micro);
     ("sharded", sharded_target);
+    ("scrub", scrub_target);
   ]
 
 let () =

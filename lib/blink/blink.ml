@@ -337,6 +337,7 @@ let () =
           lock_free_reads = false;
           tunable_node_bytes = false;
           relocatable_root = false;
+          scrubbable = false;
         };
       composite = None;
       build = (fun cfg a -> ops (create ~lock_mode:cfg.D.lock_mode a));

@@ -653,6 +653,7 @@ let descriptor ~name ~summary ?split_policy ?(leaf_read_locks = false) () =
         lock_free_reads = not leaf_read_locks;
         tunable_node_bytes = true;
         relocatable_root = true;
+        scrubbable = true;
       };
     composite = None;
     build =

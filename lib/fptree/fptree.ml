@@ -547,6 +547,7 @@ let () =
           lock_free_reads = false;
           tunable_node_bytes = true;
           relocatable_root = true;
+          scrubbable = false;
         };
       composite = None;
       build =

@@ -7,6 +7,20 @@ type caps = {
   lock_free_reads : bool;
   tunable_node_bytes : bool;
   relocatable_root : bool;
+  scrubbable : bool;
+}
+
+type scrub_repair = {
+  repaired_lines : int list;
+  quarantined_lines : int list;
+  lost_records : int;
+}
+
+type scrub_ops = {
+  scrub_grain : int;
+  scrub_reachable : unit -> (int * int) list;
+  scrub_repair : int list -> scrub_repair;
+  scrub_validate : unit -> string list;
 }
 
 type config = {
@@ -45,7 +59,7 @@ let name_hash name =
 let caps_line d =
   let b v = if v then "yes" else "-" in
   Printf.sprintf
-    "range=%s delete=%s recovery=%s persistent=%s locks=%s lf-reads=%s node-size=%s root=%s"
+    "range=%s delete=%s recovery=%s persistent=%s locks=%s lf-reads=%s node-size=%s root=%s scrub=%s"
     (b d.caps.has_range) (b d.caps.has_delete) (b d.caps.has_recovery)
     (b d.caps.is_persistent)
     (String.concat "/"
@@ -55,3 +69,4 @@ let caps_line d =
     (b d.caps.lock_free_reads)
     (if d.caps.tunable_node_bytes then "tunable" else "fixed")
     (if d.caps.relocatable_root then "relocatable" else "fixed")
+    (b d.caps.scrubbable)

@@ -27,6 +27,44 @@ type caps = {
           metadata to slots [root_slot] and [root_slot + 1], so several
           instances can share one arena (the sharding layer's
           requirement for carving an arena into shards) *)
+  scrubbable : bool;
+      (** a {!scrub_ops} provider is registered for this structure
+          (see {!Registry.register_scrub}): the post-crash scrubber can
+          enumerate its reachable blocks, validate it, and repair or
+          quarantine poisoned lines — the prerequisite for leak
+          reclamation and media-fault recovery *)
+}
+
+(** {1 Scrub hooks}
+
+    Structure-specific knowledge the generic scrubber ([Ff_scrub])
+    needs: what is reachable, how to check it, and how to repair media
+    damage.  The types live here (below every structure library in the
+    dependency order) so repair modules can register providers through
+    {!Registry.register_scrub} without the scrubber depending on any
+    particular structure. *)
+
+type scrub_repair = {
+  repaired_lines : int list;
+      (** poisoned lines whose contents were re-derived in full *)
+  quarantined_lines : int list;
+      (** poisoned lines dropped with data loss *)
+  lost_records : int;
+      (** best-effort count of records lost to quarantine *)
+}
+
+type scrub_ops = {
+  scrub_grain : int;
+      (** preferred reclamation block size in words (typically the node
+          size); [0] means free each leaked gap as one block *)
+  scrub_reachable : unit -> (int * int) list;
+      (** every [(addr, words)] block reachable from the structure's
+          roots, including auxiliary areas (e.g. a split log) *)
+  scrub_repair : int list -> scrub_repair;
+      (** repair or quarantine these poisoned lines (sorted ascending);
+          lines the structure does not own are left untouched *)
+  scrub_validate : unit -> string list;
+      (** structural invariant violations, [[]] when sound *)
 }
 
 type config = {

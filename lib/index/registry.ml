@@ -16,6 +16,20 @@ let register (d : Descriptor.t) =
   Hashtbl.replace table d.name d;
   Hashtbl.replace by_hash h d
 
+(* Scrub providers live in a side table keyed by descriptor name:
+   repair modules (which depend on their structure's internals) can
+   register them without the registry — or the scrubber — depending on
+   any structure library.  [-linkall] runs the registrations. *)
+let scrub_table : (string, Descriptor.config -> Arena.t -> Descriptor.scrub_ops) Hashtbl.t =
+  Hashtbl.create 8
+
+let register_scrub name provider =
+  if Hashtbl.mem scrub_table name then
+    invalid_arg ("Registry.register_scrub: duplicate provider for " ^ name);
+  Hashtbl.replace scrub_table name provider
+
+let scrub_provider name = Hashtbl.find_opt scrub_table name
+
 let names () = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) table [])
 let all () = List.filter_map (Hashtbl.find_opt table) (names ())
 let find name = Hashtbl.find_opt table name

@@ -16,6 +16,17 @@
 val register : Descriptor.t -> unit
 (** @raise Invalid_argument on duplicate names. *)
 
+val register_scrub :
+  string -> (Descriptor.config -> Ff_pmem.Arena.t -> Descriptor.scrub_ops) -> unit
+(** Register the scrub-hook provider backing a descriptor's
+    [caps.scrubbable] claim.  Keyed by descriptor name; the provider
+    receives the instance config (node size, root slot) and the arena
+    and returns hooks bound to that instance.
+    @raise Invalid_argument on duplicate registration. *)
+
+val scrub_provider :
+  string -> (Descriptor.config -> Ff_pmem.Arena.t -> Descriptor.scrub_ops) option
+
 val names : unit -> string list
 (** Sorted names of all registered descriptors. *)
 

@@ -1,6 +1,27 @@
+module Prng = Ff_util.Prng
+
 exception Crashed
+exception Media_error of int
 
 type crash_plan = Never | After_stores of int | After_flushes of int
+
+type fault_kind = Fault_poison | Fault_flip | Fault_stuck
+
+type fault = { fault_kind : fault_kind; fault_addr : int; fault_index : int }
+
+type fault_plan = {
+  fault_seed : int;
+  poison_lines : int;
+  flip_words : int;
+  stuck_words : int;
+}
+
+type fault_stats = {
+  poisoned : int;
+  flipped : int;
+  stuck : int;
+  media_error_reads : int;
+}
 
 type event_sink = {
   ev_store : int -> unit;
@@ -33,6 +54,22 @@ type t = {
   mutable elide_flush : bool;
   mutable bump : int;
   free_lists : (int, int list) Hashtbl.t;
+  (* Allocator hardening: [live_blocks] maps every outstanding
+     allocation (addr -> rounded words); [free_set] mirrors the free
+     lists keyed by address so double frees are O(1) to detect. *)
+  live_blocks : (int, int) Hashtbl.t;
+  free_set : (int, int) Hashtbl.t;
+  (* Media-fault state: poisoned lines raise on charged reads.  The
+     table survives power failures (media damage is persistent) and is
+     only cleared by an overwriting store or an explicit repair. *)
+  poison : (int, unit) Hashtbl.t;
+  mutable poison_n : int;
+  mutable fplan : fault_plan option;
+  mutable injected : fault list; (* newest first *)
+  mutable fs_poisoned : int;
+  mutable fs_flipped : int;
+  mutable fs_stuck : int;
+  mutable fs_media_reads : int;
 }
 
 let create ?(config = Config.default) ~words () =
@@ -59,6 +96,16 @@ let create ?(config = Config.default) ~words () =
     elide_flush = false;
     bump = reserved_words;
     free_lists = Hashtbl.create 8;
+    live_blocks = Hashtbl.create 64;
+    free_set = Hashtbl.create 8;
+    poison = Hashtbl.create 4;
+    poison_n = 0;
+    fplan = None;
+    injected = [];
+    fs_poisoned = 0;
+    fs_flipped = 0;
+    fs_stuck = 0;
+    fs_media_reads = 0;
   }
 
 let config t = t.config
@@ -126,6 +173,13 @@ let read t addr =
         charge t (cfg.Config.read_latency_ns / cfg.Config.mlp_factor)
       end
       else charge t cfg.Config.read_latency_ns);
+  (* A poisoned line surfaces as an uncorrectable media error on the
+     charged load path; the cost of the access has already been paid,
+     as on real hardware where the MCE follows the stalled load. *)
+  if t.poison_n > 0 && Hashtbl.mem t.poison (line_of addr) then begin
+    t.fs_media_reads <- t.fs_media_reads + 1;
+    raise (Media_error addr)
+  end;
   t.volatile.(addr)
 
 let maybe_crash_on_store t =
@@ -148,6 +202,12 @@ let write t addr v =
   s.Stats.stores <- s.Stats.stores + 1;
   t.volatile.(addr) <- v;
   let line = line_of addr in
+  (* Overwriting a poisoned line repairs it (the model's analogue of a
+     full-line write clearing the platform poison bit). *)
+  if t.poison_n > 0 && Hashtbl.mem t.poison line then begin
+    Hashtbl.remove t.poison line;
+    t.poison_n <- t.poison_n - 1
+  end;
   (* Write-allocate: the line is resident after the store. *)
   ignore (Cachesim.access ctx.cache line);
   Storelog.record t.log ~addr ~value:v ~line ~epoch:t.epoch;
@@ -237,11 +297,14 @@ let alloc_raw t words =
   match Hashtbl.find_opt t.free_lists words with
   | Some (addr :: rest) ->
       Hashtbl.replace t.free_lists words rest;
+      Hashtbl.remove t.free_set addr;
+      Hashtbl.replace t.live_blocks addr words;
       addr
   | Some [] | None ->
       let addr = t.bump in
       if addr + words > Array.length t.volatile then raise Out_of_memory;
       t.bump <- addr + words;
+      Hashtbl.replace t.live_blocks addr words;
       addr
 
 let alloc t words =
@@ -253,13 +316,63 @@ let alloc t words =
   done;
   addr
 
+(* Freeing the block that ends at the bump pointer shrinks the heap
+   instead of free-listing it, then keeps absorbing free blocks newly
+   exposed at the top — so [used_words] genuinely drops when scrub
+   reclaims a leak at the end of the heap. *)
+let rec trim_bump t =
+  let top =
+    Hashtbl.fold
+      (fun a w acc -> if a + w = t.bump then Some (a, w) else acc)
+      t.free_set None
+  in
+  match top with
+  | None -> ()
+  | Some (a, w) ->
+      Hashtbl.remove t.free_set a;
+      (match Hashtbl.find_opt t.free_lists w with
+      | Some lst -> Hashtbl.replace t.free_lists w (List.filter (fun x -> x <> a) lst)
+      | None -> ());
+      t.bump <- a;
+      trim_bump t
+
 let free t addr words =
   let words = round_to_lines (max words 1) in
+  if addr < reserved_words || addr + words > t.bump then
+    invalid_arg
+      (Printf.sprintf "Arena.free: block [%d,%d) outside allocated region [%d,%d)"
+         addr (addr + words) reserved_words t.bump);
+  if addr mod words_per_line <> 0 then
+    invalid_arg (Printf.sprintf "Arena.free: address %d is not line-aligned" addr);
+  if Hashtbl.mem t.free_set addr then
+    invalid_arg (Printf.sprintf "Arena.free: double free of block at %d" addr);
+  (match Hashtbl.find_opt t.live_blocks addr with
+  | Some w when w <> words ->
+      invalid_arg
+        (Printf.sprintf "Arena.free: block at %d spans %d words, freed as %d" addr w
+           words)
+  | Some _ | None ->
+      (* Blocks unknown to the live table are accepted: scrub
+         reclamation frees leaked blocks whose allocation record died
+         with the crash. *)
+      ());
+  Hashtbl.remove t.live_blocks addr;
   (match t.sink with None -> () | Some s -> s.ev_free addr words);
-  let prev = try Hashtbl.find t.free_lists words with Not_found -> [] in
-  Hashtbl.replace t.free_lists words (addr :: prev)
+  if addr + words = t.bump then begin
+    t.bump <- addr;
+    trim_bump t
+  end
+  else begin
+    Hashtbl.replace t.free_set addr words;
+    let prev = try Hashtbl.find t.free_lists words with Not_found -> [] in
+    Hashtbl.replace t.free_lists words (addr :: prev)
+  end
 
 let used_words t = t.bump - reserved_words
+let free_words t = Hashtbl.fold (fun _ w acc -> acc + w) t.free_set 0
+
+let free_blocks t =
+  List.sort compare (Hashtbl.fold (fun a w acc -> (a, w) :: acc) t.free_set [])
 
 let root_get t slot =
   assert (slot >= 0 && slot < reserved_words);
@@ -270,6 +383,96 @@ let root_set t slot v =
   write t slot v;
   flush t slot;
   fence t
+
+(* ------------------------------------------------------------------ *)
+(* Media faults                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Poisoning scrambles the line in BOTH images with seed-derived
+   garbage: repair code cannot cheat by peeking the old contents — it
+   must re-derive them from surviving structure. *)
+let scramble_mult = 0x2545F4914F6CDD1D
+
+let poison_line t line =
+  let addr = line * words_per_line in
+  check addr t;
+  if not (Hashtbl.mem t.poison line) then begin
+    Hashtbl.replace t.poison line ();
+    t.poison_n <- t.poison_n + 1;
+    t.fs_poisoned <- t.fs_poisoned + 1;
+    let rng = Prng.create (line * scramble_mult) in
+    for w = addr to addr + words_per_line - 1 do
+      let v = Prng.next rng in
+      t.volatile.(w) <- v;
+      t.persisted.(w) <- v
+    done
+  end
+
+let clear_poison_line t line =
+  if Hashtbl.mem t.poison line then begin
+    Hashtbl.remove t.poison line;
+    t.poison_n <- t.poison_n - 1
+  end
+
+let is_poisoned t addr =
+  t.poison_n > 0 && Hashtbl.mem t.poison (line_of addr)
+
+let poisoned_lines t =
+  List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) t.poison [])
+
+let set_fault_plan t p = t.fplan <- p
+let fault_plan t = t.fplan
+let injected_faults t = List.rev t.injected
+
+let fault_stats t =
+  {
+    poisoned = t.fs_poisoned;
+    flipped = t.fs_flipped;
+    stuck = t.fs_stuck;
+    media_error_reads = t.fs_media_reads;
+  }
+
+let record_fault t kind addr =
+  let index = List.length t.injected in
+  t.injected <- { fault_kind = kind; fault_addr = addr; fault_index = index } :: t.injected
+
+(* Fire the armed fault plan: poison lines first (index order), then
+   delegate flips/stuck words to the Storelog fault model with a seed
+   derived from the same PRNG stream — the whole sequence replays from
+   [fault_seed] alone. *)
+let inject_faults t p =
+  let rng = Prng.create p.fault_seed in
+  let lo_line = reserved_words / words_per_line in
+  let hi_line = t.bump / words_per_line in
+  if hi_line > lo_line then
+    for _ = 1 to p.poison_lines do
+      let line = Prng.in_range rng lo_line hi_line in
+      poison_line t line;
+      record_fault t Fault_poison (line * words_per_line)
+    done;
+  if p.flip_words > 0 || p.stuck_words > 0 then begin
+    let spec =
+      {
+        Storelog.fault_seed = Prng.next rng;
+        flip_words = p.flip_words;
+        stuck_words = p.stuck_words;
+        fault_lo = reserved_words;
+        fault_hi = t.bump;
+      }
+    in
+    let faults = Storelog.apply_faults ~persisted:t.persisted spec in
+    List.iter
+      (fun (kind, addr) ->
+        t.volatile.(addr) <- t.persisted.(addr);
+        match kind with
+        | `Flip ->
+            t.fs_flipped <- t.fs_flipped + 1;
+            record_fault t Fault_flip addr
+        | `Stuck ->
+            t.fs_stuck <- t.fs_stuck + 1;
+            record_fault t Fault_stuck addr)
+      faults
+  end
 
 let set_crash_plan t plan = t.plan <- plan
 let store_count t = t.stores
@@ -289,7 +492,18 @@ let power_fail t mode =
   (* Fault injection applies to the pre-crash execution only: recovery
      code after the power failure runs with real flushes, so a mutant's
      missing-flush bug is confined to the phase under test. *)
-  t.elide_flush <- false
+  t.elide_flush <- false;
+  (* Allocator metadata is volatile by design: free lists and the live
+     table die with the power, exactly as across a file round trip.
+     Blocks that were free-listed but not reclaimed by trimming become
+     leaks until a scrub finds them. *)
+  Hashtbl.reset t.free_lists;
+  Hashtbl.reset t.free_set;
+  Hashtbl.reset t.live_blocks;
+  (* Media damage from the armed fault plan lands now, on the post-crash
+     image; like the crash plan, the fault plan disarms after firing. *)
+  (match t.fplan with None -> () | Some p -> inject_faults t p);
+  t.fplan <- None
 
 let drain t =
   Storelog.evict_to t.log ~persisted:t.persisted ~target:0
@@ -319,6 +533,16 @@ let clone t =
     elide_flush = false;
     bump = t.bump;
     free_lists = Hashtbl.copy t.free_lists;
+    live_blocks = Hashtbl.copy t.live_blocks;
+    free_set = Hashtbl.copy t.free_set;
+    poison = Hashtbl.copy t.poison;
+    poison_n = t.poison_n;
+    fplan = None;
+    injected = [];
+    fs_poisoned = 0;
+    fs_flipped = 0;
+    fs_stuck = 0;
+    fs_media_reads = 0;
   }
 
 let dirty_line_count t = List.length (Storelog.dirty_lines t.log)

@@ -25,6 +25,13 @@ exception Crashed
 (** Raised by {!write} / {!flush} when the injected crash plan fires.
     The triggering store is {e not} applied. *)
 
+exception Media_error of int
+(** Raised by {!read} when the accessed word lies on a poisoned cache
+    line — the simulator's uncorrectable media error.  The payload is
+    the word address of the failed load.  {!peek} and {!peek_persisted}
+    never raise it (they are the scrubber's diagnostic view of the
+    damaged device). *)
+
 type crash_plan =
   | Never
   | After_stores of int  (** raise on store number [k+1] *)
@@ -142,9 +149,25 @@ val alloc_raw : t -> int -> int
     contents, exactly like real PM. *)
 
 val free : t -> int -> int -> unit
-(** [free t addr words] returns a block to the size-class free list. *)
+(** [free t addr words] returns a block to the size-class free list,
+    or shrinks the heap when the block ends at the bump pointer (then
+    keeps absorbing free blocks newly exposed at the top, so reclaimed
+    tail leaks genuinely reduce {!used_words}).
+
+    Hardened against scrub and caller bugs.
+    @raise Invalid_argument if the block is out of the allocated
+    region, not line-aligned, already on a free list, or sized
+    differently from its recorded live allocation.  Blocks unknown to
+    the live table (e.g. leaks reclaimed after a crash destroyed the
+    volatile allocator state) are accepted. *)
 
 val used_words : t -> int
+
+val free_words : t -> int
+(** Total words currently on free lists. *)
+
+val free_blocks : t -> (int * int) list
+(** Free-listed [(addr, words)] blocks, sorted by address. *)
 
 (** {1 Roots} *)
 
@@ -181,7 +204,71 @@ val flush_elision : t -> bool
 val power_fail : t -> Storelog.crash_mode -> unit
 (** Apply a crash state to the persisted image, then reset the
     volatile image to it, clear caches and the store log, and disarm
-    the crash plan.  Execution can continue (recovery). *)
+    the crash plan.  Free lists and the live-block table are also
+    dropped (allocator metadata is volatile, as across
+    {!save_to_file}/{!load_from_file}), and an armed {!fault_plan}
+    fires on the post-crash image before disarming.  Execution can
+    continue (recovery). *)
+
+(** {1 Media faults}
+
+    A seeded, deterministic model of uncorrectable PM media errors.
+    Arm a {!fault_plan} and the next {!power_fail} poisons whole cache
+    lines (subsequent charged reads raise {!Media_error}) and injects
+    bit flips / stuck words via {!Storelog.Media_fault}.  Poisoning
+    scrambles the line's contents in both images with seed-derived
+    garbage, so repair code must re-derive the data from surviving
+    structure rather than peek at it.  An ordinary {!write} to a
+    poisoned line clears the poison (the full-line-overwrite repair of
+    real platforms).  Poison survives further power failures but is
+    {e not} carried through {!save_to_file} — scrub before saving. *)
+
+type fault_kind = Fault_poison | Fault_flip | Fault_stuck
+
+type fault = {
+  fault_kind : fault_kind;
+  fault_addr : int;  (** word address (line base for poison) *)
+  fault_index : int; (** position in the injection sequence *)
+}
+
+type fault_plan = {
+  fault_seed : int;    (** sole source of randomness; replays exactly *)
+  poison_lines : int;  (** lines to poison in [reserved, bump) *)
+  flip_words : int;    (** single-bit flips to inject *)
+  stuck_words : int;   (** words stuck at all-ones *)
+}
+
+type fault_stats = {
+  poisoned : int;          (** lines poisoned (plan + {!poison_line}) *)
+  flipped : int;
+  stuck : int;
+  media_error_reads : int; (** charged reads that raised {!Media_error} *)
+}
+
+val set_fault_plan : t -> fault_plan option -> unit
+(** Arm (or disarm) the one-shot fault plan for the next
+    {!power_fail}.  Never inherited by {!clone}. *)
+
+val fault_plan : t -> fault_plan option
+
+val injected_faults : t -> fault list
+(** Every fault injected into this arena, in injection order — the
+    [(seed, index)] replay record. *)
+
+val fault_stats : t -> fault_stats
+
+val poison_line : t -> int -> unit
+(** [poison_line t line] poisons one cache line directly (tests and
+    targeted experiments); idempotent. *)
+
+val clear_poison_line : t -> int -> unit
+(** Lift the poison without repairing the scrambled contents. *)
+
+val is_poisoned : t -> int -> bool
+(** Whether the line containing this word address is poisoned. *)
+
+val poisoned_lines : t -> int list
+(** Poisoned line numbers, sorted ascending. *)
 
 val drain : t -> unit
 (** Quiesce: persist all pending stores (legal under TSO — it is the

@@ -107,12 +107,45 @@ let evict_to t ~persisted ~target =
     compact t
   end
 
+type fault_spec = {
+  fault_seed : int;
+  flip_words : int;
+  stuck_words : int;
+  fault_lo : int;
+  fault_hi : int;
+}
+
 type crash_mode =
   | Keep_none
   | Keep_all
   | Random_eviction of Prng.t
   | Non_tso_random of Prng.t
   | Non_tso_cutoff of int * Prng.t
+  | Media_fault of fault_spec * crash_mode
+
+(* Media faults draw word addresses from a private PRNG seeded by
+   [fault_seed] alone, so a recorded (seed, index) pair replays the
+   identical fault sequence regardless of what the base crash mode
+   did: flips first (index order), then stuck words. *)
+let apply_faults ~persisted spec =
+  let rng = Prng.create spec.fault_seed in
+  let span = spec.fault_hi - spec.fault_lo in
+  if span <= 0 then []
+  else begin
+    let faults = ref [] in
+    for _ = 1 to spec.flip_words do
+      let addr = spec.fault_lo + Prng.int rng span in
+      let bit = Prng.int rng 62 in
+      persisted.(addr) <- persisted.(addr) lxor (1 lsl bit);
+      faults := (`Flip, addr) :: !faults
+    done;
+    for _ = 1 to spec.stuck_words do
+      let addr = spec.fault_lo + Prng.int rng span in
+      persisted.(addr) <- max_int;
+      faults := (`Stuck, addr) :: !faults
+    done;
+    List.rev !faults
+  end
 
 let pending_epochs t =
   let seen = Hashtbl.create 16 in
@@ -165,8 +198,8 @@ let apply_non_tso_cutoff t persisted cutoff rng =
       done)
     words
 
-let apply_crash t ~persisted mode =
-  (match mode with
+let rec apply_mode t ~persisted mode =
+  match mode with
   | Keep_none -> ()
   | Keep_all ->
       let n = Vec.length t.addrs in
@@ -212,7 +245,15 @@ let apply_crash t ~persisted mode =
         let cutoff = Prng.in_range rng !min_e (!max_e + 2) in
         apply_non_tso_cutoff t persisted cutoff rng
       end
-  | Non_tso_cutoff (cutoff, rng) -> apply_non_tso_cutoff t persisted cutoff rng);
+  | Non_tso_cutoff (cutoff, rng) -> apply_non_tso_cutoff t persisted cutoff rng
+  | Media_fault (spec, base) ->
+      (* Base crash state first, then the media damage on top: the
+         fault model corrupts whatever the crash left behind. *)
+      apply_mode t ~persisted base;
+      ignore (apply_faults ~persisted spec)
+
+let apply_crash t ~persisted mode =
+  apply_mode t ~persisted mode;
   clear t
 
 let dirty_lines t =

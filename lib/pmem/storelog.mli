@@ -31,6 +31,20 @@ val flush_line : t -> persisted:int array -> int -> unit
 val evict_to : t -> persisted:int array -> target:int -> unit
 (** Apply oldest pending stores until at most [target] remain. *)
 
+type fault_spec = {
+  fault_seed : int;  (** seeds a private PRNG; faults replay from it alone *)
+  flip_words : int;  (** number of single-bit flips to inject *)
+  stuck_words : int; (** number of words forced to all-ones ([max_int]) *)
+  fault_lo : int;    (** first word address eligible for a fault *)
+  fault_hi : int;    (** one past the last eligible word address *)
+}
+(** Uncorrectable-media damage applied to the persisted image at crash
+    time: [flip_words] random single-bit flips followed by
+    [stuck_words] words stuck at all-ones, drawn uniformly from
+    [fault_lo, fault_hi).  The draw order is fixed (flips first, in
+    index order, then stuck words), so every fault is replayable from
+    [(fault_seed, index)]. *)
+
 type crash_mode =
   | Keep_none
       (** Only explicitly flushed data survives: the adversarial
@@ -50,6 +64,17 @@ type crash_mode =
           each word at the cutoff epoch persists a random prefix of its
           store sequence.  {!Ff_check} uses this to sweep every fence
           epoch exhaustively instead of sampling one. *)
+  | Media_fault of fault_spec * crash_mode
+      (** Apply the base crash mode, then corrupt the resulting
+          persisted image per the {!fault_spec} — the media-error
+          pattern of real PM, where a power event damages lines that
+          were otherwise durable. *)
+
+val apply_faults : persisted:int array -> fault_spec -> ([ `Flip | `Stuck ] * int) list
+(** Apply only the media damage of a {!fault_spec} to [persisted] and
+    return the injected faults in injection order (kind, word
+    address).  Exposed so {!Arena.power_fail} can record fault stats;
+    {!apply_crash} with {!Media_fault} calls this internally. *)
 
 val pending_epochs : t -> int list
 (** Distinct fence epochs among pending stores, sorted ascending —

@@ -1,0 +1,81 @@
+(** Post-crash scrubber: reachability scan, leak reclamation, and
+    media-fault repair over any index whose descriptor claims
+    [caps.scrubbable].
+
+    FAST+FAIR trades logging away, so a crash inside a split can leak
+    a freshly allocated node forever: allocator metadata is volatile,
+    [used_words] only grows across crash/recover cycles, and nothing
+    in the tree ever walks the arena to take leaked blocks back.  The
+    scrubber closes that loop — and doubles as the repair pass for the
+    arena's media-fault model (poisoned lines, bit flips).
+
+    The orchestrator is structure-agnostic: per-structure knowledge
+    (what is reachable, how to repair, how to validate) comes from the
+    {!Ff_index.Descriptor.scrub_ops} hooks registered through
+    {!Ff_index.Registry.register_scrub}.  Pass order is conservative:
+    repair poisoned lines first, re-run recovery, validate, and only
+    reclaim leaks from a structure that validated clean. *)
+
+type report = {
+  index : string;
+  used_words_before : int;
+  used_words_after : int;     (** drops when tail leaks are trimmed *)
+  reachable_words : int;
+  free_words : int;           (** free-listed words at scan time *)
+  leaked_blocks : (int * int) list;
+      (** allocated-but-unreachable [(addr, words)] gaps *)
+  leaked_words : int;
+  reclaimed_words : int;      (** 0 unless the structure validated clean *)
+  repaired_lines : int list;  (** poisoned lines re-derived in full *)
+  quarantined_lines : int list; (** poisoned lines dropped with loss *)
+  lost_records : int;
+  remaining_poison : int list;  (** word addresses still poisoned *)
+  violations : string list;
+  duration_ns : int;          (** simulated ns charged for the pass *)
+}
+
+val clean : report -> bool
+(** No violations and no remaining poison. *)
+
+val scrubbable : Ff_index.Descriptor.t -> bool
+(** The descriptor claims the capability {e and} a provider is
+    registered for its name. *)
+
+val run :
+  ?tracer:Ff_trace.Trace.t ->
+  ?repair:bool ->
+  ?reclaim:bool ->
+  ?recover:(unit -> unit) ->
+  config:Ff_index.Descriptor.config ->
+  Ff_index.Descriptor.t ->
+  Ff_pmem.Arena.t ->
+  report
+(** Full scrub pass.  [repair] (default true) runs the structure's
+    poison-repair hook; [recover] (typically [ops.recover]) re-runs
+    recovery after repair, when charged reads are safe again; leaks
+    are reclaimed through the hardened {!Ff_pmem.Arena.free} only when
+    validation reports no violations ([reclaim] defaults to true).
+    The scan is charged to the arena as a sequential media read, so
+    [duration_ns] is comparable with operation latencies.  With
+    [tracer] enabled, emits a [scrub] span and
+    [scrub.leaked_words] / [scrub.reclaimed_words] /
+    [scrub.quarantined_lines] / [scrub.duration_ns] metrics.
+    @raise Invalid_argument if the descriptor is not scrubbable. *)
+
+val audit :
+  config:Ff_index.Descriptor.config ->
+  Ff_index.Descriptor.t ->
+  Ff_pmem.Arena.t ->
+  report
+(** Detection only: no repair, no recovery, no reclamation — the leak
+    oracle.  A clean tree satisfies
+    [reachable_words + free_words = used_words_before]
+    (i.e. [leaked_blocks = []]). *)
+
+val to_json : report -> Ff_trace.Json.t
+(** Deterministic (key-ordered) JSON; identical seeds produce
+    byte-identical reports. *)
+
+val to_string : report -> string
+
+val pp : Format.formatter -> report -> unit

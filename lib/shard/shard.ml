@@ -10,6 +10,9 @@ module Trace = Ff_trace.Trace
 module Metrics = Ff_trace.Metrics
 module Mcsim = Ff_mcsim.Mcsim
 module Workload = Ff_workload.Workload
+module Scrub = Ff_scrub.Scrub
+
+exception Degraded of { shard : int; addr : int; attempts : int }
 
 (* ------------------------------------------------------------------ *)
 (* Partitioning                                                        *)
@@ -110,6 +113,10 @@ type instance = {
   lat : Histogram.t;
   mutable routed : int;
   mutable batches : int;
+  mutable healthy : bool;
+  mutable media_errors : int;
+  mutable retries : int;
+  mutable rejected : int;
 }
 
 type t = {
@@ -123,13 +130,26 @@ type t = {
   tracer : Trace.t;
   queues : Workload.op list ref array;
   qlen : int array;
+  retry_limit : int;
+  backoff_ns : int;
+  mutable last_scrub : Scrub.report list;
 }
 
 let mk_instance ops arena =
-  { ops; arena; lat = Histogram.create (); routed = 0; batches = 0 }
+  {
+    ops;
+    arena;
+    lat = Histogram.create ();
+    routed = 0;
+    batches = 0;
+    healthy = true;
+    media_errors = 0;
+    retries = 0;
+    rejected = 0;
+  }
 
 let make ~partition ~inner ~inner_config ~instances ~multi ~batch_cap ~group
-    ~tracer =
+    ~tracer ~retry_limit ~backoff_ns =
   let n = Array.length instances in
   {
     partition;
@@ -142,6 +162,9 @@ let make ~partition ~inner ~inner_config ~instances ~multi ~batch_cap ~group
     tracer;
     queues = Array.init n (fun _ -> ref []);
     qlen = Array.make n 0;
+    retry_limit;
+    backoff_ns;
+    last_scrub = [];
   }
 
 let shards t = Array.length t.instances
@@ -149,11 +172,11 @@ let partition t = t.partition
 let group t = t.group
 let arenas t = Array.map (fun i -> i.arena) t.instances
 let shard_of_key t k = Partition.shard_of t.partition k
-let inst t k = t.instances.(shard_of_key t k)
 
 let create ?(pm_config = Config.default) ?(words = 1 lsl 20)
     ?(inner_config = D.default_config) ?partition ?(batch_cap = 64)
-    ?(group = true) ?(tracer = Trace.null) ~inner ~shards () =
+    ?(group = true) ?(tracer = Trace.null) ?(retry_limit = 3)
+    ?(backoff_ns = 1000) ~inner ~shards () =
   check_shards shards;
   let d = Registry.find_exn inner in
   require_shardable d;
@@ -171,7 +194,7 @@ let create ?(pm_config = Config.default) ?(words = 1 lsl 20)
         mk_instance (Registry.build ~config:inner_config inner a) a)
   in
   make ~partition ~inner:d ~inner_config ~instances ~multi:true ~batch_cap
-    ~group ~tracer
+    ~group ~tracer ~retry_limit ~backoff_ns
 
 (* Single-arena composite: all shards carved from one arena, so the
    whole ensemble persists, crashes and reloads as one image. *)
@@ -191,7 +214,8 @@ let persist_meta arena partition =
   Arena.root_set arena slot_shards (Partition.shards partition)
 
 let build_single ?(batch_cap = 64) ?(group = false) ?(tracer = Trace.null)
-    ~inner:(d : D.t) ~partition cfg arena =
+    ?(retry_limit = 3) ?(backoff_ns = 1000) ~inner:(d : D.t) ~partition cfg
+    arena =
   require_shardable d;
   check_shards (Partition.shards partition);
   let instances =
@@ -200,10 +224,10 @@ let build_single ?(batch_cap = 64) ?(group = false) ?(tracer = Trace.null)
   in
   persist_meta arena partition;
   make ~partition ~inner:d ~inner_config:cfg ~instances ~multi:false ~batch_cap
-    ~group ~tracer
+    ~group ~tracer ~retry_limit ~backoff_ns
 
 let attach_with ?(batch_cap = 64) ?(group = false) ?(tracer = Trace.null)
-    (d : D.t) cfg arena =
+    ?(retry_limit = 3) ?(backoff_ns = 1000) (d : D.t) cfg arena =
   let n = Arena.root_get arena slot_shards in
   if n < 1 || n > max_shards then
     invalid_arg "Shard.attach: arena carries no shard metadata";
@@ -223,25 +247,68 @@ let attach_with ?(batch_cap = 64) ?(group = false) ?(tracer = Trace.null)
         mk_instance (d.D.open_existing (shard_config cfg i) arena) arena)
   in
   make ~partition ~inner:d ~inner_config:cfg ~instances ~multi:false ~batch_cap
-    ~group ~tracer
+    ~group ~tracer ~retry_limit ~backoff_ns
 
-let attach ?batch_cap ?group ?tracer ?(config = D.default_config) ~inner arena =
+let attach ?batch_cap ?group ?tracer ?retry_limit ?backoff_ns
+    ?(config = D.default_config) ~inner arena =
   let d = Registry.find_exn inner in
   require_shardable d;
-  attach_with ?batch_cap ?group ?tracer d config arena
+  attach_with ?batch_cap ?group ?tracer ?retry_limit ?backoff_ns d config arena
 
 (* ------------------------------------------------------------------ *)
 (* Routed point operations and the merged range cursor                 *)
 (* ------------------------------------------------------------------ *)
 
-let insert t ~key ~value =
-  let i = inst t key in
-  i.routed <- i.routed + 1;
-  i.ops.Intf.insert key value
+(* Graceful degradation: a [Media_error] escaping a shard marks it
+   degraded instead of tearing down the ensemble.  The op is retried
+   with exponential backoff in simulated time — transient errors (or a
+   write path that incidentally repairs the line) succeed on retry —
+   and after [retry_limit] retries surfaces as a typed {!Degraded}
+   error naming the shard and the failing address.  Other shards, and
+   reads that do not touch the damaged line, keep serving; a shard is
+   re-admitted when {!recover}'s scrub pass leaves it clean. *)
+let guarded t i f =
+  let it = t.instances.(i) in
+  let rec attempt n =
+    match f () with
+    | r -> r
+    | exception Arena.Media_error addr ->
+        it.media_errors <- it.media_errors + 1;
+        if it.healthy then begin
+          it.healthy <- false;
+          if Trace.enabled t.tracer then
+            Metrics.incr (Trace.metrics t.tracer)
+              (Metrics.shard_label "shard.degraded" i)
+        end;
+        if n >= t.retry_limit then begin
+          it.rejected <- it.rejected + 1;
+          raise (Degraded { shard = i; addr; attempts = n + 1 })
+        end
+        else begin
+          it.retries <- it.retries + 1;
+          Arena.cpu_work it.arena (t.backoff_ns lsl n);
+          attempt (n + 1)
+        end
+  in
+  attempt 0
 
-let search t key = (inst t key).ops.Intf.search key
-let delete t key = (inst t key).ops.Intf.delete key
-let update t ~key ~value = (inst t key).ops.Intf.update key value
+let insert t ~key ~value =
+  let i = shard_of_key t key in
+  let it = t.instances.(i) in
+  it.routed <- it.routed + 1;
+  guarded t i (fun () -> it.ops.Intf.insert key value)
+
+let search t key =
+  let i = shard_of_key t key in
+  guarded t i (fun () -> t.instances.(i).ops.Intf.search key)
+
+let delete t key =
+  let i = shard_of_key t key in
+  guarded t i (fun () -> t.instances.(i).ops.Intf.delete key)
+
+let update t ~key ~value =
+  let i = shard_of_key t key in
+  guarded t i (fun () -> t.instances.(i).ops.Intf.update key value)
 
 let bulk_insert t pairs =
   (* Partition first so each inner sees one call and may use its bulk
@@ -329,7 +396,13 @@ let exec_batch t i =
       List.fold_left
         (fun acc op ->
           let before = Stats.total_ns (Arena.total_stats a) in
-          let r = Workload.run_op it.ops op in
+          (* A shard going degraded fails this op, not the batch: the
+             remaining ops still run and the closing group_end fence
+             still makes the survivors durable. *)
+          let r =
+            try guarded t i (fun () -> Workload.run_op it.ops op)
+            with Degraded _ -> 0
+          in
           Histogram.add it.lat (Stats.total_ns (Arena.total_stats a) - before);
           acc + r)
         0 batch
@@ -420,12 +493,58 @@ let reopen_instance t i =
   in
   it.ops <- t.inner.D.open_existing cfg it.arena
 
-let recover t =
+(* Recovery with scrub-and-readmit: when the inner structure is
+   scrubbable, every shard gets a full scrub pass (media repair, then
+   inner recovery, then validation and leak reclamation) and is
+   re-admitted — marked healthy again — only if its scrub came back
+   clean.  In single-arena mode the whole ensemble shares one heap, so
+   one composite scrub (registered as "sharded-<inner>") covers all
+   shards plus the partition metadata; per-shard reclamation would
+   misread sibling shards' nodes as leaks. *)
+let plain_recover t =
   Array.iteri
     (fun i it ->
       reopen_instance t i;
       it.ops.Intf.recover ())
     t.instances
+
+let recover t =
+  t.last_scrub <- [];
+  if t.multi then begin
+    if Scrub.scrubbable t.inner then
+      Array.iteri
+        (fun i it ->
+          let r =
+            Scrub.run ~tracer:t.tracer ~config:t.inner_config t.inner it.arena
+              ~recover:(fun () ->
+                reopen_instance t i;
+                it.ops.Intf.recover ())
+          in
+          t.last_scrub <- t.last_scrub @ [ r ];
+          it.healthy <- Scrub.clean r)
+        t.instances
+    else plain_recover t
+  end
+  else begin
+    let comp = { t.inner with D.name = "sharded-" ^ t.inner.D.name } in
+    if Scrub.scrubbable comp then begin
+      let r =
+        Scrub.run ~tracer:t.tracer ~config:t.inner_config comp
+          t.instances.(0).arena
+          ~recover:(fun () -> plain_recover t)
+      in
+      t.last_scrub <- [ r ];
+      Array.iter (fun it -> it.healthy <- Scrub.clean r) t.instances
+    end
+    else plain_recover t
+  end
+
+let healthy t = Array.map (fun it -> it.healthy) t.instances
+
+let degraded_stats t =
+  Array.map (fun it -> (it.media_errors, it.retries, it.rejected)) t.instances
+
+let scrub_reports t = t.last_scrub
 
 (* Parallel recovery: one simulated thread per shard.  In multi-arena
    mode every arena's yield hook feeds the simulator clock directly;
@@ -492,4 +611,76 @@ let descriptor ?(policy = `Hash) ~inner ~shards () =
     open_existing = (fun cfg a -> ops_of (attach_with d cfg a) name);
   }
 
+(* ------------------------------------------------------------------ *)
+(* Composite scrub provider (single-arena ensembles)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* All shards of a single-arena ensemble share one heap, so the scrub
+   reachability set is the union of every shard's nodes plus the
+   persisted partition metadata; scrubbing one shard in isolation
+   would misread its siblings' nodes as leaks.  Repair hands the full
+   poisoned-line set to each shard's hook — hooks only touch lines in
+   nodes they can prove they own, so the passes compose. *)
+
+let round_to_lines w =
+  (w + Arena.words_per_line - 1) / Arena.words_per_line * Arena.words_per_line
+
+let composite_scrub inner_name (cfg : D.config) arena =
+  let ip =
+    match Registry.scrub_provider inner_name with
+    | Some p -> p
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Shard: inner '%s' registered no scrub provider"
+             inner_name)
+  in
+  let n = Arena.root_get arena slot_shards in
+  if n < 1 || n > max_shards then
+    invalid_arg "Shard: arena carries no shard metadata";
+  let hooks = Array.init n (fun i -> ip (shard_config cfg i) arena) in
+  (* Length-prefixed bounds array for the Range policy, reachable as
+     one line-rounded block.  The length word is read uncharged; if
+     its line is poisoned the value may be garbage, so clamp to the
+     largest bounds array we could ever have persisted — the stranded
+     poison then keeps the report not-clean rather than crashing. *)
+  let bounds_block () =
+    if Arena.root_get arena slot_policy = 1 then begin
+      let blk = Arena.root_get arena slot_bounds in
+      let len = Arena.peek arena blk in
+      let len = if len < 0 || len >= max_shards then max_shards - 1 else len in
+      [ (blk, round_to_lines (len + 1)) ]
+    end
+    else []
+  in
+  {
+    D.scrub_grain = hooks.(0).D.scrub_grain;
+    scrub_reachable =
+      (fun () ->
+        Array.fold_left
+          (fun acc h -> h.D.scrub_reachable () @ acc)
+          (bounds_block ()) hooks);
+    scrub_repair =
+      (fun lines ->
+        Array.fold_left
+          (fun acc h ->
+            let r = h.D.scrub_repair lines in
+            {
+              D.repaired_lines = acc.D.repaired_lines @ r.D.repaired_lines;
+              quarantined_lines = acc.D.quarantined_lines @ r.D.quarantined_lines;
+              lost_records = acc.D.lost_records + r.D.lost_records;
+            })
+          { D.repaired_lines = []; quarantined_lines = []; lost_records = 0 }
+          hooks);
+    scrub_validate =
+      (fun () ->
+        List.concat
+          (List.mapi
+             (fun i h ->
+               List.map
+                 (Printf.sprintf "shard %d: %s" i)
+                 (h.D.scrub_validate ()))
+             (Array.to_list hooks)));
+  }
+
 let () = Registry.register (descriptor ~inner:"fastfair" ~shards:4 ())
+let () = Registry.register_scrub "sharded-fastfair" (composite_scrub "fastfair")

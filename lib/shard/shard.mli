@@ -50,6 +50,13 @@ end
 
 type t
 
+exception Degraded of { shard : int; addr : int; attempts : int }
+(** A point operation kept hitting {!Ff_pmem.Arena.Media_error} at
+    [addr] on [shard] after [attempts] tries (initial attempt plus
+    bounded retries with exponential backoff in simulated time).  The
+    shard stays marked degraded — sibling shards keep serving — until
+    a {!recover} scrub pass comes back clean. *)
+
 val max_shards : int
 (** 28 — each shard owns two reserved root slots below the manifests. *)
 
@@ -63,6 +70,8 @@ val create :
   ?batch_cap:int ->
   ?group:bool ->
   ?tracer:Ff_trace.Trace.t ->
+  ?retry_limit:int ->
+  ?backoff_ns:int ->
   inner:string ->
   shards:int ->
   unit ->
@@ -71,7 +80,11 @@ val create :
     inner instance built through the registry (so every shard arena
     carries its own root-slot manifest).  [partition] defaults to
     {!Partition.hash}; [group] (default true) runs scheduler batches
-    under a group-flush scope.
+    under a group-flush scope.  A point op that raises
+    {!Ff_pmem.Arena.Media_error} is retried up to [retry_limit]
+    (default 3) times with exponential backoff starting at
+    [backoff_ns] (default 1000) simulated ns before surfacing as
+    {!Degraded}.
     @raise Invalid_argument if the inner structure lacks a required
     capability, or the partition disagrees with [shards]. *)
 
@@ -79,6 +92,8 @@ val attach :
   ?batch_cap:int ->
   ?group:bool ->
   ?tracer:Ff_trace.Trace.t ->
+  ?retry_limit:int ->
+  ?backoff_ns:int ->
   ?config:Ff_index.Descriptor.config ->
   inner:string ->
   Ff_pmem.Arena.t ->
@@ -101,6 +116,12 @@ val insert : t -> key:int -> value:int -> unit
 val search : t -> int -> int option
 val delete : t -> int -> bool
 val update : t -> key:int -> value:int -> bool
+(** Point ops route to the owning shard through the degradation guard:
+    a {!Ff_pmem.Arena.Media_error} marks the shard degraded (bumping
+    the [shard.degraded.shard<i>] metric once per episode), retries
+    with exponential backoff, and raises {!Degraded} once the retry
+    budget is exhausted.  Sibling shards are unaffected. *)
+
 val bulk_insert : t -> (int * int) array -> unit
 
 val range : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
@@ -141,6 +162,19 @@ val merged_latency : t -> Ff_util.Histogram.t
 (** All shards' latency histograms merged
     ({!Ff_util.Histogram.merge}). *)
 
+val healthy : t -> bool array
+(** Per-shard health: [false] once a media error degraded the shard,
+    [true] again after a clean {!recover} scrub re-admits it. *)
+
+val degraded_stats : t -> (int * int * int) array
+(** Per-shard [(media_errors, retries, rejected)]: raw media-error
+    hits, backoff retries taken, and ops rejected with {!Degraded}. *)
+
+val scrub_reports : t -> Ff_scrub.Scrub.report list
+(** Reports from the most recent {!recover} — one per shard in
+    serving mode, one composite report in single-arena mode; [[]] if
+    recovery never ran or the inner structure is not scrubbable. *)
+
 (** {1 Crash and recovery} *)
 
 val close : t -> unit
@@ -150,7 +184,13 @@ val power_fail : t -> Ff_pmem.Storelog.crash_mode -> unit
     composite mode). *)
 
 val recover : t -> unit
-(** Sequentially reopen ([open_existing]) and recover every shard. *)
+(** Sequentially reopen ([open_existing]) and recover every shard.
+    When the inner structure is scrubbable, each shard instead gets a
+    full {!Ff_scrub.Scrub.run} pass (media repair, recovery,
+    validation, leak reclamation) and is re-admitted — marked healthy
+    — only if its report came back clean; in single-arena mode one
+    composite scrub (provider ["sharded-<inner>"]) covers all shards
+    plus the partition metadata.  Reports land in {!scrub_reports}. *)
 
 val recover_parallel : ?cores:int -> t -> Ff_mcsim.Mcsim.outcome
 (** Recover every shard on its own simulated thread; the outcome's

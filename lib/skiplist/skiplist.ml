@@ -257,6 +257,7 @@ let () =
           lock_free_reads = true;
           tunable_node_bytes = false;
           relocatable_root = true;
+          scrubbable = false;
         };
       composite = None;
       build =

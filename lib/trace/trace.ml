@@ -44,11 +44,13 @@ let id_recovery = 8
 let id_crash = 9
 let id_batch = 10
 let id_merge = 11
+let id_scrub = 12
 
 let predefined =
   [|
     "insert"; "delete"; "search"; "range"; "split"; "fast_shift";
     "sibling_chase"; "dup_skip"; "recovery"; "crash"; "batch"; "merge";
+    "scrub";
   |]
 
 let make ~enabled ~capacity ~threads ~clock ~tid =

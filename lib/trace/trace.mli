@@ -65,6 +65,7 @@ val id_batch : int
     (detail = number of ops drained). *)
 
 val id_merge : int
+val id_scrub : int
 (** One cross-shard k-way merge (detail = number of shards touched). *)
 
 val intern : t -> string -> int

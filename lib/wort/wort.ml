@@ -287,6 +287,7 @@ let () =
           lock_free_reads = true;
           tunable_node_bytes = false;
           relocatable_root = true;
+          scrubbable = false;
         };
       composite = None;
       build = (fun cfg a -> ops (create ~root_slot:cfg.D.root_slot a));

@@ -15,6 +15,7 @@ let () =
       ("harness", Test_harness.suite);
       ("registry", Test_registry.suite);
       ("shard", Test_shard.suite);
+      ("scrub", Test_scrub.suite);
       ("trace", Test_trace.suite);
       ("check", Test_check.suite);
     ]
