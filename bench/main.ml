@@ -1040,6 +1040,178 @@ let sharded_target () =
     (sharded_rows ())
 
 (* ------------------------------------------------------------------ *)
+(* Soak: zipfian mix + crash + fault storm + scrub, under SLO watch    *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Ff_trace.Trace
+module Obs_ts = Ff_obs.Timeseries
+module Slo = Ff_obs.Slo
+module Profile = Ff_obs.Profile
+module Snapshot = Ff_obs.Snapshot
+
+let slo_flag = ref false
+let slo_p99_ns = ref 20_000_000
+let slo_out = ref ""
+let soak_trace_file = ref ""
+let slo_failed = ref false
+
+(* End-to-end latency includes queueing behind up to batch_cap ops, so
+   the default bound is generous; --slo-p99-ns 1 injects a breach. *)
+let soak_rules () =
+  [
+    Slo.Latency
+      {
+        rule = "insert-p99";
+        metric = "shard.latency_ns.insert";
+        percentile = 99.;
+        bound_ns = !slo_p99_ns;
+      };
+    Slo.Latency
+      {
+        rule = "search-p99";
+        metric = "shard.latency_ns.search";
+        percentile = 99.;
+        bound_ns = !slo_p99_ns;
+      };
+    Slo.Burn_rate
+      {
+        rule = "degraded-budget";
+        events = "shard.degraded";
+        ops = "shard.batch_ops";
+        max_per_1k = 5.;
+      };
+  ]
+
+(* The nightly-style scenario: a zipfian mixed load on a 4-shard
+   ensemble, one power failure with scrubbed recovery, one media-fault
+   storm that degrades a shard until the next scrub re-admits it — all
+   on simulated time, so the whole run (and its Perfetto trace) is
+   reproducible from --seed. *)
+let soak_scenario () =
+  let shards = 4 in
+  let n = sc 40_000 in
+  let config = Config.pm ~read_ns:300 ~write_ns:300 () in
+  let words = max (1 lsl 16) (n * 64 / shards) in
+  (* One tracer across all shard arenas; its clock is the slowest
+     shard's accumulated simulated time, monotonic because per-arena
+     time only grows. *)
+  let clock_ref = ref (fun () -> 0) in
+  let tr = Trace.create ~capacity:(1 lsl 16) ~clock:(fun () -> !clock_ref ()) () in
+  let t =
+    Shard.create ~pm_config:config ~words ~batch_cap:64 ~group:true ~tracer:tr
+      ~inner:"fastfair" ~shards ()
+  in
+  let arenas = Shard.arenas t in
+  clock_ref :=
+    (fun () ->
+      Array.fold_left
+        (fun acc a -> max acc (Stats.total_ns (Arena.total_stats a)))
+        0 arenas);
+  Array.iter (fun a -> Trace.attach_arena tr a) arenas;
+  let keys = W.zipfian (Prng.create !base_seed) ~n ~space:(8 * n) ~theta:0.99 in
+  let oprng = Prng.create (W.shard_seed ~base:!base_seed ~shard:1) in
+  let ops =
+    Array.map
+      (fun k ->
+        let r = Prng.int oprng 100 in
+        if r < 60 then W.Insert k
+        else if r < 90 then W.Search k
+        else if r < 95 then W.Delete k
+        else W.Range (k, 8))
+      keys
+  in
+  let mon = Slo.Monitor.create ~window_ns:200_000 ~tracer:tr (soak_rules ()) in
+  let ts = Obs_ts.create ~window_ns:200_000 tr in
+  Obs_ts.track_counter ts "shard.batch_ops";
+  Obs_ts.track_counter ts "shard.degraded";
+  Obs_ts.track_histogram ts "shard.latency_ns.insert";
+  let chunk = max 1 (Array.length ops / 32) in
+  let run_range lo hi =
+    let len = hi - lo in
+    let off = ref 0 in
+    while !off < len do
+      let c = min chunk (len - !off) in
+      ignore (Shard.submit t (Array.sub ops (lo + !off) c));
+      let now = Trace.now tr in
+      Slo.Monitor.tick mon ~now;
+      Obs_ts.tick ts ~now;
+      off := !off + c
+    done
+  in
+  let total = Array.length ops in
+  (* Phase 1: steady state. *)
+  run_range 0 (total / 2);
+  (* Phase 2: one power failure, scrubbed recovery. *)
+  Shard.power_fail t (Ff_workload.Crash_harness.default_mode !base_seed);
+  Shard.recover t;
+  (* Phase 3: fault storm — poison shard 0's leftmost leaf header (a
+     line scrub can repair) and touch a key that descends into it, so
+     the shard deterministically degrades. *)
+  let a0 = arenas.(0) in
+  let leftmost_leaf a =
+    let module L = Ff_fastfair.Layout in
+    let rec go node =
+      if Arena.peek a (node + L.off_level) = 0 then node
+      else go (Arena.peek a (node + L.off_leftmost))
+    in
+    go (Arena.root_get a 0)
+  in
+  Arena.poison_line a0 (leftmost_leaf a0 / Arena.words_per_line);
+  (try
+     for k = 1 to 8 * n do
+       if Shard.shard_of_key t k = 0 then begin
+         ignore (Shard.search t k);
+         raise Exit
+       end
+     done
+   with
+  | Exit -> ()
+  | Shard.Degraded _ -> ());
+  run_range (total / 2) (3 * total / 4);
+  (* Phase 4: scrub repairs the line, the shard is re-admitted, and a
+     tail of clean traffic follows. *)
+  Shard.power_fail t Ff_pmem.Storelog.Keep_all;
+  Shard.recover t;
+  run_range (3 * total / 4) total;
+  let now = Trace.now tr in
+  Slo.Monitor.check mon ~now;
+  let report = Slo.Monitor.report mon ~now in
+  let profile = Profile.of_trace ~ops:total tr in
+  let snap =
+    Snapshot.make ~label:"soak" ~scale:!scale ~seed:!base_seed ~ops:total
+      ~elapsed_ns:now
+      ~latency:(Shard.merged_latency t)
+      ~slo:report ~profile ()
+  in
+  (t, tr, ts, snap, report)
+
+let soak_target () =
+  print_endline
+    "== soak: zipfian mix + crash + fault storm + scrub on 4 shards ==";
+  let t, tr, ts, snap, report = soak_scenario () in
+  Snapshot.pp Format.std_formatter snap;
+  Format.printf "timeseries: %d samples over %d series@."
+    (Obs_ts.samples ts)
+    (List.length (Obs_ts.names ts));
+  Format.printf "shard health: %s@."
+    (String.concat " "
+       (Array.to_list
+          (Array.map (fun h -> if h then "ok" else "degraded") (Shard.healthy t))));
+  if !soak_trace_file <> "" then begin
+    Ff_trace.Perfetto.write_file tr !soak_trace_file;
+    Printf.printf "[perfetto trace -> %s: %d events]\n%!" !soak_trace_file
+      (Trace.event_count tr)
+  end;
+  if !slo_out <> "" then begin
+    let oc = open_out !slo_out in
+    output_string oc (Ff_trace.Json.to_string (Slo.report_to_json report));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "[slo report -> %s]\n%!" !slo_out
+  end;
+  if !slo_flag && not (Slo.ok report) then slo_failed := true
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable results (--json FILE)                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1142,9 +1314,17 @@ let json_report file =
              ] );
          ("scrub", J.Arr (List.map scrub_row_json (scrub_rows ())));
        ]
+      @ (if !shard_counts = [] then []
+         else [ ("sharded", J.Arr (List.map sharded_row_json (sharded_rows ()))) ])
       @
-      if !shard_counts = [] then []
-      else [ ("sharded", J.Arr (List.map sharded_row_json (sharded_rows ()))) ])
+      (* --slo: run the soak scenario and embed its snapshot — the
+         headline + per-site fence table the CI perf gate diffs. *)
+      if not !slo_flag then []
+      else begin
+        let _t, _tr, _ts, snap, report = soak_scenario () in
+        if not (Slo.ok report) then slo_failed := true;
+        [ ("obs", Snapshot.to_json snap) ]
+      end)
   in
   let oc = open_out file in
   output_string oc (J.to_string doc);
@@ -1233,6 +1413,7 @@ let targets =
     ("micro", micro);
     ("sharded", sharded_target);
     ("scrub", scrub_target);
+    ("soak", soak_target);
   ]
 
 let () =
@@ -1278,6 +1459,20 @@ let () =
       ( "--sched-seed",
         Arg.Set_int sched_seed,
         "S  seed for --sched-policy random/pct (default 0); recorded in --json" );
+      ( "--slo",
+        Arg.Set slo_flag,
+        "  evaluate SLO rules on the soak scenario (exit 1 on violation); with \
+         --json, embeds the obs snapshot" );
+      ( "--slo-p99-ns",
+        Arg.Set_int slo_p99_ns,
+        "N  p99 end-to-end latency bound in simulated ns for the SLO rules \
+         (default 20000000; set low to inject a breach)" );
+      ( "--slo-out",
+        Arg.Set_string slo_out,
+        "FILE  write the soak target's SLO report as JSON" );
+      ( "--soak-trace",
+        Arg.Set_string soak_trace_file,
+        "FILE  write the soak target's Perfetto trace" );
     ]
   in
   let usage =
@@ -1306,4 +1501,8 @@ let () =
           Printf.printf "[%s done in %.1fs]\n\n%!" name (Unix.gettimeofday () -. s)
       | None -> Printf.eprintf "unknown target %s\n" name)
     selected;
-  Printf.printf "total %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "total %.1fs\n" (Unix.gettimeofday () -. t0);
+  if !slo_failed then begin
+    prerr_endline "SLO violated (see report above); failing the run";
+    exit 1
+  end

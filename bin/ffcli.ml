@@ -8,10 +8,13 @@
      list        registered indexes and their capability matrix
      fuzz        random ops cross-checked against a model
      crash-test  crash-point sweep with recovery validation
-     stats       PM event statistics for a load (text or --json)
+     stats       PM event statistics for a load (text or --json;
+                 --shards adds per-shard fault/degradation blocks)
      dump        print the structure of a small FAST+FAIR tree
      persist     save a persisted PM image to a file and reload it
-     trace       record a multithreaded run as a Perfetto JSON trace *)
+     trace       record a multithreaded run as a Perfetto JSON trace
+     top         SLO/profiler dashboard from a live run or a snapshot
+     check       model-check schedules and crash states *)
 
 module Arena = Ff_pmem.Arena
 module Config = Ff_pmem.Config
@@ -273,30 +276,155 @@ let crash_test index_name keys points seed =
 (* stats                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let stats index_name keys seed json =
-  let arena = mk_arena (max (keys * 64) (1 lsl 16)) in
-  let t = Registry.build index_name arena in
-  let rng = Prng.create seed in
-  let ks = W.distinct_uniform rng ~n:keys ~space:(8 * keys) in
-  Arena.reset_stats arena;
-  W.load_keys t ks;
-  let s = Arena.total_stats arena in
-  if json then print_endline (Stats.to_json s)
+module J = Ff_trace.Json
+
+let fault_stats_json (fs : Arena.fault_stats) =
+  J.Obj
+    [
+      ("poisoned", J.Int fs.Arena.poisoned);
+      ("flipped", J.Int fs.Arena.flipped);
+      ("stuck", J.Int fs.Arena.stuck);
+      ("media_error_reads", J.Int fs.Arena.media_error_reads);
+    ]
+
+let pm_stats_json s = J.of_string (Stats.to_json s)
+
+let print_pm_text keys s =
+  Printf.printf "  stores   %10d (%.2f/op)\n" s.Stats.stores
+    (float_of_int s.Stats.stores /. float_of_int keys);
+  Printf.printf "  flushes  %10d (%.2f/op)\n" s.Stats.flushes
+    (float_of_int s.Stats.flushes /. float_of_int keys);
+  Printf.printf "  fences   %10d (%.2f/op)\n" s.Stats.fences
+    (float_of_int s.Stats.fences /. float_of_int keys);
+  Printf.printf "  LLC miss %10d (%.2f/op)\n" s.Stats.line_misses
+    (float_of_int s.Stats.line_misses /. float_of_int keys);
+  Printf.printf "  sim time %10.3f ms (%.3f us/op)\n"
+    (float_of_int (Stats.total_ns s) /. 1e6)
+    (float_of_int (Stats.total_ns s) /. float_of_int keys /. 1000.)
+
+(* With --shards N, the load runs through the serving layer and the
+   report gains per-shard blocks: PM counters, media-fault statistics
+   and the degradation guard's counters.  --degrade K then poisons the
+   root-node line of the first K shards and probes each with one
+   routed search, so the degraded/fault blocks show live values (the
+   siblings keep serving; a scrubbed recover would re-admit). *)
+let stats index_name keys seed json shards degrade =
+  if shards = 0 then begin
+    let arena = mk_arena (max (keys * 64) (1 lsl 16)) in
+    let t = Registry.build index_name arena in
+    let rng = Prng.create seed in
+    let ks = W.distinct_uniform rng ~n:keys ~space:(8 * keys) in
+    Arena.reset_stats arena;
+    W.load_keys t ks;
+    let s = Arena.total_stats arena in
+    if json then
+      print_endline
+        (J.to_string
+           (J.Obj
+              [
+                ("index", J.Str index_name);
+                ("keys", J.Int keys);
+                ("pm", pm_stats_json s);
+                ("fault_stats", fault_stats_json (Arena.fault_stats arena));
+              ]))
+    else begin
+      Printf.printf "index: %s, %d inserts\n" index_name keys;
+      print_pm_text keys s
+    end;
+    0
+  end
   else begin
-    Printf.printf "index: %s, %d inserts\n" index_name keys;
-    Printf.printf "  stores   %10d (%.2f/op)\n" s.Stats.stores
-      (float_of_int s.Stats.stores /. float_of_int keys);
-    Printf.printf "  flushes  %10d (%.2f/op)\n" s.Stats.flushes
-      (float_of_int s.Stats.flushes /. float_of_int keys);
-    Printf.printf "  fences   %10d (%.2f/op)\n" s.Stats.fences
-      (float_of_int s.Stats.fences /. float_of_int keys);
-    Printf.printf "  LLC miss %10d (%.2f/op)\n" s.Stats.line_misses
-      (float_of_int s.Stats.line_misses /. float_of_int keys);
-    Printf.printf "  sim time %10.3f ms (%.3f us/op)\n"
-      (float_of_int (Stats.total_ns s) /. 1e6)
-      (float_of_int (Stats.total_ns s) /. float_of_int keys /. 1000.)
-  end;
-  0
+    match
+      Shard.create ~words:(max (keys * 64 / shards) (1 lsl 16))
+        ~inner:index_name ~shards ()
+    with
+    | exception Invalid_argument msg ->
+        Printf.printf "stats: %s\n" msg;
+        1
+    | t ->
+        let rng = Prng.create seed in
+        let space = 8 * keys in
+        let ks = W.distinct_uniform rng ~n:keys ~space in
+        let ops = Array.map (fun k -> W.Insert k) ks in
+        ignore (Shard.submit t ops);
+        ignore (Shard.drain_queues t);
+        let degrade = max 0 (min degrade shards) in
+        for s = 0 to degrade - 1 do
+          let a = Shard.arenas t |> fun ar -> ar.(s) in
+          Arena.poison_line a (Arena.root_get a 0 / Arena.words_per_line);
+          (try
+             for k = 1 to space do
+               if Shard.shard_of_key t k = s then begin
+                 ignore (Shard.search t k);
+                 raise Exit
+               end
+             done
+           with
+          | Exit -> ()
+          | Shard.Degraded _ -> ())
+        done;
+        let arenas = Shard.arenas t in
+        let healthy = Shard.healthy t in
+        let dstats = Shard.degraded_stats t in
+        let merged = Stats.create () in
+        Array.iter (fun a -> Stats.add merged (Arena.total_stats a)) arenas;
+        let merged_faults =
+          Array.fold_left
+            (fun (acc : Arena.fault_stats) a ->
+              let fs = Arena.fault_stats a in
+              {
+                Arena.poisoned = acc.Arena.poisoned + fs.Arena.poisoned;
+                flipped = acc.Arena.flipped + fs.Arena.flipped;
+                stuck = acc.Arena.stuck + fs.Arena.stuck;
+                media_error_reads =
+                  acc.Arena.media_error_reads + fs.Arena.media_error_reads;
+              })
+            { Arena.poisoned = 0; flipped = 0; stuck = 0; media_error_reads = 0 }
+            arenas
+        in
+        if json then begin
+          let shard_block i =
+            let me, retries, rejected = dstats.(i) in
+            J.Obj
+              [
+                ("shard", J.Int i);
+                ("healthy", J.Bool healthy.(i));
+                ("media_errors", J.Int me);
+                ("retries", J.Int retries);
+                ("rejected", J.Int rejected);
+                ("fault_stats", fault_stats_json (Arena.fault_stats arenas.(i)));
+                ("pm", pm_stats_json (Arena.total_stats arenas.(i)));
+              ]
+          in
+          print_endline
+            (J.to_string
+               (J.Obj
+                  [
+                    ("index", J.Str index_name);
+                    ("keys", J.Int keys);
+                    ("shards", J.Int shards);
+                    ("pm", pm_stats_json merged);
+                    ("fault_stats", fault_stats_json merged_faults);
+                    ( "degraded_stats",
+                      J.Arr (List.init shards shard_block) );
+                  ]))
+        end
+        else begin
+          Printf.printf "index: %s x %d shards, %d inserts\n" index_name shards
+            keys;
+          print_pm_text keys merged;
+          Printf.printf "  faults: %d poisoned, %d media-error reads\n"
+            merged_faults.Arena.poisoned merged_faults.Arena.media_error_reads;
+          Array.iteri
+            (fun i (me, retries, rejected) ->
+              Printf.printf
+                "  shard %d: %s, %d media errors, %d retries, %d rejected\n" i
+                (if healthy.(i) then "healthy" else "DEGRADED")
+                me retries rejected)
+            dstats
+        end;
+        0
+  end
 
 (* ------------------------------------------------------------------ *)
 (* dump                                                                *)
@@ -577,6 +705,173 @@ let trace keys ops threads seed out =
   0
 
 (* ------------------------------------------------------------------ *)
+(* top: text dashboard from a saved snapshot or a live mini-run        *)
+(* ------------------------------------------------------------------ *)
+
+module FTrace = Ff_trace.Trace
+module Obs_snapshot = Ff_obs.Snapshot
+module Obs_slo = Ff_obs.Slo
+module Obs_profile = Ff_obs.Profile
+
+(* Exit code mirrors the SLO verdict so `ffcli top` doubles as a gate:
+   0 when every evaluated rule held, 1 on any violation. *)
+let render_top ?(health = [||]) (snap : Obs_snapshot.t) =
+  Printf.printf "== ffcli top: %s (scale %g, seed %d) ==\n"
+    snap.Obs_snapshot.label snap.Obs_snapshot.scale snap.Obs_snapshot.seed;
+  Printf.printf "throughput  %10.1f kops      (%d ops in %.3f simulated ms)\n"
+    snap.Obs_snapshot.kops snap.Obs_snapshot.ops
+    (float_of_int snap.Obs_snapshot.elapsed_ns /. 1e6);
+  Printf.printf "fence cost  %10.3f fences/op %.3f flushes/op\n"
+    snap.Obs_snapshot.fences_per_op snap.Obs_snapshot.flushes_per_op;
+  Printf.printf "latency     p50=%dns p99=%dns p999=%dns\n"
+    snap.Obs_snapshot.p50_ns snap.Obs_snapshot.p99_ns snap.Obs_snapshot.p999_ns;
+  let violated =
+    match snap.Obs_snapshot.slo with
+    | None ->
+        print_endline "SLO         (not evaluated)";
+        false
+    | Some r ->
+        if Obs_slo.ok r then begin
+          Printf.printf "SLO         ok (%d rules)\n" r.Obs_slo.evaluated;
+          false
+        end
+        else begin
+          Printf.printf "SLO         %d of %d rules VIOLATED\n"
+            (List.length r.Obs_slo.violations)
+            r.Obs_slo.evaluated;
+          List.iter
+            (fun (v : Obs_slo.violation) ->
+              Printf.printf "  breach %s: %s\n" v.Obs_slo.rule v.Obs_slo.detail)
+            r.Obs_slo.violations;
+          true
+        end
+  in
+  if Array.length health > 0 then
+    Printf.printf "shards      %s\n"
+      (String.concat " "
+         (Array.to_list
+            (Array.mapi
+               (fun i h -> Printf.sprintf "%d:%s" i (if h then "ok" else "DEGRADED"))
+               health)));
+  Format.printf "%a@." Obs_profile.pp snap.Obs_snapshot.profile;
+  if violated then 1 else 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* A saved file is either a bare snapshot (Snapshot.save, `bench soak`)
+   or a full bench report whose "obs" member holds one (BENCH_n.json
+   from `bench --json --slo`). *)
+let top_from path =
+  match J.of_string (read_file path) with
+  | exception J.Parse_error msg ->
+      Printf.printf "top: %s is not valid JSON (%s)\n" path msg;
+      2
+  | doc ->
+      let snap_json = match J.member "obs" doc with Some o -> o | None -> doc in
+      let looks_like_snapshot =
+        List.for_all
+          (fun k -> J.member k snap_json <> None)
+          [ "label"; "kops"; "profile" ]
+      in
+      (match if looks_like_snapshot then Some (Obs_snapshot.of_json snap_json) else None with
+      | exception _ ->
+          Printf.printf "top: %s carries no benchmark snapshot\n" path;
+          2
+      | None ->
+          Printf.printf "top: %s carries no benchmark snapshot\n" path;
+          2
+      | Some snap -> render_top snap)
+
+let top_live index_name ops shards seed p99_bound =
+  let clock_ref = ref (fun () -> 0) in
+  let tr = FTrace.create ~capacity:(1 lsl 15) ~clock:(fun () -> !clock_ref ()) () in
+  match
+    Shard.create
+      ~words:(max (ops * 64 / shards) (1 lsl 16))
+      ~batch_cap:64 ~tracer:tr ~inner:index_name ~shards ()
+  with
+  | exception Invalid_argument msg ->
+      Printf.printf "top: %s\n" msg;
+      2
+  | t ->
+      let arenas = Shard.arenas t in
+      clock_ref :=
+        (fun () ->
+          Array.fold_left
+            (fun acc a -> max acc (Stats.total_ns (Arena.total_stats a)))
+            0 arenas);
+      Array.iter (fun a -> FTrace.attach_arena tr a) arenas;
+      let keys = W.zipfian (Prng.create seed) ~n:ops ~space:(8 * ops) ~theta:0.99 in
+      let oprng = Prng.create (W.shard_seed ~base:seed ~shard:1) in
+      let trace_ops =
+        Array.map
+          (fun k ->
+            let r = Prng.int oprng 100 in
+            if r < 60 then W.Insert k
+            else if r < 90 then W.Search k
+            else if r < 95 then W.Delete k
+            else W.Range (k, 8))
+          keys
+      in
+      let rules =
+        [
+          Obs_slo.Latency
+            {
+              rule = "insert-p99";
+              metric = "shard.latency_ns.insert";
+              percentile = 99.;
+              bound_ns = p99_bound;
+            };
+          Obs_slo.Latency
+            {
+              rule = "search-p99";
+              metric = "shard.latency_ns.search";
+              percentile = 99.;
+              bound_ns = p99_bound;
+            };
+          Obs_slo.Burn_rate
+            {
+              rule = "degraded-budget";
+              events = "shard.degraded";
+              ops = "shard.batch_ops";
+              max_per_1k = 5.;
+            };
+        ]
+      in
+      let mon = Obs_slo.Monitor.create ~window_ns:200_000 ~tracer:tr rules in
+      let chunk = max 1 (Array.length trace_ops / 16) in
+      let off = ref 0 in
+      while !off < Array.length trace_ops do
+        let c = min chunk (Array.length trace_ops - !off) in
+        ignore (Shard.submit t (Array.sub trace_ops !off c));
+        Obs_slo.Monitor.tick mon ~now:(FTrace.now tr);
+        off := !off + c
+      done;
+      ignore (Shard.drain_queues t);
+      let now = FTrace.now tr in
+      Obs_slo.Monitor.check mon ~now;
+      let report = Obs_slo.Monitor.report mon ~now in
+      let snap =
+        Obs_snapshot.make
+          ~label:(index_name ^ " live")
+          ~scale:0. ~seed ~ops:(Array.length trace_ops) ~elapsed_ns:now
+          ~latency:(Shard.merged_latency t) ~slo:report
+          ~profile:(Obs_profile.of_trace ~ops:(Array.length trace_ops) tr)
+          ()
+      in
+      render_top ~health:(Shard.healthy t) snap
+
+let top from index_name ops shards seed p99_bound =
+  match from with
+  | Some path -> top_from path
+  | None -> top_live index_name ops shards seed p99_bound
+
+(* ------------------------------------------------------------------ *)
 (* check: model-check schedules and crash states                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -726,9 +1021,20 @@ let stats_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the counters as a JSON object.")
   in
+  let shards =
+    Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N"
+         ~doc:"Load through an N-way sharded serving layer and report \
+               per-shard PM, fault and degradation statistics (0 = unsharded).")
+  in
+  let degrade =
+    Arg.(value & opt int 0 & info [ "degrade" ] ~docv:"K"
+         ~doc:"After the load, poison the root-node line of the first K \
+               shards and probe each once, so the fault and degradation \
+               blocks report live values (needs --shards).")
+  in
   Cmd.v
     (Cmd.info "stats" ~doc:"PM event statistics for a bulk load")
-    Term.(const stats $ index_arg $ keys $ seed_arg $ json)
+    Term.(const stats $ index_arg $ keys $ seed_arg $ json $ shards $ degrade)
 
 let dump_cmd =
   let keys =
@@ -800,6 +1106,30 @@ let trace_cmd =
        ~doc:"Record a multithreaded FAST+FAIR run as a Perfetto JSON trace and print metrics")
     Term.(const trace $ keys $ ops $ threads $ seed_arg $ out)
 
+let top_cmd =
+  let from =
+    Arg.(value & opt (some string) None & info [ "from"; "f" ] ~docv:"FILE"
+         ~doc:"Render a saved snapshot (BENCH_n.json from $(b,bench --json \
+               --slo), or a bare snapshot file) instead of running live.")
+  in
+  let ops =
+    Arg.(value & opt int 4_000 & info [ "ops"; "n" ] ~docv:"N"
+         ~doc:"Live mode: operations in the zipfian mixed load.")
+  in
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N"
+         ~doc:"Live mode: shard count of the serving layer.")
+  in
+  let p99 =
+    Arg.(value & opt int 20_000_000 & info [ "p99-ns" ] ~docv:"NS"
+         ~doc:"Live mode: p99 latency bound for the insert/search SLO rules.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Text dashboard: throughput, latency tail, fence attribution and \
+             SLO verdict, from a live mini-run or a saved snapshot")
+    Term.(const top $ from $ index_arg $ ops $ shards $ seed_arg $ p99)
+
 let check_cmd =
   let writers =
     Arg.(value & opt int 2 & info [ "writers"; "w" ] ~docv:"N" ~doc:"Concurrent writer threads.")
@@ -860,4 +1190,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; fuzz_cmd; crash_cmd; check_cmd; scrub_cmd; stats_cmd; dump_cmd;
-            persist_cmd; trace_cmd ]))
+            persist_cmd; trace_cmd; top_cmd ]))

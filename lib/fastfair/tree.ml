@@ -594,6 +594,7 @@ let ops t =
     ~range:(fun lo hi f -> range t ~lo ~hi f)
     ~recover:(fun () -> recover t)
     ~close:(fun () -> Arena.drain t.arena)
+    ~set_tracer:(set_tracer t)
     ()
 
 let min_entry t =

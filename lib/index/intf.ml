@@ -8,10 +8,11 @@ type ops = {
   update : int -> int -> bool;
   bulk_insert : (int * int) array -> unit;
   close : unit -> unit;
+  set_tracer : Ff_trace.Trace.t -> unit;
 }
 
 let make ~name ~insert ~search ~delete ~range ~recover ?update ?bulk_insert
-    ?(close = fun () -> ()) () =
+    ?(close = fun () -> ()) ?(set_tracer = fun _ -> ()) () =
   let update =
     match update with
     | Some u -> u
@@ -28,7 +29,18 @@ let make ~name ~insert ~search ~delete ~range ~recover ?update ?bulk_insert
     | Some b -> b
     | None -> fun pairs -> Array.iter (fun (k, v) -> insert k v) pairs
   in
-  { name; insert; search; delete; range; recover; update; bulk_insert; close }
+  {
+    name;
+    insert;
+    search;
+    delete;
+    range;
+    recover;
+    update;
+    bulk_insert;
+    close;
+    set_tracer;
+  }
 
 let range_count t lo hi =
   let n = ref 0 in

@@ -27,6 +27,11 @@ type ops = {
   close : unit -> unit;
       (** Quiesce the index: persist pending stores so the arena image
           is complete.  The handle must not be used afterwards. *)
+  set_tracer : Ff_trace.Trace.t -> unit;
+      (** Attach a tracer so the structure's spans (insert, split,
+          recovery, ...) land on its timeline — and its ordered stores
+          get code-site attribution.  No-op for uninstrumented
+          structures. *)
 }
 
 val make :
@@ -39,10 +44,12 @@ val make :
   ?update:(int -> int -> bool) ->
   ?bulk_insert:((int * int) array -> unit) ->
   ?close:(unit -> unit) ->
+  ?set_tracer:(Ff_trace.Trace.t -> unit) ->
   unit ->
   ops
 (** Smart constructor.  [update] defaults to search-then-insert,
-    [bulk_insert] to an insert loop, [close] to a no-op. *)
+    [bulk_insert] to an insert loop, [close] and [set_tracer] to
+    no-ops. *)
 
 val range_count : ops -> int -> int -> int
 (** Number of entries a range query visits. *)

@@ -1,0 +1,124 @@
+module Trace = Ff_trace.Trace
+module Json = Ff_trace.Json
+
+(* The fence-attribution table: per code site (insert, split, scrub,
+   batch, ...), how many ordered stores / flushes / fences ran under
+   it, normalised per op.  MOD's observation that fence count is the
+   cost model for PM structures makes this the table a fence audit
+   reads first. *)
+
+type row = {
+  site : string;
+  spans : int;
+  stores : int;
+  flushes : int;
+  fences : int;
+  fences_per_op : float;
+}
+
+type t = {
+  ops : int;
+  total_stores : int;
+  total_flushes : int;
+  total_fences : int;
+  rows : row list; (* sorted by site name *)
+}
+
+let of_trace ~ops tracer =
+  let per v = if ops <= 0 then 0. else float_of_int v /. float_of_int ops in
+  let rows =
+    List.map
+      (fun (r : Trace.site_row) ->
+        {
+          site = r.Trace.site;
+          spans = r.Trace.spans;
+          stores = r.Trace.stores;
+          flushes = r.Trace.flushes;
+          fences = r.Trace.fences;
+          fences_per_op = per r.Trace.fences;
+        })
+      (Trace.site_table tracer)
+  in
+  {
+    ops;
+    total_stores = List.fold_left (fun a r -> a + r.stores) 0 rows;
+    total_flushes = List.fold_left (fun a r -> a + r.flushes) 0 rows;
+    total_fences = List.fold_left (fun a r -> a + r.fences) 0 rows;
+    rows;
+  }
+
+let fences_per_op t =
+  if t.ops <= 0 then 0. else float_of_int t.total_fences /. float_of_int t.ops
+
+let flushes_per_op t =
+  if t.ops <= 0 then 0. else float_of_int t.total_flushes /. float_of_int t.ops
+
+let row_json r =
+  Json.Obj
+    [
+      ("site", Json.Str r.site);
+      ("spans", Json.Int r.spans);
+      ("stores", Json.Int r.stores);
+      ("flushes", Json.Int r.flushes);
+      ("fences", Json.Int r.fences);
+      ("fences_per_op", Json.Float r.fences_per_op);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("ops", Json.Int t.ops);
+      ("stores", Json.Int t.total_stores);
+      ("flushes", Json.Int t.total_flushes);
+      ("fences", Json.Int t.total_fences);
+      ("sites", Json.Arr (List.map row_json t.rows));
+    ]
+
+let row_of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let num k =
+    Option.value ~default:0 (Option.bind (Json.member k j) Json.to_int)
+  in
+  let fl k =
+    Option.value ~default:0. (Option.bind (Json.member k j) Json.to_float)
+  in
+  match str "site" with
+  | None -> None
+  | Some site ->
+      Some
+        {
+          site;
+          spans = num "spans";
+          stores = num "stores";
+          flushes = num "flushes";
+          fences = num "fences";
+          fences_per_op = fl "fences_per_op";
+        }
+
+let of_json j =
+  let num k =
+    Option.value ~default:0 (Option.bind (Json.member k j) Json.to_int)
+  in
+  let rows =
+    match Option.bind (Json.member "sites" j) Json.to_list with
+    | None -> []
+    | Some l -> List.filter_map row_of_json l
+  in
+  {
+    ops = num "ops";
+    total_stores = num "stores";
+    total_flushes = num "flushes";
+    total_fences = num "fences";
+    rows;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%-14s %8s %9s %9s %8s %10s@." "site" "spans" "stores"
+    "flushes" "fences" "fences/op";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-14s %8d %9d %9d %8d %10.3f@." r.site r.spans
+        r.stores r.flushes r.fences r.fences_per_op)
+    t.rows;
+  Format.fprintf ppf "%-14s %8s %9d %9d %8d %10.3f  (%d ops)@." "total" ""
+    t.total_stores t.total_flushes t.total_fences (fences_per_op t) t.ops

@@ -1,0 +1,225 @@
+module Histogram = Ff_util.Histogram
+module Trace = Ff_trace.Trace
+module Metrics = Ff_trace.Metrics
+module Json = Ff_trace.Json
+
+(* Declarative SLO rules over a tracer's metrics registry.
+
+   Latency: a percentile of a named latency histogram must stay under
+   a bound.  Burn_rate: bad events (summed over a counter prefix, so
+   per-shard labels work) per 1000 ops must stay under a budget — the
+   error-budget view of degraded/media-fault events. *)
+
+type rule =
+  | Latency of {
+      rule : string;
+      metric : string;
+      percentile : float;
+      bound_ns : int;
+    }
+  | Burn_rate of {
+      rule : string;
+      events : string; (* counter prefix *)
+      ops : string; (* counter prefix *)
+      max_per_1k : float;
+    }
+
+let rule_name = function Latency r -> r.rule | Burn_rate r -> r.rule
+
+let rule_describe = function
+  | Latency r ->
+      Printf.sprintf "%s: p%g(%s) <= %dns" r.rule r.percentile r.metric
+        r.bound_ns
+  | Burn_rate r ->
+      Printf.sprintf "%s: sum(%s*) per 1k sum(%s*) <= %g" r.rule r.events
+        r.ops r.max_per_1k
+
+type violation = {
+  rule : string;
+  detail : string;
+  observed : float;
+  bound : float;
+  at_ns : int;
+}
+
+type report = {
+  evaluated : int;
+  at_ns : int;
+  violations : violation list;
+}
+
+let ok r = r.violations = []
+
+let check_rule m ~now rule =
+  match rule with
+  | Latency { rule; metric; percentile; bound_ns } -> (
+      match Metrics.histogram m metric with
+      | None -> None
+      | Some h when Histogram.count h = 0 -> None
+      | Some h ->
+          let v = Histogram.percentile h percentile in
+          if v > bound_ns then
+            Some
+              {
+                rule;
+                detail =
+                  Printf.sprintf "p%g(%s) = %dns > bound %dns" percentile
+                    metric v bound_ns;
+                observed = float_of_int v;
+                bound = float_of_int bound_ns;
+                at_ns = now;
+              }
+          else None)
+  | Burn_rate { rule; events; ops; max_per_1k } ->
+      let ev = Metrics.counter_prefix_sum m events in
+      let n = Metrics.counter_prefix_sum m ops in
+      if n = 0 then None
+      else
+        let per_1k = 1000. *. float_of_int ev /. float_of_int n in
+        if per_1k > max_per_1k then
+          Some
+            {
+              rule;
+              detail =
+                Printf.sprintf "%d %s events over %d ops = %.3f/1k > budget %g"
+                  ev events n per_1k max_per_1k;
+              observed = per_1k;
+              bound = max_per_1k;
+              at_ns = now;
+            }
+        else None
+
+let evaluate ~tracer ~now rules =
+  let m = Trace.metrics tracer in
+  {
+    evaluated = List.length rules;
+    at_ns = now;
+    violations = List.filter_map (check_rule m ~now) rules;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let violation_json v =
+  Json.Obj
+    [
+      ("rule", Json.Str v.rule);
+      ("detail", Json.Str v.detail);
+      ("observed", Json.Float v.observed);
+      ("bound", Json.Float v.bound);
+      ("at_ns", Json.Int v.at_ns);
+    ]
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("ok", Json.Bool (ok r));
+      ("evaluated", Json.Int r.evaluated);
+      ("at_ns", Json.Int r.at_ns);
+      ("violations", Json.Arr (List.map violation_json r.violations));
+    ]
+
+let violation_of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let fl k =
+    Option.value ~default:0. (Option.bind (Json.member k j) Json.to_float)
+  in
+  let num k =
+    Option.value ~default:0 (Option.bind (Json.member k j) Json.to_int)
+  in
+  match str "rule" with
+  | None -> None
+  | Some rule ->
+      Some
+        {
+          rule;
+          detail = Option.value ~default:"" (str "detail");
+          observed = fl "observed";
+          bound = fl "bound";
+          at_ns = num "at_ns";
+        }
+
+let report_of_json j =
+  let num k =
+    Option.value ~default:0 (Option.bind (Json.member k j) Json.to_int)
+  in
+  {
+    evaluated = num "evaluated";
+    at_ns = num "at_ns";
+    violations =
+      (match Option.bind (Json.member "violations" j) Json.to_list with
+      | None -> []
+      | Some l -> List.filter_map violation_of_json l);
+  }
+
+let pp_report ppf r =
+  if ok r then
+    Format.fprintf ppf "SLO: ok (%d rules, checked at %dns)@." r.evaluated
+      r.at_ns
+  else begin
+    Format.fprintf ppf "SLO: %d violation(s) of %d rules@."
+      (List.length r.violations) r.evaluated;
+    List.iter
+      (fun v -> Format.fprintf ppf "  VIOLATED %s: %s@." v.rule v.detail)
+      r.violations
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Continuous monitor                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Monitor = struct
+  type nonrec t = {
+    rules : rule array;
+    tracer : Trace.t;
+    window_ns : int;
+    mutable next_ns : int;
+    mutable checks : int;
+    (* Worst observed violation per rule index; a rule fires at most
+       one instant event per window (the per-rule counter still counts
+       every violating window). *)
+    worst : violation option array;
+  }
+
+  let create ?(window_ns = 100_000) ~tracer rules =
+    if window_ns <= 0 then invalid_arg "Slo.Monitor.create: window_ns <= 0";
+    {
+      rules = Array.of_list rules;
+      tracer;
+      window_ns;
+      next_ns = 0;
+      checks = 0;
+      worst = Array.make (max 1 (List.length rules)) None;
+    }
+
+  let check m ~now =
+    m.checks <- m.checks + 1;
+    let reg = Trace.metrics m.tracer in
+    Array.iteri
+      (fun i rule ->
+        match check_rule reg ~now rule with
+        | None -> ()
+        | Some v ->
+            Trace.instant m.tracer Trace.id_slo_violation i;
+            Metrics.incr reg ("slo.violations." ^ v.rule);
+            let keep =
+              match m.worst.(i) with
+              | Some w when w.observed >= v.observed -> w
+              | _ -> v
+            in
+            m.worst.(i) <- Some keep)
+      m.rules;
+    m.next_ns <- now + m.window_ns
+
+  let tick m ~now = if now >= m.next_ns then check m ~now
+  let checks m = m.checks
+
+  let report m ~now =
+    {
+      evaluated = Array.length m.rules;
+      at_ns = now;
+      violations =
+        Array.to_list m.worst |> List.filter_map (fun v -> v);
+    }
+end

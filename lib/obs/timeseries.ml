@@ -1,0 +1,138 @@
+module Histogram = Ff_util.Histogram
+module Trace = Ff_trace.Trace
+module Metrics = Ff_trace.Metrics
+module Json = Ff_trace.Json
+
+(* Each tracked metric becomes one series of (sim_ns, value) points in
+   a fixed ring.  Counters report the per-window delta (a rate at
+   window granularity), gauges the current value, histograms a
+   percentile of the in-window delta (Histogram.delta between
+   snapshots), so a latency spike inside one window is visible even
+   when the cumulative histogram has long since converged. *)
+
+type kind =
+  | Counter of { mutable last : int }
+  | Gauge
+  | Hist of { percentile : float; mutable prev : Histogram.t }
+
+type series = {
+  name : string;
+  unit_label : string;
+  kind : kind;
+  ts : int array;
+  vs : float array;
+  mutable n : int; (* total points ever pushed *)
+}
+
+type t = {
+  tracer : Trace.t;
+  window_ns : int;
+  capacity : int;
+  mutable series : series list; (* reverse registration order *)
+  mutable next_ns : int;
+  mutable samples : int;
+}
+
+let create ?(window_ns = 100_000) ?(capacity = 1024) tracer =
+  if window_ns <= 0 then invalid_arg "Timeseries.create: window_ns must be > 0";
+  {
+    tracer;
+    window_ns;
+    capacity = max 4 capacity;
+    series = [];
+    next_ns = 0;
+    samples = 0;
+  }
+
+let window_ns t = t.window_ns
+
+let add_series t name unit_label kind =
+  t.series <-
+    {
+      name;
+      unit_label;
+      kind;
+      ts = Array.make t.capacity 0;
+      vs = Array.make t.capacity 0.;
+      n = 0;
+    }
+    :: t.series
+
+let track_counter t name = add_series t name "delta" (Counter { last = 0 })
+let track_gauge t name = add_series t name "gauge" Gauge
+
+let track_histogram ?(percentile = 99.) t name =
+  add_series t name
+    (Printf.sprintf "p%g" percentile)
+    (Hist { percentile; prev = Histogram.create () })
+
+let push s cap ts v =
+  let i = s.n mod cap in
+  s.ts.(i) <- ts;
+  s.vs.(i) <- v;
+  s.n <- s.n + 1
+
+let sample t ~now =
+  let m = Trace.metrics t.tracer in
+  List.iter
+    (fun s ->
+      match s.kind with
+      | Counter c ->
+          let cur = Metrics.counter_prefix_sum m s.name in
+          push s t.capacity now (float_of_int (cur - c.last));
+          c.last <- cur
+      | Gauge ->
+          push s t.capacity now
+            (Option.value ~default:0. (Metrics.gauge_value m s.name))
+      | Hist h ->
+          let v =
+            match Metrics.histogram m s.name with
+            | None -> 0.
+            | Some cur ->
+                let d = Histogram.delta cur h.prev in
+                h.prev <- Histogram.copy cur;
+                if Histogram.count d = 0 then 0.
+                else float_of_int (Histogram.percentile d h.percentile)
+          in
+          push s t.capacity now v)
+    t.series;
+  t.samples <- t.samples + 1;
+  t.next_ns <- now + t.window_ns
+
+let tick t ~now = if now >= t.next_ns then sample t ~now
+
+let samples t = t.samples
+
+let points_of s cap =
+  let kept = min s.n cap in
+  Array.init kept (fun j ->
+      let i = (s.n - kept + j) mod cap in
+      (s.ts.(i), s.vs.(i)))
+
+let points t name =
+  match List.find_opt (fun s -> s.name = name) t.series with
+  | None -> [||]
+  | Some s -> points_of s t.capacity
+
+let names t = List.rev_map (fun s -> s.name) t.series
+
+let to_json t =
+  let ser s =
+    Json.Obj
+      [
+        ("name", Json.Str s.name);
+        ("unit", Json.Str s.unit_label);
+        ( "points",
+          Json.Arr
+            (Array.to_list
+               (Array.map
+                  (fun (ts, v) -> Json.Arr [ Json.Int ts; Json.Float v ])
+                  (points_of s t.capacity))) );
+      ]
+  in
+  Json.Obj
+    [
+      ("window_ns", Json.Int t.window_ns);
+      ("samples", Json.Int t.samples);
+      ("series", Json.Arr (List.rev_map ser t.series));
+    ]

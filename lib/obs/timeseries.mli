@@ -1,0 +1,41 @@
+(** Sliding-window time-series over a tracer's metrics registry,
+    sampled on simulated time.
+
+    Tracked metrics become series of [(sim_ns, value)] points in a
+    fixed ring (oldest points overwritten): counters report the
+    per-window delta, gauges the current value, histograms a
+    percentile of the in-window {!Ff_util.Histogram.delta} — so a
+    latency spike inside one window stays visible after the cumulative
+    histogram has converged.  Deterministic for deterministic runs. *)
+
+type t
+
+val create : ?window_ns:int -> ?capacity:int -> Ff_trace.Trace.t -> t
+(** [window_ns] is the sampling period on the tracer's clock (default
+    100us of simulated time); [capacity] the per-series point ring
+    (default 1024). *)
+
+val window_ns : t -> int
+
+val track_counter : t -> string -> unit
+(** Counter (or per-shard counter prefix — summed via
+    {!Ff_trace.Metrics.counter_prefix_sum}): per-window delta. *)
+
+val track_gauge : t -> string -> unit
+
+val track_histogram : ?percentile:float -> t -> string -> unit
+(** Percentile (default p99) of the window's histogram delta. *)
+
+val sample : t -> now:int -> unit
+(** Force one sample point per series at time [now]. *)
+
+val tick : t -> now:int -> unit
+(** {!sample} only if a full window has elapsed since the last one —
+    callers may tick on every op. *)
+
+val samples : t -> int
+val names : t -> string list
+val points : t -> string -> (int * float) array
+(** Retained points, oldest first; [[||]] for unknown names. *)
+
+val to_json : t -> Ff_trace.Json.t

@@ -127,11 +127,14 @@ type t = {
   multi : bool; (* one arena per shard (serving) vs one carved arena *)
   batch_cap : int;
   group : bool; (* batches run under a group-flush scope *)
-  tracer : Trace.t;
-  queues : Workload.op list ref array;
+  mutable tracer : Trace.t;
+  (* Queued ops carry the id and enqueue time assigned at submit, so a
+     batch records true end-to-end latency (queueing + execution). *)
+  queues : (int * int * Workload.op) list ref array;
   qlen : int array;
   retry_limit : int;
   backoff_ns : int;
+  mutable next_op : int;
   mutable last_scrub : Scrub.report list;
 }
 
@@ -148,9 +151,18 @@ let mk_instance ops arena =
     rejected = 0;
   }
 
+(* Pushing the ensemble tracer into every inner instance puts tree
+   spans (insert, split, recovery) on the same timeline as the shard's
+   batch spans — which is what gives stores and fences their code-site
+   attribution. *)
+let wire_tracer tracer instances =
+  if Trace.enabled tracer then
+    Array.iter (fun it -> it.ops.Intf.set_tracer tracer) instances
+
 let make ~partition ~inner ~inner_config ~instances ~multi ~batch_cap ~group
     ~tracer ~retry_limit ~backoff_ns =
   let n = Array.length instances in
+  wire_tracer tracer instances;
   {
     partition;
     inner;
@@ -164,8 +176,17 @@ let make ~partition ~inner ~inner_config ~instances ~multi ~batch_cap ~group
     qlen = Array.make n 0;
     retry_limit;
     backoff_ns;
+    next_op = 0;
     last_scrub = [];
   }
+
+(* Shard-local clock: global simulated time inside Mcsim.run, else the
+   shard arena's accumulated simulated nanoseconds.  Enqueue and
+   completion are always read on the same shard's clock. *)
+let now_ns it =
+  match Mcsim.sim_now () with
+  | Some ns -> ns
+  | None -> Stats.total_ns (Arena.total_stats it.arena)
 
 let shards t = Array.length t.instances
 let partition t = t.partition
@@ -276,9 +297,11 @@ let guarded t i f =
         it.media_errors <- it.media_errors + 1;
         if it.healthy then begin
           it.healthy <- false;
-          if Trace.enabled t.tracer then
+          if Trace.enabled t.tracer then begin
             Metrics.incr (Trace.metrics t.tracer)
-              (Metrics.shard_label "shard.degraded" i)
+              (Metrics.shard_label "shard.degraded" i);
+            Trace.instant t.tracer Trace.id_degraded i
+          end
         end;
         if n >= t.retry_limit then begin
           it.rejected <- it.rejected + 1;
@@ -335,14 +358,16 @@ let range t ~lo ~hi f =
   let slo, shi = Partition.overlapping t.partition ~lo ~hi in
   let nsh = shi - slo + 1 in
   if Trace.enabled t.tracer then Trace.instant t.tracer Trace.id_merge nsh;
-  if nsh = 1 then t.instances.(slo).ops.Intf.range lo hi f
+  if nsh = 1 then
+    guarded t slo (fun () -> t.instances.(slo).ops.Intf.range lo hi f)
   else begin
     let slices =
       Array.init nsh (fun j ->
-          let buf = ref [] in
-          t.instances.(slo + j).ops.Intf.range lo hi (fun k v ->
-              buf := (k, v) :: !buf);
-          Array.of_list (List.rev !buf))
+          guarded t (slo + j) (fun () ->
+              let buf = ref [] in
+              t.instances.(slo + j).ops.Intf.range lo hi (fun k v ->
+                  buf := (k, v) :: !buf);
+              Array.of_list (List.rev !buf)))
     in
     let cursor = Array.make nsh 0 in
     let heap = Heap.create () in
@@ -372,18 +397,37 @@ let key_of_op = function
   | Workload.Insert k | Workload.Search k | Workload.Delete k -> k
   | Workload.Range (lo, _) -> lo
 
+let latency_label = function
+  | Workload.Insert _ -> "shard.latency_ns.insert"
+  | Workload.Search _ -> "shard.latency_ns.search"
+  | Workload.Delete _ -> "shard.latency_ns.delete"
+  | Workload.Range _ -> "shard.latency_ns.range"
+
+(* Record one op's end-to-end latency (enqueue to completion, on the
+   shard's clock) and link it back to its submit-time id with an
+   [id_op] instant, so traces can be joined per op. *)
+let finish_op t it op_id enq op =
+  let lat = max 0 (now_ns it - enq) in
+  Histogram.add it.lat lat;
+  if Trace.enabled t.tracer then begin
+    Trace.observe t.tracer (latency_label op) lat;
+    Trace.instant t.tracer Trace.id_op op_id
+  end
+
 (* Drain shard [i]'s queue as one batch.  Ops are stably sorted by key
    (same-key submission order survives; distinct point ops commute, so
    results match sequential execution) and run under one group-flush
    scope: per-op flushes persist at the MLP discount and the single
-   group_end fence makes the whole batch durable. *)
+   group_end fence makes the whole batch durable.  The batch is a
+   span, so its group_end fence is attributed to the "batch" site
+   rather than to whichever op happened to run last. *)
 let exec_batch t i =
   if t.qlen.(i) = 0 then 0
   else begin
     let q = t.queues.(i) in
     let batch =
       List.stable_sort
-        (fun a b -> compare (key_of_op a) (key_of_op b))
+        (fun (_, _, a) (_, _, b) -> compare (key_of_op a) (key_of_op b))
         (List.rev !q)
     in
     q := [];
@@ -391,11 +435,12 @@ let exec_batch t i =
     t.qlen.(i) <- 0;
     let it = t.instances.(i) in
     let a = it.arena in
+    if Trace.enabled t.tracer then
+      Trace.span_begin t.tracer Trace.id_batch count;
     if t.group then Arena.group_begin a;
     let acc =
       List.fold_left
-        (fun acc op ->
-          let before = Stats.total_ns (Arena.total_stats a) in
+        (fun acc (op_id, enq, op) ->
           (* A shard going degraded fails this op, not the batch: the
              remaining ops still run and the closing group_end fence
              still makes the survivors durable. *)
@@ -403,19 +448,18 @@ let exec_batch t i =
             try guarded t i (fun () -> Workload.run_op it.ops op)
             with Degraded _ -> 0
           in
-          Histogram.add it.lat (Stats.total_ns (Arena.total_stats a) - before);
+          finish_op t it op_id enq op;
           acc + r)
         0 batch
     in
     if t.group then Arena.group_end a;
+    if Trace.enabled t.tracer then Trace.span_end t.tracer Trace.id_batch;
     it.batches <- it.batches + 1;
     it.routed <- it.routed + count;
-    if Trace.enabled t.tracer then begin
-      Trace.instant t.tracer Trace.id_batch count;
+    if Trace.enabled t.tracer then
       Metrics.add (Trace.metrics t.tracer)
         (Metrics.shard_label "shard.batch_ops" i)
-        count
-    end;
+        count;
     acc
   end
 
@@ -433,15 +477,23 @@ let submit t ops =
   let acc = ref 0 in
   Array.iter
     (fun op ->
+      let op_id = t.next_op in
+      t.next_op <- op_id + 1;
       match op with
       | Workload.Range (lo, len) ->
           acc := !acc + drain_queues t;
+          let it = t.instances.(shard_of_key t lo) in
+          let enq = now_ns it in
           let n = ref 0 in
-          range t ~lo ~hi:(lo + (len * 4)) (fun _ _ -> incr n);
+          (* Like point ops in a batch, a scan over a degraded shard
+             fails this op, not the run. *)
+          (try range t ~lo ~hi:(lo + (len * 4)) (fun _ _ -> incr n)
+           with Degraded _ -> ());
+          finish_op t it op_id enq op;
           acc := !acc + !n
       | op ->
           let i = shard_of_key t (key_of_op op) in
-          t.queues.(i) := op :: !(t.queues.(i));
+          t.queues.(i) := (op_id, now_ns t.instances.(i), op) :: !(t.queues.(i));
           t.qlen.(i) <- t.qlen.(i) + 1;
           if t.qlen.(i) >= t.batch_cap then acc := !acc + exec_batch t i)
     ops;
@@ -491,7 +543,8 @@ let reopen_instance t i =
   let cfg =
     if t.multi then t.inner_config else shard_config t.inner_config i
   in
-  it.ops <- t.inner.D.open_existing cfg it.arena
+  it.ops <- t.inner.D.open_existing cfg it.arena;
+  if Trace.enabled t.tracer then it.ops.Intf.set_tracer t.tracer
 
 (* Recovery with scrub-and-readmit: when the inner structure is
    scrubbable, every shard gets a full scrub pass (media repair, then
@@ -508,12 +561,24 @@ let plain_recover t =
       it.ops.Intf.recover ())
     t.instances
 
+(* Re-admission after a clean scrub is an observable event: the SLO
+   burn-rate rules and the soak smoke both key off the degraded /
+   readmit instant pair. *)
+let set_health t i was clean =
+  t.instances.(i).healthy <- clean;
+  if clean && not was && Trace.enabled t.tracer then begin
+    Metrics.incr (Trace.metrics t.tracer)
+      (Metrics.shard_label "shard.readmitted" i);
+    Trace.instant t.tracer Trace.id_readmit i
+  end
+
 let recover t =
   t.last_scrub <- [];
   if t.multi then begin
     if Scrub.scrubbable t.inner then
       Array.iteri
         (fun i it ->
+          let was = it.healthy in
           let r =
             Scrub.run ~tracer:t.tracer ~config:t.inner_config t.inner it.arena
               ~recover:(fun () ->
@@ -521,20 +586,21 @@ let recover t =
                 it.ops.Intf.recover ())
           in
           t.last_scrub <- t.last_scrub @ [ r ];
-          it.healthy <- Scrub.clean r)
+          set_health t i was (Scrub.clean r))
         t.instances
     else plain_recover t
   end
   else begin
     let comp = { t.inner with D.name = "sharded-" ^ t.inner.D.name } in
     if Scrub.scrubbable comp then begin
+      let was = Array.map (fun it -> it.healthy) t.instances in
       let r =
         Scrub.run ~tracer:t.tracer ~config:t.inner_config comp
           t.instances.(0).arena
           ~recover:(fun () -> plain_recover t)
       in
       t.last_scrub <- [ r ];
-      Array.iter (fun it -> it.healthy <- Scrub.clean r) t.instances
+      Array.iteri (fun i _ -> set_health t i was.(i) (Scrub.clean r)) t.instances
     end
     else plain_recover t
   end
@@ -584,6 +650,9 @@ let ops_of t name =
     ~update:(fun k v -> update t ~key:k ~value:v)
     ~bulk_insert:(fun pairs -> bulk_insert t pairs)
     ~close:(fun () -> close t)
+    ~set_tracer:(fun tr ->
+      t.tracer <- tr;
+      wire_tracer tr t.instances)
     ()
 
 let descriptor ?(policy = `Hash) ~inner ~shards () =

@@ -28,6 +28,17 @@ let add t name n = counter t name := !(counter t name) + n
 let counter_value t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
+(* Per-shard counters fold a dimension into the name
+   ("shard.degraded.shard3"); summing a prefix recovers the
+   ensemble-wide total without the caller enumerating shards. *)
+let counter_prefix_sum t prefix =
+  let plen = String.length prefix in
+  Hashtbl.fold
+    (fun k r acc ->
+      if String.length k >= plen && String.sub k 0 plen = prefix then acc + !r
+      else acc)
+    t.counters 0
+
 let set_gauge t name v =
   match Hashtbl.find_opt t.gauges name with
   | Some r -> r := v

@@ -20,6 +20,11 @@ val add : t -> string -> int -> unit
 val counter_value : t -> string -> int
 (** 0 when the counter was never touched. *)
 
+val counter_prefix_sum : t -> string -> int
+(** Sum of every counter whose name starts with the prefix — recovers
+    an ensemble-wide total from per-shard labels
+    (["shard.degraded"] matches ["shard.degraded.shard0"], ...). *)
+
 (** {1 Gauges} *)
 
 val set_gauge : t -> string -> float -> unit

@@ -18,6 +18,10 @@ let k_instant = 7
 
 let slot_words = 4
 
+(* Code-site stacks are bounded: deeper nesting keeps attributing to
+   the 64th frame rather than growing. *)
+let max_site_depth = 64
+
 type ring = { buf : int array; cap : int; mutable written : int }
 
 type t = {
@@ -29,6 +33,17 @@ type t = {
   metrics : Metrics.t;
   clock : unit -> int;
   tid : unit -> int;
+  (* Per-thread code-site stack (indexed like [rings]); the top frame
+     is the site every ordered store / flush / fence is attributed
+     to.  Spans push their name automatically. *)
+  site_stack : int array array;
+  site_depth : int array;
+  (* Per-site counters, indexed by interned name id (grown alongside
+     [names]). *)
+  mutable site_spans : int array;
+  mutable site_stores : int array;
+  mutable site_flushes : int array;
+  mutable site_fences : int array;
 }
 
 (* Fixed ids: keep in sync with [predefined]. *)
@@ -45,18 +60,24 @@ let id_crash = 9
 let id_batch = 10
 let id_merge = 11
 let id_scrub = 12
+let id_op = 13
+let id_degraded = 14
+let id_readmit = 15
+let id_slo_violation = 16
+let id_untagged = 17
 
 let predefined =
   [|
     "insert"; "delete"; "search"; "range"; "split"; "fast_shift";
     "sibling_chase"; "dup_skip"; "recovery"; "crash"; "batch"; "merge";
-    "scrub";
+    "scrub"; "op"; "degraded"; "readmit"; "slo_violation"; "untagged";
   |]
 
 let make ~enabled ~capacity ~threads ~clock ~tid =
   let capacity = max 16 capacity in
   let ids = Hashtbl.create 32 in
   Array.iteri (fun i n -> Hashtbl.add ids n i) predefined;
+  let npre = Array.length predefined in
   {
     enabled;
     rings =
@@ -65,11 +86,19 @@ let make ~enabled ~capacity ~threads ~clock ~tid =
             cap = capacity;
             written = 0 });
     names = Array.copy predefined;
-    nnames = Array.length predefined;
+    nnames = npre;
     ids;
     metrics = Metrics.create ();
     clock;
     tid;
+    site_stack =
+      Array.init threads (fun _ ->
+          if enabled then Array.make max_site_depth 0 else [||]);
+    site_depth = Array.make threads 0;
+    site_spans = Array.make npre 0;
+    site_stores = Array.make npre 0;
+    site_flushes = Array.make npre 0;
+    site_fences = Array.make npre 0;
   }
 
 let null =
@@ -90,6 +119,21 @@ let enabled t = t.enabled
 let metrics t = t.metrics
 let now t = if t.enabled then t.clock () else 0
 
+let grow_sites t want =
+  let len = Array.length t.site_spans in
+  if want > len then begin
+    let bigger n = max want (2 * n) in
+    let grow a =
+      let b = Array.make (bigger len) 0 in
+      Array.blit a 0 b 0 len;
+      b
+    in
+    t.site_spans <- grow t.site_spans;
+    t.site_stores <- grow t.site_stores;
+    t.site_flushes <- grow t.site_flushes;
+    t.site_fences <- grow t.site_fences
+  end
+
 let intern t name =
   match Hashtbl.find_opt t.ids name with
   | Some id -> id
@@ -102,19 +146,92 @@ let intern t name =
       end;
       t.names.(id) <- name;
       t.nnames <- id + 1;
+      grow_sites t t.nnames;
       Hashtbl.add t.ids name id;
       id
 
-let emit t kind a b =
-  let tid = t.tid () in
-  let tid = if tid >= 0 && tid < Array.length t.rings then tid else 0 in
+(* ------------------------------------------------------------------ *)
+(* Code-site attribution                                               *)
+(* ------------------------------------------------------------------ *)
+
+let clamp_tid t tid = if tid >= 0 && tid < Array.length t.rings then tid else 0
+
+let current_site_of t tid =
+  let d = t.site_depth.(tid) in
+  if d = 0 then id_untagged
+  else t.site_stack.(tid).(min (d - 1) (max_site_depth - 1))
+
+let push_site t tid id =
+  let d = t.site_depth.(tid) in
+  if d < max_site_depth then t.site_stack.(tid).(d) <- id;
+  t.site_depth.(tid) <- d + 1
+
+let pop_site t tid =
+  if t.site_depth.(tid) > 0 then t.site_depth.(tid) <- t.site_depth.(tid) - 1
+
+let site_enter t id =
+  if t.enabled then begin
+    let tid = clamp_tid t (t.tid ()) in
+    push_site t tid id;
+    t.site_spans.(id) <- t.site_spans.(id) + 1
+  end
+
+let site_exit t = if t.enabled then pop_site t (clamp_tid t (t.tid ()))
+
+type site_row = {
+  site : string;
+  spans : int;
+  stores : int;
+  flushes : int;
+  fences : int;
+}
+
+let site_table t =
+  let rows = ref [] in
+  for id = t.nnames - 1 downto 0 do
+    let spans = t.site_spans.(id)
+    and stores = t.site_stores.(id)
+    and flushes = t.site_flushes.(id)
+    and fences = t.site_fences.(id) in
+    if spans + stores + flushes + fences > 0 then
+      rows := { site = t.names.(id); spans; stores; flushes; fences } :: !rows
+  done;
+  List.sort (fun a b -> compare a.site b.site) !rows
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let emit_tid t tid kind a b =
+  let tid = clamp_tid t tid in
   let r = t.rings.(tid) in
   let i = r.written mod r.cap * slot_words in
   r.buf.(i) <- t.clock ();
   r.buf.(i + 1) <- kind;
   r.buf.(i + 2) <- a;
   r.buf.(i + 3) <- b;
-  r.written <- r.written + 1
+  r.written <- r.written + 1;
+  (* Attribution: PM ordering events charge the enclosing site; span
+     boundaries maintain the per-thread site stack. *)
+  if kind = k_store then begin
+    let s = current_site_of t tid in
+    t.site_stores.(s) <- t.site_stores.(s) + 1
+  end
+  else if kind = k_flush then begin
+    let s = current_site_of t tid in
+    t.site_flushes.(s) <- t.site_flushes.(s) + 1
+  end
+  else if kind = k_fence then begin
+    let s = current_site_of t tid in
+    t.site_fences.(s) <- t.site_fences.(s) + 1
+  end
+  else if kind = k_begin then begin
+    push_site t tid a;
+    t.site_spans.(a) <- t.site_spans.(a) + 1
+  end
+  else if kind = k_end then pop_site t tid
+
+let emit t kind a b = emit_tid t (t.tid ()) kind a b
 
 let span_begin t name detail = if t.enabled then emit t k_begin name detail
 let span_end t name = if t.enabled then emit t k_end name 0
@@ -140,6 +257,21 @@ let observe t name sample = if t.enabled then Metrics.observe t.metrics name sam
 (* Arena wiring                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* The sink takes thread ids from the attached arena, so a tracer can
+   observe several arenas (the sharded serving layer) on one event
+   timeline. *)
+let attach_arena t a =
+  Arena.set_event_sink a
+    (Some
+       {
+         Arena.ev_store = (fun addr -> emit_tid t (Arena.tid a) k_store addr 0);
+         ev_flush = (fun addr -> emit_tid t (Arena.tid a) k_flush addr 0);
+         ev_fence = (fun () -> emit_tid t (Arena.tid a) k_fence 0 0);
+         ev_alloc = (fun addr words -> emit_tid t (Arena.tid a) k_alloc addr words);
+         ev_free = (fun addr words -> emit_tid t (Arena.tid a) k_free addr words);
+         ev_crash = (fun () -> emit_tid t (Arena.tid a) k_instant id_crash 0);
+       })
+
 let for_arena ?(capacity = 65536) a =
   let clock () =
     match Mcsim.sim_now () with
@@ -148,16 +280,7 @@ let for_arena ?(capacity = 65536) a =
   in
   let threads = (Arena.config a).Ff_pmem.Config.max_threads in
   let t = make ~enabled:true ~capacity ~threads ~clock ~tid:(fun () -> Arena.tid a) in
-  Arena.set_event_sink a
-    (Some
-       {
-         Arena.ev_store = (fun addr -> emit t k_store addr 0);
-         ev_flush = (fun addr -> emit t k_flush addr 0);
-         ev_fence = (fun () -> emit t k_fence 0 0);
-         ev_alloc = (fun addr words -> emit t k_alloc addr words);
-         ev_free = (fun addr words -> emit t k_free addr words);
-         ev_crash = (fun () -> emit t k_instant id_crash 0);
-       });
+  attach_arena t a;
   t
 
 (* ------------------------------------------------------------------ *)

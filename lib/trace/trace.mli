@@ -68,6 +68,20 @@ val id_merge : int
 val id_scrub : int
 (** One cross-shard k-way merge (detail = number of shards touched). *)
 
+val id_op : int
+(** One client operation completed end-to-end through the serving
+    path (detail = op id assigned at submit time). *)
+
+val id_degraded : int
+(** A shard entered degraded mode (detail = shard index). *)
+
+val id_readmit : int
+(** A degraded shard was re-admitted after a clean scrub
+    (detail = shard index). *)
+
+val id_slo_violation : int
+(** An SLO rule fired (detail = rule index in the evaluated set). *)
+
 val intern : t -> string -> int
 (** Id for an arbitrary name (stable within this tracer). *)
 
@@ -93,6 +107,37 @@ val incr : t -> string -> unit
 
 val observe : t -> string -> int -> unit
 (** Metrics histogram sample, gated on {!enabled}. *)
+
+(** {1 Code-site attribution}
+
+    Every ordered store, flush and fence is attributed to the
+    innermost open span (or explicit {!site_enter} frame) on the
+    emitting thread — insert, split, merge, scrub, batch, recovery —
+    or to the pseudo-site ["untagged"] when nothing is open.  The
+    per-site counters feed the fences/op audit table (MOD's cost
+    model: fences are the currency of PM structures). *)
+
+val site_enter : t -> int -> unit
+(** Open an attribution frame without emitting a ring event (for
+    sites that are not spans). *)
+
+val site_exit : t -> unit
+
+type site_row = {
+  site : string;
+  spans : int;  (** frames opened under this name *)
+  stores : int;
+  flushes : int;
+  fences : int;
+}
+
+val site_table : t -> site_row list
+(** Nonzero rows, sorted by site name (deterministic). *)
+
+val attach_arena : t -> Ff_pmem.Arena.t -> unit
+(** Install this tracer's event sink on an additional arena so one
+    tracer observes a whole sharded serving layer; thread ids come
+    from that arena's {!Ff_pmem.Arena.tid}. *)
 
 (** {1 Reading the rings} *)
 

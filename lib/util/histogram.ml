@@ -1,7 +1,33 @@
-(* Buckets at powers of sqrt(2): bucket i covers (b(i-1), b(i)] with
-   b(i) = 2^(i/2), giving <= ~41% width per bucket. *)
+(* Bucket scheme (documented contract, relied on by the merge/percentile
+   fidelity property test):
+
+   Bucket [i] covers the integer interval (bounds.(i-1), bounds.(i)]
+   with bounds.(-1) taken as 0.  The ideal bound is b(i) = 2^(i/2) —
+   powers of sqrt(2), <= ~41% relative width — but integer truncation
+   makes neighbouring ideals collide below ~64 (int(1*sqrt2) = 1,
+   int(2*sqrt2) = 2 ...).  The table therefore forces strict
+   monotonicity: bounds.(i) = max(ideal(i), bounds.(i-1) + 1).  Small
+   buckets degenerate to width 1 (exact), and no bucket is ever wider
+   than one sqrt(2) step — which is what keeps a merged histogram's
+   percentile within one bucket of the percentile over the pooled raw
+   samples (merge sums bucket counts, so merged rank selection equals
+   pooled rank selection at bucket granularity). *)
 
 let nbuckets = 124 (* covers up to ~2^62 *)
+
+let bounds =
+  let b = Array.make nbuckets 0 in
+  let prev = ref 0 in
+  for i = 0 to nbuckets - 1 do
+    let ideal =
+      let base = 1 lsl (i / 2) in
+      if i land 1 = 0 then base
+      else int_of_float (float_of_int base *. 1.4142135623730951)
+    in
+    b.(i) <- max ideal (!prev + 1);
+    prev := b.(i)
+  done;
+  b
 
 type t = {
   buckets : int array;
@@ -12,18 +38,20 @@ type t = {
 
 let create () = { buckets = Array.make nbuckets 0; n = 0; total = 0; max_sample = 0 }
 
-let bound i =
-  (* b(i) = 2^(i/2), alternating exact powers of two and * sqrt 2 *)
-  let base = 1 lsl (i / 2) in
-  if i land 1 = 0 then base
-  else int_of_float (float_of_int base *. 1.4142135623730951)
+let bound i = bounds.(min (nbuckets - 1) (max 0 i))
 
+(* Smallest i with bounds.(i) >= v, by binary search over the strictly
+   increasing table. *)
 let bucket_of v =
-  let rec go i = if i >= nbuckets - 1 || bound i >= v then i else go (i + 1) in
-  (* start near log2 to keep it O(1)-ish *)
-  let rec log2 v acc = if v <= 1 then acc else log2 (v lsr 1) (acc + 1) in
-  let i0 = max 0 ((2 * log2 v 0) - 2) in
-  go i0
+  if v <= 1 then 0
+  else begin
+    let lo = ref 0 and hi = ref (nbuckets - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if bounds.(mid) >= v then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
 
 let add t v =
   let v = max v 0 in
@@ -44,7 +72,7 @@ let percentile t p =
     let rank = max 1 (min t.n rank) in
     let rec go i seen =
       let seen = seen + t.buckets.(i) in
-      if seen >= rank || i = nbuckets - 1 then bound i else go (i + 1) seen
+      if seen >= rank || i = nbuckets - 1 then bounds.(i) else go (i + 1) seen
     in
     min (go 0 0) t.max_sample
   end
@@ -56,6 +84,29 @@ let merge acc x =
   acc.n <- acc.n + x.n;
   acc.total <- acc.total + x.total;
   if x.max_sample > acc.max_sample then acc.max_sample <- x.max_sample
+
+let copy t =
+  {
+    buckets = Array.copy t.buckets;
+    n = t.n;
+    total = t.total;
+    max_sample = t.max_sample;
+  }
+
+(* Window delta: everything recorded in [cur] since the [prev]
+   snapshot.  Bucket counts subtract exactly; the true maximum inside
+   the window is not recoverable from snapshots, so the cumulative
+   maximum is kept as the percentile clamp (an upper bound, never an
+   under-estimate). *)
+let delta cur prev =
+  let d = create () in
+  for i = 0 to nbuckets - 1 do
+    d.buckets.(i) <- max 0 (cur.buckets.(i) - prev.buckets.(i))
+  done;
+  d.n <- max 0 (cur.n - prev.n);
+  d.total <- max 0 (cur.total - prev.total);
+  d.max_sample <- cur.max_sample;
+  d
 
 let pp ppf t =
   Format.fprintf ppf "n=%d mean=%.1f p50=%d p99=%d max=%d" t.n (mean t)

@@ -1,9 +1,18 @@
 (** Log-bucketed latency histogram.
 
-    Samples (simulated nanoseconds) land in power-of-sqrt(2) buckets,
-    so percentile estimates stay within ~20% across nine orders of
-    magnitude with a few hundred bytes of state.  Used by the
-    [latencies] benchmark target for per-operation p50/p99 tables. *)
+    {b Bucket scheme.}  Bucket [i] covers the integer interval
+    [(bound (i-1), bound i]] where the ideal bound is [2^(i/2)] —
+    powers of sqrt(2), at most ~41% relative width — and the table is
+    forced strictly monotonic ([bound i >= bound (i-1) + 1]) so that
+    integer truncation never collapses neighbouring buckets into one
+    double-width bucket.  Small values get width-1 (exact) buckets;
+    124 buckets cover nine orders of magnitude in a few hundred bytes.
+
+    Because {!merge} sums bucket counts, rank selection over a merged
+    histogram equals rank selection over the pooled samples at bucket
+    granularity: a merged percentile is within one bucket (one
+    sqrt(2) step) of the percentile computed from all raw samples
+    pooled — the property test in [test_util] checks exactly this. *)
 
 type t
 
@@ -15,11 +24,30 @@ val count : t -> int
 val mean : t -> float
 
 val percentile : t -> float -> int
-(** [percentile t p] for p in [\[0, 100\]]: an upper bound of the
-    bucket containing the p-th percentile sample; 0 when empty. *)
+(** [percentile t p] for p in [\[0, 100\]]: the upper bound of the
+    bucket containing the p-th percentile sample (clamped to
+    {!max_sample}); 0 when empty. *)
 
 val max_sample : t -> int
+
+val bucket_of : int -> int
+(** Index of the bucket a sample lands in (exposed for fidelity
+    tests). *)
+
+val bound : int -> int
+(** Upper bound of bucket [i] (clamped to the table range). *)
+
 val merge : t -> t -> unit
-(** [merge acc x] adds [x]'s samples into [acc]. *)
+(** [merge acc x] adds [x]'s samples into [acc].  Exact at bucket
+    granularity — see the bucket-scheme note above. *)
+
+val copy : t -> t
+(** Snapshot for windowed deltas. *)
+
+val delta : t -> t -> t
+(** [delta cur prev] is everything recorded in [cur] since the [prev]
+    snapshot (bucket-wise subtraction).  The delta's percentile clamp
+    is [cur]'s cumulative maximum — an upper bound, since the true
+    in-window maximum is not recoverable from snapshots. *)
 
 val pp : Format.formatter -> t -> unit

@@ -17,5 +17,6 @@ let () =
       ("shard", Test_shard.suite);
       ("scrub", Test_scrub.suite);
       ("trace", Test_trace.suite);
+      ("obs", Test_obs.suite);
       ("check", Test_check.suite);
     ]

@@ -1,0 +1,334 @@
+(* Tests for lib/obs: sliding-window time-series, the fence-attribution
+   profiler, SLO rule evaluation, benchmark snapshots and the perf
+   gate, plus the end-to-end property the observability PR hangs on —
+   a sharded media-fault run yields a well-formed Perfetto trace with
+   degraded and re-admission events, byte-identical across two
+   same-seed runs. *)
+
+module Trace = Ff_trace.Trace
+module Metrics = Ff_trace.Metrics
+module J = Ff_trace.Json
+module Hist = Ff_util.Histogram
+module Prng = Ff_util.Prng
+module Ts = Ff_obs.Timeseries
+module Profile = Ff_obs.Profile
+module Slo = Ff_obs.Slo
+module Snapshot = Ff_obs.Snapshot
+module Arena = Ff_pmem.Arena
+module Stats = Ff_pmem.Stats
+module Shard = Ff_shard.Shard
+module W = Ff_workload.Workload
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let manual_tracer () =
+  let clock = ref 0 in
+  let tr = Trace.create ~clock:(fun () -> !clock) () in
+  (clock, tr)
+
+let test_timeseries_windows () =
+  let clock, tr = manual_tracer () in
+  let reg = Trace.metrics tr in
+  let ts = Ts.create ~window_ns:100 tr in
+  Ts.track_counter ts "ops";
+  Ts.track_gauge ts "depth";
+  Ts.track_histogram ts "lat";
+  Metrics.add reg "ops" 10;
+  Metrics.set_gauge reg "depth" 3.;
+  Metrics.observe reg "lat" 100;
+  clock := 100;
+  Ts.tick ts ~now:!clock;
+  Metrics.add reg "ops" 5;
+  Metrics.set_gauge reg "depth" 7.;
+  (* Mid-window tick must not sample. *)
+  clock := 150;
+  Ts.tick ts ~now:!clock;
+  Alcotest.(check int) "one sample so far" 1 (Ts.samples ts);
+  clock := 200;
+  Ts.tick ts ~now:!clock;
+  Alcotest.(check int) "two samples" 2 (Ts.samples ts);
+  Alcotest.(check (array (pair int (float 0.001))))
+    "counter points are per-window deltas"
+    [| (100, 10.); (200, 5.) |]
+    (Ts.points ts "ops");
+  Alcotest.(check (array (pair int (float 0.001))))
+    "gauge points are current values"
+    [| (100, 3.); (200, 7.) |]
+    (Ts.points ts "depth");
+  let lat = Ts.points ts "lat" in
+  Alcotest.(check int) "histogram series sampled" 2 (Array.length lat);
+  Alcotest.(check (float 0.001)) "window p99 of the single sample" 100.
+    (snd lat.(0))
+
+let test_timeseries_counter_prefix () =
+  let clock, tr = manual_tracer () in
+  let reg = Trace.metrics tr in
+  let ts = Ts.create ~window_ns:10 tr in
+  Ts.track_counter ts "shard.degraded";
+  Metrics.incr reg (Metrics.shard_label "shard.degraded" 0);
+  Metrics.incr reg (Metrics.shard_label "shard.degraded" 3);
+  clock := 10;
+  Ts.tick ts ~now:!clock;
+  Alcotest.(check (array (pair int (float 0.001))))
+    "per-shard labels sum under the prefix"
+    [| (10, 2.) |]
+    (Ts.points ts "shard.degraded")
+
+(* ------------------------------------------------------------------ *)
+(* Profiler: site attribution through a real instrumented tree         *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_site_table () =
+  let arena = Arena.create ~words:(1 lsl 16) () in
+  (* Build first, then attach: stores made before the sink exists
+     (node header of the empty tree) must not show up untagged. *)
+  let t = Ff_fastfair.Tree.create ~node_bytes:256 arena in
+  let tr = Trace.for_arena arena in
+  Ff_fastfair.Tree.set_tracer t tr;
+  let n = 300 in
+  for k = 1 to n do
+    Ff_fastfair.Tree.insert t ~key:k ~value:(W.value_of k)
+  done;
+  let p = Profile.of_trace ~ops:n tr in
+  Alcotest.(check int) "ops recorded" n p.Profile.ops;
+  Alcotest.(check bool) "stores attributed" true (p.Profile.total_stores > 0);
+  Alcotest.(check bool) "fences attributed" true (p.Profile.total_fences > 0);
+  let site name =
+    List.find_opt (fun r -> r.Profile.site = name) p.Profile.rows
+  in
+  (match site "insert" with
+  | None -> Alcotest.fail "no insert row"
+  | Some r ->
+      Alcotest.(check int) "one insert span per op" n r.Profile.spans;
+      Alcotest.(check bool) "insert row carries fences" true (r.Profile.fences > 0));
+  Alcotest.(check bool) "splits attributed" true (site "split" <> None);
+  (* A sequential load through the tree API leaves nothing untagged. *)
+  Alcotest.(check bool) "no untagged row" true (site "untagged" = None);
+  let sum = List.fold_left (fun a r -> a + r.Profile.fences) 0 p.Profile.rows in
+  Alcotest.(check int) "rows partition total fences" p.Profile.total_fences sum
+
+(* ------------------------------------------------------------------ *)
+(* SLO rules                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_slo_violation_names_rule () =
+  let clock, tr = manual_tracer () in
+  let reg = Trace.metrics tr in
+  Metrics.observe reg "shard.latency_ns.insert" 5_000;
+  clock := 1_000;
+  let rules =
+    [
+      Slo.Latency
+        {
+          rule = "tight-insert";
+          metric = "shard.latency_ns.insert";
+          percentile = 99.;
+          bound_ns = 10;
+        };
+      Slo.Latency
+        {
+          rule = "loose-insert";
+          metric = "shard.latency_ns.insert";
+          percentile = 99.;
+          bound_ns = 1_000_000;
+        };
+      (* No samples yet: passes vacuously. *)
+      Slo.Latency
+        { rule = "absent"; metric = "no.such"; percentile = 99.; bound_ns = 1 };
+    ]
+  in
+  let r = Slo.evaluate ~tracer:tr ~now:!clock rules in
+  Alcotest.(check int) "all rules evaluated" 3 r.Slo.evaluated;
+  Alcotest.(check (list string)) "only the tight rule fires" [ "tight-insert" ]
+    (List.map (fun (v : Slo.violation) -> v.Slo.rule) r.Slo.violations);
+  Alcotest.(check bool) "report not ok" false (Slo.ok r)
+
+let test_slo_burn_rate () =
+  let clock, tr = manual_tracer () in
+  let reg = Trace.metrics tr in
+  Metrics.add reg (Metrics.shard_label "shard.degraded" 0) 3;
+  Metrics.add reg (Metrics.shard_label "shard.batch_ops" 0) 200;
+  Metrics.add reg (Metrics.shard_label "shard.batch_ops" 1) 200;
+  clock := 50;
+  let rule ~max_per_1k =
+    Slo.Burn_rate
+      {
+        rule = "degraded-budget";
+        events = "shard.degraded";
+        ops = "shard.batch_ops";
+        max_per_1k;
+      }
+  in
+  (* 3 events over 400 ops = 7.5 per 1k. *)
+  let hot = Slo.evaluate ~tracer:tr ~now:!clock [ rule ~max_per_1k:5. ] in
+  Alcotest.(check bool) "budget burned" false (Slo.ok hot);
+  let cold = Slo.evaluate ~tracer:tr ~now:!clock [ rule ~max_per_1k:10. ] in
+  Alcotest.(check bool) "within budget" true (Slo.ok cold)
+
+let test_slo_monitor_emits_instant () =
+  let clock, tr = manual_tracer () in
+  let reg = Trace.metrics tr in
+  Metrics.observe reg "shard.latency_ns.insert" 5_000;
+  let rules =
+    [
+      Slo.Latency
+        {
+          rule = "tight-insert";
+          metric = "shard.latency_ns.insert";
+          percentile = 99.;
+          bound_ns = 10;
+        };
+    ]
+  in
+  let mon = Slo.Monitor.create ~window_ns:100 ~tracer:tr rules in
+  clock := 100;
+  Slo.Monitor.check mon ~now:!clock;
+  let r = Slo.Monitor.report mon ~now:!clock in
+  Alcotest.(check bool) "monitor saw the breach" false (Slo.ok r);
+  Alcotest.(check int) "violation counter bumped" 1
+    (Metrics.counter_value reg "slo.violations.tight-insert");
+  let instants = ref 0 in
+  Trace.iter_events tr (fun ~tid:_ ~ts:_ -> function
+    | Trace.Inst { name = "slo_violation"; _ } -> incr instants
+    | _ -> ());
+  Alcotest.(check int) "slo_violation instant in the ring" 1 !instants;
+  (* Round-trip the report through JSON. *)
+  let r' = Slo.report_of_json (Slo.report_to_json r) in
+  Alcotest.(check int) "report roundtrip: evaluated" r.Slo.evaluated r'.Slo.evaluated;
+  Alcotest.(check (list string)) "report roundtrip: rules"
+    (List.map (fun (v : Slo.violation) -> v.Slo.rule) r.Slo.violations)
+    (List.map (fun (v : Slo.violation) -> v.Slo.rule) r'.Slo.violations)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot + perf gate                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sample_snapshot ?(kops_scale = 1) () =
+  let lat = Hist.create () in
+  List.iter (Hist.add lat) [ 100; 200; 300; 400; 50_000 ];
+  let _, tr = manual_tracer () in
+  Snapshot.make ~label:"unit" ~scale:0.05 ~seed:42 ~ops:(1000 * kops_scale)
+    ~elapsed_ns:1_000_000 ~latency:lat
+    ~profile:(Profile.of_trace ~ops:1000 tr)
+    ()
+
+let test_snapshot_roundtrip () =
+  let s = sample_snapshot () in
+  let s' = Snapshot.of_json (Snapshot.to_json s) in
+  Alcotest.(check string) "label" s.Snapshot.label s'.Snapshot.label;
+  Alcotest.(check (float 0.0001)) "kops" s.Snapshot.kops s'.Snapshot.kops;
+  Alcotest.(check (float 0.0001)) "fences/op" s.Snapshot.fences_per_op
+    s'.Snapshot.fences_per_op;
+  Alcotest.(check int) "p99" s.Snapshot.p99_ns s'.Snapshot.p99_ns;
+  Alcotest.(check int) "p999" s.Snapshot.p999_ns s'.Snapshot.p999_ns;
+  Alcotest.(check int) "ops" s.Snapshot.ops s'.Snapshot.ops
+
+let test_snapshot_gate () =
+  (* The fence check needs a nonzero baseline (a zero-fence previous
+     snapshot passes vacuously). *)
+  let prev = { (sample_snapshot ()) with Snapshot.fences_per_op = 0.2 } in
+  Alcotest.(check (list string)) "identical snapshots pass" []
+    (Snapshot.compare_headline ~prev ~fresh:prev ~tolerance:0.1);
+  (* 20% throughput drop at 10% tolerance. *)
+  let slow = sample_snapshot ~kops_scale:1 () in
+  let slow = { slow with Snapshot.kops = prev.Snapshot.kops *. 0.8 } in
+  Alcotest.(check bool) "throughput drop fails" true
+    (Snapshot.compare_headline ~prev ~fresh:slow ~tolerance:0.1 <> []);
+  let fency = { prev with Snapshot.fences_per_op = prev.Snapshot.fences_per_op *. 1.5 +. 1. } in
+  Alcotest.(check bool) "fences/op rise fails" true
+    (Snapshot.compare_headline ~prev ~fresh:fency ~tolerance:0.1 <> []);
+  let rescaled = { prev with Snapshot.scale = 0.5 } in
+  Alcotest.(check bool) "scale mismatch fails" true
+    (Snapshot.compare_headline ~prev ~fresh:rescaled ~tolerance:0.1 <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: sharded media-fault run -> well-formed, deterministic     *)
+(* Perfetto trace carrying degraded + re-admission events              *)
+(* ------------------------------------------------------------------ *)
+
+let sharded_fault_trace seed =
+  let clock_ref = ref (fun () -> 0) in
+  let tr = Trace.create ~capacity:(1 lsl 14) ~clock:(fun () -> !clock_ref ()) () in
+  let t =
+    Shard.create ~words:(1 lsl 16) ~batch_cap:16 ~tracer:tr ~inner:"fastfair"
+      ~shards:2 ()
+  in
+  let arenas = Shard.arenas t in
+  clock_ref :=
+    (fun () ->
+      Array.fold_left
+        (fun acc a -> max acc (Stats.total_ns (Arena.total_stats a)))
+        0 arenas);
+  Array.iter (fun a -> Trace.attach_arena tr a) arenas;
+  let rng = Prng.create seed in
+  let ks = W.distinct_uniform rng ~n:400 ~space:4000 in
+  ignore (Shard.submit t (Array.map (fun k -> W.Insert k) ks));
+  ignore (Shard.drain_queues t);
+  (* Poison shard 0's leftmost leaf header — a line the scrub repairs
+     in place — and probe a key that descends into it. *)
+  let a0 = arenas.(0) in
+  let module L = Ff_fastfair.Layout in
+  let rec leftmost node =
+    if Arena.peek a0 (node + L.off_level) = 0 then node
+    else leftmost (Arena.peek a0 (node + L.off_leftmost))
+  in
+  Arena.poison_line a0 (leftmost (Arena.root_get a0 0) / Arena.words_per_line);
+  (try
+     for k = 1 to 4000 do
+       if Shard.shard_of_key t k = 0 then begin
+         ignore (Shard.search t k);
+         raise Exit
+       end
+     done
+   with
+  | Exit -> ()
+  | Shard.Degraded _ -> ());
+  Alcotest.(check bool) "shard 0 degraded" false (Shard.healthy t).(0);
+  Shard.power_fail t Ff_pmem.Storelog.Keep_all;
+  Shard.recover t;
+  Alcotest.(check bool) "shard 0 re-admitted" true (Shard.healthy t).(0);
+  Shard.close t;
+  tr
+
+let test_fault_trace_events () =
+  let tr = sharded_fault_trace 7 in
+  let degraded = ref 0 and readmit = ref 0 in
+  Trace.iter_events tr (fun ~tid:_ ~ts:_ -> function
+    | Trace.Inst { name = "degraded"; _ } -> incr degraded
+    | Trace.Inst { name = "readmit"; _ } -> incr readmit
+    | _ -> ());
+  Alcotest.(check int) "one degraded instant" 1 !degraded;
+  Alcotest.(check int) "one readmit instant" 1 !readmit;
+  (* The export is well-formed JSON with a non-empty event array. *)
+  let doc = J.of_string (Ff_trace.Perfetto.to_string tr) in
+  match Option.bind (J.member "traceEvents" doc) J.to_list with
+  | None -> Alcotest.fail "no traceEvents array"
+  | Some events ->
+      Alcotest.(check bool) "events present" true (List.length events > 0)
+
+let test_fault_trace_deterministic () =
+  let s1 = Ff_trace.Perfetto.to_string (sharded_fault_trace 7) in
+  let s2 = Ff_trace.Perfetto.to_string (sharded_fault_trace 7) in
+  Alcotest.(check bool) "same seed, byte-identical trace" true (s1 = s2);
+  let s3 = Ff_trace.Perfetto.to_string (sharded_fault_trace 8) in
+  Alcotest.(check bool) "different seed, different trace" true (s1 <> s3)
+
+let suite =
+  [
+    Alcotest.test_case "timeseries windows" `Quick test_timeseries_windows;
+    Alcotest.test_case "timeseries counter prefix" `Quick
+      test_timeseries_counter_prefix;
+    Alcotest.test_case "profile site table" `Quick test_profile_site_table;
+    Alcotest.test_case "slo violation names rule" `Quick
+      test_slo_violation_names_rule;
+    Alcotest.test_case "slo burn rate" `Quick test_slo_burn_rate;
+    Alcotest.test_case "slo monitor instant" `Quick
+      test_slo_monitor_emits_instant;
+    Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "snapshot gate" `Quick test_snapshot_gate;
+    Alcotest.test_case "fault trace events" `Quick test_fault_trace_events;
+    Alcotest.test_case "fault trace deterministic" `Quick
+      test_fault_trace_deterministic;
+  ]

@@ -158,6 +158,28 @@ let test_histogram_merge () =
   Histogram.merge a (Histogram.create ());
   Alcotest.(check int) "merge empty is identity" before (Histogram.count a)
 
+(* The bucket-scheme contract (see lib/util/histogram.ml): merge sums
+   bucket counts, so a merged percentile must land in the same bucket
+   as the percentile over the pooled raw samples — within one sqrt(2)
+   bucket once boundary rank conventions are allowed for. *)
+let prop_histogram_merged_p99 =
+  let gen_samples = QCheck.(list_of_size Gen.(1 -- 200) (int_range 1 1_000_000)) in
+  QCheck.Test.make ~count:300 ~name:"merged p99 within one bucket of pooled p99"
+    (QCheck.pair gen_samples gen_samples)
+    (fun (xs, ys) ->
+      let a = Histogram.create () and b = Histogram.create () in
+      List.iter (Histogram.add a) xs;
+      List.iter (Histogram.add b) ys;
+      Histogram.merge a b;
+      let pooled = List.sort compare (xs @ ys) in
+      let n = List.length pooled in
+      let rank =
+        max 1 (min n (int_of_float (ceil (99. /. 100. *. float_of_int n))))
+      in
+      let exact = List.nth pooled (rank - 1) in
+      let got = Histogram.percentile a 99. in
+      abs (Histogram.bucket_of got - Histogram.bucket_of exact) <= 1)
+
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
   let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
@@ -187,5 +209,6 @@ let suite =
     Alcotest.test_case "heap order" `Quick test_heap_order;
     Alcotest.test_case "heap stability" `Quick test_heap_stability;
     Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    QCheck_alcotest.to_alcotest prop_histogram_merged_p99;
     Alcotest.test_case "table render" `Quick test_table_render;
   ]

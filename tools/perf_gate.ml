@@ -1,0 +1,111 @@
+(* perf_gate: refuse performance regressions between checked-in
+   benchmark snapshots.
+
+   The repo carries its perf trajectory as BENCH_<n>.json files — one
+   per PR, written by `bench --json BENCH_<n>.json --slo` at a fixed
+   scale and seed, so every number is simulated-time-deterministic and
+   a diff is a code change, never machine noise.
+
+   Modes:
+     perf_gate                      gate latest checked-in vs previous
+     perf_gate --fresh FILE         gate FILE vs latest checked-in
+   Options:
+     --dir DIR          where BENCH_<n>.json live (default ".")
+     --tolerance T      allowed fractional drift (default 0.10)
+
+   Exit 0 when the headline holds (kops not down, fences/op not up,
+   beyond tolerance), 1 on regression, 2 on usage errors.  With fewer
+   than two snapshots there is nothing to compare: exit 0 with a note,
+   so the first PR that checks in a snapshot passes. *)
+
+module J = Ff_trace.Json
+module Snapshot = Ff_obs.Snapshot
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* A snapshot file is either bare (Snapshot.save) or a full bench
+   report whose "obs" member holds one. *)
+let load_snapshot path =
+  match J.of_string (read_file path) with
+  | exception J.Parse_error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | doc ->
+      let sj = match J.member "obs" doc with Some o -> o | None -> doc in
+      let present k = J.member k sj <> None in
+      if present "label" && present "kops" && present "fences_per_op" then
+        Ok (Snapshot.of_json sj)
+      else Error (Printf.sprintf "%s carries no benchmark snapshot" path)
+
+let bench_number name =
+  (* BENCH_<n>.json -> Some n *)
+  if String.length name > 7 && String.sub name 0 6 = "BENCH_" then
+    match Filename.chop_suffix_opt ~suffix:".json" name with
+    | Some stem -> int_of_string_opt (String.sub stem 6 (String.length stem - 6))
+    | None -> None
+  else None
+
+let checked_in dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (fun name ->
+         match bench_number name with
+         | Some n -> Some (n, Filename.concat dir name)
+         | None -> None)
+  |> List.sort compare
+
+let gate ~tolerance ~prev_path ~fresh_path =
+  match (load_snapshot prev_path, load_snapshot fresh_path) with
+  | Error e, _ | _, Error e ->
+      prerr_endline ("perf_gate: " ^ e);
+      2
+  | Ok prev, Ok fresh -> (
+      Printf.printf "perf_gate: %s -> %s (tolerance %.0f%%)\n" prev_path
+        fresh_path (100. *. tolerance);
+      Printf.printf "  kops       %10.1f -> %10.1f\n" prev.Snapshot.kops
+        fresh.Snapshot.kops;
+      Printf.printf "  fences/op  %10.3f -> %10.3f\n" prev.Snapshot.fences_per_op
+        fresh.Snapshot.fences_per_op;
+      Printf.printf "  p99        %8dns -> %8dns\n" prev.Snapshot.p99_ns
+        fresh.Snapshot.p99_ns;
+      match Snapshot.compare_headline ~prev ~fresh ~tolerance with
+      | [] ->
+          print_endline "perf_gate: PASS";
+          0
+      | failures ->
+          List.iter (fun f -> print_endline ("perf_gate: FAIL " ^ f)) failures;
+          1)
+
+let () =
+  let dir = ref "." and tolerance = ref 0.10 and fresh = ref "" in
+  let spec =
+    [
+      ("--dir", Arg.Set_string dir, "DIR directory holding BENCH_<n>.json");
+      ("--tolerance", Arg.Set_float tolerance, "T fractional drift allowed");
+      ("--fresh", Arg.Set_string fresh, "FILE gate FILE against the latest checked-in snapshot");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "perf_gate [--dir DIR] [--tolerance T] [--fresh FILE]";
+  let history = checked_in !dir in
+  let rc =
+    match (!fresh, List.rev history) with
+    | "", (_, latest) :: (_, prev) :: _ ->
+        gate ~tolerance:!tolerance ~prev_path:prev ~fresh_path:latest
+    | "", _ ->
+        Printf.printf
+          "perf_gate: fewer than two BENCH_<n>.json in %s; nothing to gate\n"
+          !dir;
+        0
+    | f, (_, latest) :: _ ->
+        gate ~tolerance:!tolerance ~prev_path:latest ~fresh_path:f
+    | f, [] ->
+        Printf.printf
+          "perf_gate: no checked-in BENCH_<n>.json in %s to gate %s against\n"
+          !dir f;
+        0
+  in
+  exit rc
