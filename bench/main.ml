@@ -1212,6 +1212,152 @@ let soak_target () =
   if !slo_flag && not (Slo.ok report) then slo_failed := true
 
 (* ------------------------------------------------------------------ *)
+(* Transactions: logged vs shadow commit-path cost, TPC-C aborts       *)
+(* ------------------------------------------------------------------ *)
+
+module Tx = Ff_tx.Tx
+
+type tx_row = {
+  tx_path : string;
+  tx_txns : int;
+  tx_ops_per_txn : int;
+  tx_fences_per_txn : float;
+  tx_fences_per_op : float;
+  tx_flushes_per_op : float;
+  tx_us_per_txn : float;
+  tx_site_fences : (string * int) list; (* tx_* profile sites only *)
+}
+
+(* Same multi-key update workload through both commit paths on the same
+   tree shape, with a tracer attached so every fence is attributed to
+   the tx_log / tx_commit / tx_replay site that issued it. *)
+let tx_row path =
+  let txns = sc 2_000 in
+  let ops_per_txn = 4 in
+  let n = sc 20_000 in
+  let config = Config.pm ~read_ns:300 ~write_ns:300 () in
+  let a = arena ~config (max (n * 64) (1 lsl 17)) in
+  let t = (fastfair ()).build a in
+  W.load_keys t (W.sequential ~n);
+  let tr = Ff_trace.Trace.for_arena ~capacity:(1 lsl 16) a in
+  let mgr = Tx.create ~path a t in
+  Tx.set_tracer mgr tr;
+  Arena.reset_stats a;
+  let rng = Prng.create (W.shard_seed ~base:!base_seed ~shard:7) in
+  let vc = ref n in
+  for _ = 1 to txns do
+    ignore
+      (Tx.run mgr (fun tx ->
+           for _ = 1 to ops_per_txn do
+             incr vc;
+             Tx.put tx (1 + Prng.int rng n) (W.value_of !vc)
+           done))
+  done;
+  Arena.set_event_sink a None;
+  let s = Arena.total_stats a in
+  let ops = txns * ops_per_txn in
+  let profile = Profile.of_trace ~ops tr in
+  let site_fences =
+    List.filter_map
+      (fun r ->
+        let site = r.Profile.site in
+        if String.length site >= 3 && String.sub site 0 3 = "tx_" then
+          Some (site, r.Profile.fences)
+        else None)
+      profile.Profile.rows
+  in
+  {
+    tx_path = (match path with Tx.Logged -> "logged" | Tx.Shadow -> "shadow");
+    tx_txns = txns;
+    tx_ops_per_txn = ops_per_txn;
+    tx_fences_per_txn = float_of_int s.Stats.fences /. float_of_int txns;
+    tx_fences_per_op = float_of_int s.Stats.fences /. float_of_int ops;
+    tx_flushes_per_op = float_of_int s.Stats.flushes /. float_of_int ops;
+    tx_us_per_txn =
+      float_of_int (Stats.total_ns s) /. float_of_int txns /. 1000.;
+    tx_site_fences = site_fences;
+  }
+
+let tx_rows () = [ tx_row Tx.Logged; tx_row Tx.Shadow ]
+
+(* TPC-C under real transactions: W1 mix, both paths; the abort count
+   must be nonzero (invalid-item New-Orders roll back by spec). *)
+let tx_tpcc_stats path =
+  let txns = sc 2_000 in
+  let config = Config.pm ~read_ns:300 ~write_ns:300 () in
+  (* The TPC-C population is near-constant in txns; keep a floor so
+     small --scale runs don't exhaust the arena. *)
+  let a = arena ~config (max (txns * 1600) 400_000) in
+  let idx = (fastfair ()).build a in
+  let t = Tpcc.load ~path ~arena:a idx Tpcc.default_config in
+  Tpcc.run t Tpcc.w1 ~txns;
+  (Tpcc.commits t, Tpcc.aborts t, Tpcc.retries t)
+
+let tx_target () =
+  print_endline
+    "== tx: commit-path cost (4-op update txns, fast+fair), latency 300/300 ==";
+  let rows = tx_rows () in
+  let tbl =
+    Table.create [ "path"; "fences/txn"; "fences/op"; "flushes/op"; "us/txn" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_floats tbl r.tx_path
+        [ r.tx_fences_per_txn; r.tx_fences_per_op; r.tx_flushes_per_op; r.tx_us_per_txn ])
+    rows;
+  Table.print tbl;
+  List.iter
+    (fun r ->
+      Printf.printf "  %-6s site fences: %s\n" r.tx_path
+        (String.concat " "
+           (List.map (fun (s, f) -> Printf.sprintf "%s=%d" s f) r.tx_site_fences)))
+    rows;
+  List.iter
+    (fun path ->
+      let c, ab, re = tx_tpcc_stats path in
+      Printf.printf "  tpcc[%s]: commits=%d aborts=%d retries=%d\n"
+        (match path with Tx.Logged -> "logged" | Tx.Shadow -> "shadow")
+        c ab re)
+    [ Tx.Logged; Tx.Shadow ]
+
+(* ------------------------------------------------------------------ *)
+(* YCSB mix presets (--mix ycsb-a|b|c)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ycsb_mix_target spec =
+  let mix =
+    match W.ycsb_mix spec with
+    | Some m -> m
+    | None -> raise (Arg.Bad ("--mix: unknown preset " ^ spec))
+  in
+  Printf.printf "== YCSB mix %s: %d%% update / %d%% read, latency 300/300 ==\n"
+    spec mix.W.insert_pct mix.W.search_pct;
+  let n = sc 50_000 in
+  let opsn = sc 100_000 in
+  let config = Config.pm ~read_ns:300 ~write_ns:300 () in
+  let tbl = Table.create [ "index"; "kops"; "fences/op"; "flushes/op" ] in
+  List.iter
+    (fun m ->
+      let a = arena ~config ((n + opsn) * 60) in
+      let t = m.build a in
+      let rng = Prng.create !base_seed in
+      let keys = W.distinct_uniform rng ~n ~space:(2 * n) in
+      W.load_keys t keys;
+      Arena.reset_stats a;
+      let trace = W.mixed_trace rng ~n:opsn ~space:(2 * n) mix in
+      ignore (W.run_trace t trace);
+      let s = Arena.total_stats a in
+      let fops = float_of_int opsn in
+      Table.add_floats tbl m.label
+        [
+          kops a opsn;
+          float_of_int s.Stats.fences /. fops;
+          float_of_int s.Stats.flushes /. fops;
+        ])
+    (search_makers ());
+  Table.print tbl
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable results (--json FILE)                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1282,6 +1428,31 @@ let json_report file =
         ("quarantined_lines", J.Int r.sc_quarantined);
       ]
   in
+  let tx_row_json r =
+    J.Obj
+      [
+        ("path", J.Str r.tx_path);
+        ("txns", J.Int r.tx_txns);
+        ("ops_per_txn", J.Int r.tx_ops_per_txn);
+        ("fences_per_txn", J.Float r.tx_fences_per_txn);
+        ("fences_per_op", J.Float r.tx_fences_per_op);
+        ("flushes_per_op", J.Float r.tx_flushes_per_op);
+        ("us_per_txn", J.Float r.tx_us_per_txn);
+        ( "site_fences",
+          J.Obj (List.map (fun (s, f) -> (s, J.Int f)) r.tx_site_fences) );
+      ]
+  in
+  let tx_tpcc_json path =
+    let c, ab, re = tx_tpcc_stats path in
+    J.Obj
+      [
+        ( "path",
+          J.Str (match path with Tx.Logged -> "logged" | Tx.Shadow -> "shadow") );
+        ("commits", J.Int c);
+        ("aborts", J.Int ab);
+        ("retries", J.Int re);
+      ]
+  in
   let sharded_row_json r =
     J.Obj
       [
@@ -1313,6 +1484,13 @@ let json_report file =
                workload "range" `Range [ fastfair (); skiplist () ];
              ] );
          ("scrub", J.Arr (List.map scrub_row_json (scrub_rows ())));
+         ( "tx",
+           J.Obj
+             [
+               ("paths", J.Arr (List.map tx_row_json (tx_rows ())));
+               ( "tpcc",
+                 J.Arr (List.map tx_tpcc_json [ Tx.Logged; Tx.Shadow ]) );
+             ] );
        ]
       @ (if !shard_counts = [] then []
          else [ ("sharded", J.Arr (List.map sharded_row_json (sharded_rows ()))) ])
@@ -1414,12 +1592,14 @@ let targets =
     ("sharded", sharded_target);
     ("scrub", scrub_target);
     ("soak", soak_target);
+    ("tx", tx_target);
   ]
 
 let () =
   let selected = ref [] in
   let json_file = ref "" in
   let trace_file = ref "" in
+  let mix_spec = ref "" in
   let spec =
     [
       ( "--scale",
@@ -1431,6 +1611,14 @@ let () =
       ( "--trace",
         Arg.Set_string trace_file,
         "FILE  record a multithreaded mixed run as a Perfetto/chrome://tracing JSON file" );
+      ( "--mix",
+        Arg.String
+          (fun s ->
+            if W.ycsb_mix s = None then
+              raise (Arg.Bad ("--mix: unknown preset " ^ s ^ " (ycsb-a|b|c)"));
+            mix_spec := s),
+        "M  run a YCSB mix preset (ycsb-a|ycsb-b|ycsb-c) over the registered \
+         indexes" );
       ( "--shards",
         Arg.String
           (fun s ->
@@ -1484,13 +1672,14 @@ let () =
   Arg.parse spec (fun t -> selected := t :: !selected) usage;
   let selected =
     if !selected = [] then
-      if !json_file <> "" || !trace_file <> "" then []
+      if !json_file <> "" || !trace_file <> "" || !mix_spec <> "" then []
       else if !shard_counts <> [] then [ "sharded" ]
       else List.map fst targets
     else List.rev !selected
   in
   if !json_file <> "" then json_report !json_file;
   if !trace_file <> "" then trace_target !trace_file;
+  if !mix_spec <> "" then ycsb_mix_target !mix_spec;
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->

@@ -14,7 +14,10 @@
      persist     save a persisted PM image to a file and reload it
      trace       record a multithreaded run as a Perfetto JSON trace
      top         SLO/profiler dashboard from a live run or a snapshot
-     check       model-check schedules and crash states *)
+     check       model-check schedules and crash states (--tx switches
+                 to whole-transaction durable serializability)
+     tx          failure-atomic multi-key transfers: crash one transfer
+                 mid-commit at every sampled store, audit the balances *)
 
 module Arena = Ff_pmem.Arena
 module Config = Ff_pmem.Config
@@ -872,6 +875,200 @@ let top from index_name ops shards seed p99_bound =
   | None -> top_live index_name ops shards seed p99_bound
 
 (* ------------------------------------------------------------------ *)
+(* tx: failure-atomic multi-key transfers with a mid-commit crash      *)
+(* ------------------------------------------------------------------ *)
+
+module Tx = Ff_tx.Tx
+
+(* Balances live in the index odd-encoded with the account id folded
+   into the low bits: values stay globally unique (two accounts holding
+   the same balance must not produce equal values — the tree reads
+   duplicate values as in-flight-insert markers and skips them),
+   nonzero per the index contract, and never line-aligned. *)
+let bal_enc ~accounts a b = (2 * ((b * accounts) + (a - 1))) + 1
+let bal_dec ~accounts v = (v - 1) / 2 / accounts
+
+let tx_path_of_string = function
+  | "logged" -> Tx.Logged
+  | "shadow" -> Tx.Shadow
+  | s -> invalid_arg (Printf.sprintf "unknown commit path %S (logged, shadow)" s)
+
+(* The demo: load N accounts, run a history of committed transfers,
+   then replay one further transfer crashed mid-commit at every sampled
+   store offset.  After each power failure + recovery the balance sheet
+   must sit exactly on a transaction boundary (all-pre or all-post) —
+   which also conserves the total.  A torn half-transfer is a
+   violation and a nonzero exit. *)
+let tx_demo index_name path_name accounts transfers points seed json =
+  let path = tx_path_of_string path_name in
+  let d = Registry.find_exn index_name in
+  if not d.Descriptor.caps.Descriptor.txnable then begin
+    Printf.printf "tx: %s is not txnable (caps: %s)\n" index_name
+      (Descriptor.caps_line d);
+    1
+  end
+  else begin
+    let config = small_nodes d in
+    let init = 1_000 in
+    let base = mk_arena (max (accounts * 400) (1 lsl 16)) in
+    let t = d.Descriptor.build config base in
+    let balances = Array.make (accounts + 1) 0 in
+    let bal_enc = bal_enc ~accounts and bal_dec = bal_dec ~accounts in
+    for a = 1 to accounts do
+      balances.(a) <- init;
+      t.Intf.insert a (bal_enc a init)
+    done;
+    let transfer mgr src dst amt =
+      Tx.run mgr (fun tx ->
+          match (Tx.get tx src, Tx.get tx dst) with
+          | Some sv, Some dv ->
+              let sb = bal_dec sv in
+              if sb < amt then Tx.abort ~reason:"insufficient funds" tx
+              else begin
+                Tx.put tx src (bal_enc src (sb - amt));
+                Tx.put tx dst (bal_enc dst (bal_dec dv + amt))
+              end
+          | _ -> Tx.abort ~reason:"missing account" tx)
+    in
+    let rng = Prng.create seed in
+    let pick () =
+      let s = 1 + Prng.int rng accounts in
+      let d0 = 1 + Prng.int rng accounts in
+      let d' = if d0 = s then (s mod accounts) + 1 else d0 in
+      (s, d', 1 + Prng.int rng 50)
+    in
+    let mgr = Tx.create ~path base t in
+    let committed = ref 0 and aborted = ref 0 in
+    for _ = 1 to transfers do
+      let s, dsta, amt = pick () in
+      match transfer mgr s dsta amt with
+      | Ok () ->
+          incr committed;
+          balances.(s) <- balances.(s) - amt;
+          balances.(dsta) <- balances.(dsta) + amt
+      | Error _ -> incr aborted
+    done;
+    t.Intf.close ();
+    Arena.drain base;
+    (* The crash victim: guaranteed not to abort on funds. *)
+    let src = ref 1 in
+    for a = 2 to accounts do
+      if balances.(a) > balances.(!src) then src := a
+    done;
+    let src = !src in
+    let dst = (src mod accounts) + 1 in
+    let amt = 1 + Prng.int rng (min 50 balances.(src)) in
+    let reopen a =
+      let t = d.Descriptor.open_existing config a in
+      t.Intf.recover ();
+      (t, Tx.create ~path a t)
+    in
+    (* Span of the victim transfer, probed on a throwaway clone (the
+       transfer body draws nothing from the PRNG, so every clone
+       executes the identical store sequence). *)
+    let span =
+      let a = Arena.clone base in
+      let _, m = reopen a in
+      let c0 = Arena.store_count a in
+      ignore (transfer m src dst amt);
+      Arena.store_count a - c0
+    in
+    let offsets =
+      if span <= points then List.init span (fun i -> i + 1)
+      else
+        List.init points (fun i ->
+            1 + (i * (span - 1) / (max 1 (points - 1))))
+    in
+    let pre = Array.init accounts (fun i -> balances.(i + 1)) in
+    let post =
+      Array.init accounts (fun i ->
+          let a1 = i + 1 in
+          let delta =
+            (if a1 = dst then amt else 0) - (if a1 = src then amt else 0)
+          in
+          balances.(a1) + delta)
+    in
+    let redone = ref 0 and undone = ref 0 in
+    let violations = ref [] in
+    List.iter
+      (fun k ->
+        let a = Arena.clone base in
+        let _, m = reopen a in
+        Arena.set_crash_plan a (Arena.After_stores (Arena.store_count a + k));
+        (try ignore (transfer m src dst amt)
+         with Arena.Crashed -> ());
+        Arena.set_crash_plan a Arena.Never;
+        Arena.power_fail a (Harness.default_mode (seed + k));
+        let t3, m3 = reopen a in
+        (match Tx.recover m3 with
+        | `Redone _ -> incr redone
+        | `Undone _ -> incr undone
+        | `Clean | `Aborted _ -> ());
+        let got =
+          Array.init accounts (fun i ->
+              match t3.Intf.search (i + 1) with
+              | Some v -> bal_dec v
+              | None -> min_int)
+        in
+        if got <> pre && got <> post then begin
+          let total = Array.fold_left ( + ) 0 got in
+          violations :=
+            ( k,
+              Printf.sprintf
+                "balances match neither side of the transfer (total %d, expected %d)"
+                total (accounts * init) )
+            :: !violations
+        end)
+      offsets;
+    let violations = List.rev !violations in
+    let ok = violations = [] in
+    if json then
+      print_endline
+        (J.to_string
+           (J.Obj
+              [
+                ("index", J.Str index_name);
+                ("path", J.Str path_name);
+                ("accounts", J.Int accounts);
+                ( "history",
+                  J.Obj
+                    [ ("committed", J.Int !committed); ("aborted", J.Int !aborted) ]
+                );
+                ( "crash_sweep",
+                  J.Obj
+                    [
+                      ("transfer", J.Obj [ ("from", J.Int src); ("to", J.Int dst); ("amount", J.Int amt) ]);
+                      ("store_span", J.Int span);
+                      ("points", J.Int (List.length offsets));
+                      ("redone", J.Int !redone);
+                      ("undone", J.Int !undone);
+                      ( "violations",
+                        J.Arr
+                          (List.map
+                             (fun (k, msg) ->
+                               J.Obj [ ("store", J.Int k); ("detail", J.Str msg) ])
+                             violations) );
+                    ] );
+                ("ok", J.Bool ok);
+              ]))
+    else begin
+      Printf.printf "tx %s (%s path): %d accounts, %d transfers committed, %d aborted\n"
+        index_name path_name accounts !committed !aborted;
+      Printf.printf
+        "crash sweep: transfer %d->%d amount %d, %d points over %d stores\n" src
+        dst amt (List.length offsets) span;
+      Printf.printf "  recovery: %d redone, %d rolled back\n" !redone !undone;
+      List.iter
+        (fun (k, msg) -> Printf.printf "  VIOLATION at store %d: %s\n" k msg)
+        violations;
+      Printf.printf "balance audit: %s\n"
+        (if ok then "every crash lands on a transaction boundary"
+         else "ATOMICITY BROKEN")
+    end;
+    if ok then 0 else 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* check: model-check schedules and crash states                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -894,8 +1091,9 @@ let print_check_report ~out (r : Ff_check.Check.report) =
   if r.Ff_check.Check.violations = [] then 0 else 1
 
 let check index_name writers readers ops keyspace prefill seed explorer schedules
-    no_crashes crash_budget non_tso elide out replay =
+    no_crashes crash_budget non_tso elide tx txns tx_path torn out replay =
   let module C = Ff_check.Check in
+  let module TC = Ff_check.Txcheck in
   match replay with
   | Some path -> (
       match Ff_check.Counterexample.load path with
@@ -903,14 +1101,18 @@ let check index_name writers readers ops keyspace prefill seed explorer schedule
           Printf.printf "check --replay: %s\n" msg;
           2
       | Ok cx ->
-          Printf.printf "replaying %s counterexample for %s (crash: %s)\n"
+          (* A counterexample carrying the tx extension came from the
+             transaction checker; replay it through tx recovery. *)
+          let is_tx = cx.Ff_check.Counterexample.tx <> None in
+          Printf.printf "replaying %s%s counterexample for %s (crash: %s)\n"
+            (if is_tx then "transaction " else "")
             cx.Ff_check.Counterexample.kind cx.Ff_check.Counterexample.index
             (match cx.Ff_check.Counterexample.crash with
             | None -> "none"
             | Some c ->
                 Printf.sprintf "%s at store %d" c.Ff_check.Counterexample.mode
                   c.Ff_check.Counterexample.store_count);
-          let r = C.replay cx in
+          let r = if is_tx then TC.replay cx else C.replay cx in
           let rc = print_check_report ~out:None r in
           if rc = 1 then begin
             print_endline "counterexample REPRODUCED";
@@ -927,24 +1129,49 @@ let check index_name writers readers ops keyspace prefill seed explorer schedule
         | "pct" -> C.Pct
         | s -> invalid_arg (Printf.sprintf "unknown explorer %S (dfs, pct)" s)
       in
-      let config =
-        {
-          C.default with
-          C.writers;
-          readers;
-          ops_per_thread = ops;
-          keyspace;
-          prefill;
-          seed;
-          explorer;
-          schedules;
-          crashes = not no_crashes;
-          crash_budget;
-          non_tso;
-          elide_flush = elide;
-        }
-      in
-      print_check_report ~out (C.run ~config index_name)
+      if tx then begin
+        let config =
+          {
+            TC.default with
+            TC.txns;
+            ops_per_txn = ops;
+            readers;
+            keyspace;
+            prefill;
+            seed;
+            path = tx_path_of_string tx_path;
+            torn_commit = torn;
+            explorer;
+            schedules;
+            crash_budget = (if no_crashes then 0 else crash_budget);
+            non_tso;
+          }
+        in
+        match TC.checkable (Registry.find_exn index_name) config with
+        | Some msg ->
+            Printf.printf "check --tx: %s\n" msg;
+            2
+        | None -> print_check_report ~out (TC.run ~config index_name)
+      end
+      else
+        let config =
+          {
+            C.default with
+            C.writers;
+            readers;
+            ops_per_thread = ops;
+            keyspace;
+            prefill;
+            seed;
+            explorer;
+            schedules;
+            crashes = not no_crashes;
+            crash_budget;
+            non_tso;
+            elide_flush = elide;
+          }
+        in
+        print_check_report ~out (C.run ~config index_name)
 
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
@@ -1169,6 +1396,27 @@ let check_cmd =
          ~doc:"Fault injection: drop every flush during the concurrent phase (demonstrates \
                counterexample generation; a correct structure then fails durability).")
   in
+  let tx =
+    Arg.(value & flag & info [ "tx" ]
+         ~doc:"Check whole transactions for durable serializability instead of \
+               individual operations: every crash point replays through \
+               transaction recovery and must land on a transaction boundary. \
+               $(b,--ops) becomes operations per transaction.")
+  in
+  let txns =
+    Arg.(value & opt int 3 & info [ "txns" ] ~docv:"N"
+         ~doc:"With --tx: transactions in the writer script.")
+  in
+  let tx_path =
+    Arg.(value & opt string "logged" & info [ "tx-path" ] ~docv:"PATH"
+         ~doc:"With --tx: commit path under test, $(b,logged) or $(b,shadow).")
+  in
+  let torn =
+    Arg.(value & flag & info [ "mutate-torn-commit" ]
+         ~doc:"Fault injection (with --tx): persist the commit record without \
+               ordering the payload behind it — the sweep must fail and emit a \
+               replayable counterexample.")
+  in
   let out =
     Arg.(value & opt (some string) (Some "counterexamples") & info [ "out"; "o" ] ~docv:"DIR"
          ~doc:"Directory for counterexample artifacts.")
@@ -1180,9 +1428,39 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Model-check an index: explore schedules, verify linearizability, and crash \
-             every explored schedule at each fence")
+             every explored schedule at each fence; --tx checks whole transactions \
+             for durable serializability instead")
     Term.(const check $ index_arg $ writers $ readers $ ops $ keyspace $ prefill $ seed_arg
-          $ explorer $ schedules $ no_crashes $ crash_budget $ non_tso $ elide $ out $ replay)
+          $ explorer $ schedules $ no_crashes $ crash_budget $ non_tso $ elide
+          $ tx $ txns $ tx_path $ torn $ out $ replay)
+
+let tx_cmd =
+  let path =
+    Arg.(value & opt string "logged" & info [ "path"; "p" ] ~docv:"PATH"
+         ~doc:"Commit path: $(b,logged) (undo/redo) or $(b,shadow) (MOD-style).")
+  in
+  let accounts =
+    Arg.(value & opt int 16 & info [ "accounts"; "a" ] ~docv:"N"
+         ~doc:"Accounts on the balance sheet.")
+  in
+  let transfers =
+    Arg.(value & opt int 200 & info [ "transfers"; "n" ] ~docv:"N"
+         ~doc:"Committed transfer history before the crash sweep.")
+  in
+  let points =
+    Arg.(value & opt int 60 & info [ "points" ] ~docv:"P"
+         ~doc:"Crash points sampled across the victim transfer's stores.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the audit as a JSON object.")
+  in
+  Cmd.v
+    (Cmd.info "tx"
+       ~doc:"Failure-atomic multi-key transfers: crash one transfer mid-commit \
+             at every sampled store, recover, and audit that the balances land \
+             on a transaction boundary")
+    Term.(const tx_demo $ index_arg $ path $ accounts $ transfers $ points
+          $ seed_arg $ json)
 
 let () =
   let info = Cmd.info "ffcli" ~doc:"FAST+FAIR persistent B+-tree playground" in
@@ -1190,4 +1468,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; fuzz_cmd; crash_cmd; check_cmd; scrub_cmd; stats_cmd; dump_cmd;
-            persist_cmd; trace_cmd; top_cmd ]))
+            persist_cmd; trace_cmd; top_cmd; tx_cmd ]))

@@ -338,6 +338,7 @@ let () =
           tunable_node_bytes = false;
           relocatable_root = false;
           scrubbable = false;
+          txnable = false;
         };
       composite = None;
       build = (fun cfg a -> ops (create ~lock_mode:cfg.D.lock_mode a));

@@ -18,11 +18,18 @@ type crash = {
   cutoff : int option;
 }
 
+type tx_info = {
+  path : string; (* "logged" | "shadow" *)
+  torn : bool;
+  txns : int;
+}
+
 type t = {
   index : string;
   node_bytes : int option;
   kind : string;
   workload : workload;
+  tx : tx_info option;
   decisions : int array;
   crash : crash option;
   detail : string;
@@ -52,6 +59,16 @@ let to_json t =
                ("non_tso", Json.Bool w.non_tso);
                ("elide_flush", Json.Bool w.elide_flush);
              ] );
+         ( "tx",
+           match t.tx with
+           | None -> Json.Null
+           | Some x ->
+               Json.Obj
+                 [
+                   ("path", Json.Str x.path);
+                   ("torn", Json.Bool x.torn);
+                   ("txns", Json.Int x.txns);
+                 ] );
          ( "decisions",
            Json.Arr (Array.to_list (Array.map (fun d -> Json.Int d) t.decisions)) );
          ( "crash",
@@ -106,6 +123,21 @@ let of_json s =
         in
         let non_tso = bool_field "non_tso" in
         let elide_flush = bool_field "elide_flush" in
+        (* Optional transaction extension (absent in pre-tx artifacts;
+           tolerant parse keeps the version at 1). *)
+        let* tx =
+          match Json.member "tx" j with
+          | None | Some Json.Null -> Ok None
+          | Some xj ->
+              let* path = field "path" Json.to_str xj in
+              let* txns = field "txns" Json.to_int xj in
+              let torn =
+                match Json.member "torn" xj with
+                | Some (Json.Bool b) -> b
+                | _ -> false
+              in
+              Ok (Some { path; torn; txns })
+        in
         let* decisions = field "decisions" Json.to_list j in
         let* decisions =
           try
@@ -150,6 +182,7 @@ let of_json s =
                 non_tso;
                 elide_flush;
               };
+            tx;
             decisions;
             crash;
             detail;

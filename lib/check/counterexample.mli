@@ -30,11 +30,21 @@ type crash = {
   cutoff : int option;  (** epoch cutoff for "non_tso_cutoff" *)
 }
 
+type tx_info = {
+  path : string;  (** commit path: "logged" | "shadow" *)
+  torn : bool;    (** torn-commit mutant was active *)
+  txns : int;     (** transactions in the writer script *)
+}
+(** Transaction-checker extension ({!Txcheck}).  Serialized as an
+    optional ["tx"] member — absent/[null] for per-op counterexamples
+    — so pre-transaction artifacts still parse (version stays 1). *)
+
 type t = {
   index : string;       (** registry name *)
   node_bytes : int option;
   kind : string;        (** "linearizability" | "tolerance" | "durability" *)
   workload : workload;
+  tx : tx_info option;  (** present iff produced by {!Txcheck} *)
   decisions : int array;
   crash : crash option;
   detail : string;      (** human-readable failure description *)

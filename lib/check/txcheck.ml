@@ -8,115 +8,88 @@ module D = Ff_index.Descriptor
 module Registry = Ff_index.Registry
 module Locks = Ff_index.Locks
 module Trace = Ff_trace.Trace
+module Tx = Ff_tx.Tx
 module Cx = Counterexample
 
-type explorer = Dfs | Pct
-
 type config = {
-  writers : int;
+  txns : int;
+  ops_per_txn : int;
   readers : int;
-  ops_per_thread : int;
   keyspace : int;
   prefill : int;
   seed : int;
-  explorer : explorer;
+  path : Tx.path;
+  torn_commit : bool;
+  explorer : Check.explorer;
   schedules : int;
-  crashes : bool;
   max_crash_points : int;
   crash_budget : int;
   non_tso : bool;
-  elide_flush : bool;
   node_bytes : int option;
 }
 
 let default =
   {
-    writers = 2;
+    txns = 3;
+    ops_per_txn = 2;
     readers = 1;
-    ops_per_thread = 2;
     keyspace = 8;
     prefill = 4;
     seed = 1;
-    explorer = Pct;
-    schedules = 16;
-    crashes = true;
+    path = Tx.Logged;
+    torn_commit = false;
+    explorer = Check.Pct;
+    schedules = 8;
     max_crash_points = 12;
-    crash_budget = 256;
+    crash_budget = 192;
     non_tso = false;
-    elide_flush = false;
     node_bytes = None;
   }
 
-type kind = Linearizability | Tolerance | Durability
+let path_name = function Tx.Logged -> "logged" | Tx.Shadow -> "shadow"
 
-let kind_to_string = function
-  | Linearizability -> "linearizability"
-  | Tolerance -> "tolerance"
-  | Durability -> "durability"
+let path_of_name = function
+  | "logged" -> Tx.Logged
+  | "shadow" -> Tx.Shadow
+  | s -> invalid_arg (Printf.sprintf "counterexample: unknown tx path %S" s)
 
-type violation = { kind : kind; detail : string; counterexample : Cx.t }
-
-type report = {
-  index : string;
-  schedules_run : int;
-  exhausted : bool;
-  crash_runs : int;
-  ops_checked : int;
-  violations : violation list;
-  skipped : string option;
-  crash_note : string option;
-}
-
-let empty_report index =
-  {
-    index;
-    schedules_run = 0;
-    exhausted = false;
-    crash_runs = 0;
-    ops_checked = 0;
-    violations = [];
-    skipped = None;
-    crash_note = None;
-  }
-
-(* An index is schedule-checkable when concurrent threads are legal:
-   either the structure drives Mcsim locks itself (Sim mode), or its
-   readers are lock-free and at most one writer runs. *)
 let checkable d cfg =
-  if cfg.writers + cfg.readers < 2 then Some "need at least 2 threads"
-  else if (cfg.writers + cfg.readers) * cfg.ops_per_thread > Linearize.max_ops then
-    Some
-      (Printf.sprintf "history would exceed %d ops (reduce threads/ops)"
-         Linearize.max_ops)
-  else if D.supports_lock_mode d Locks.Sim then None
-  else if d.D.caps.D.lock_free_reads && cfg.writers <= 1 then None
-  else
-    Some
-      "not concurrency-checkable: no Sim lock mode and readers are not \
-       lock-free (or >1 writer without locks)"
-
-let crash_checkable d =
-  let c = d.D.caps in
-  if c.D.is_persistent && c.D.has_recovery then None
-  else Some "not crash-checkable: volatile or no recovery"
+  if not d.D.caps.D.txnable then Some "not txnable"
+  else if not (d.D.caps.D.is_persistent && d.D.caps.D.has_recovery) then
+    Some "not crash-checkable: volatile or no recovery"
+  else if cfg.txns < 1 then Some "need at least 1 transaction"
+  else if
+    cfg.readers > 0
+    && (not (D.supports_lock_mode d Locks.Sim))
+    && not d.D.caps.D.lock_free_reads
+  then Some "readers need Sim locks or lock-free reads"
+  else None
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic workload generation                                   *)
 (* ------------------------------------------------------------------ *)
 
-let value_of opid = (2 * opid) + 1
+type txop = Put of int * int | Del of int
 
 type workload = {
-  scripts : (int * Model.op) list array;  (* per thread: (opid, op) *)
-  initial : (int * int) list;             (* prefill bindings *)
-  writable : (int * int) list;            (* every (key, value) any insert may write *)
+  txs : txop list array;          (* writer script, one entry per transaction *)
+  reader_scripts : int list array;
+  initial : (int * int) list;
+  writable : (int * int) list;    (* every binding any put (or prefill) may write *)
+  states : (int * int) list array; (* states.(i) = sorted state after i commits *)
 }
 
+let value_of n = (2 * n) + 1
+
+let apply_tx state ops =
+  List.fold_left
+    (fun st op ->
+      match op with
+      | Put (k, v) -> (k, v) :: List.remove_assoc k st
+      | Del k -> List.remove_assoc k st)
+    state ops
+
 let gen_workload cfg =
-  (* Values are salted by a global counter so every insert (prefill
-     included) writes a distinct value — the registry's uniqueness
-     contract, and what lets the tolerance check recognize a
-     fabricated binding. *)
   let vcount = ref 0 in
   let fresh_value () =
     let v = value_of !vcount in
@@ -127,33 +100,37 @@ let gen_workload cfg =
     List.init (min cfg.prefill cfg.keyspace) (fun i -> (i + 1, fresh_value ()))
   in
   let master = Prng.create cfg.seed in
-  let opid = ref 0 in
-  let scripts =
-    Array.init (cfg.writers + cfg.readers) (fun tid ->
+  let wrng = Prng.split master in
+  let txs =
+    Array.init cfg.txns (fun _ ->
+        List.init cfg.ops_per_txn (fun _ ->
+            let key = 1 + Prng.int wrng cfg.keyspace in
+            if Prng.int wrng 4 = 0 then Del key
+            else Put (key, fresh_value ())))
+  in
+  let reader_scripts =
+    Array.init cfg.readers (fun _ ->
         let rng = Prng.split master in
-        List.init cfg.ops_per_thread (fun _ ->
-            let key = 1 + Prng.int rng cfg.keyspace in
-            let op =
-              if tid < cfg.writers then
-                if Prng.int rng 4 = 0 then Model.Delete key
-                else Model.Insert (key, fresh_value ())
-              else Model.Search key
-            in
-            let id = !opid in
-            incr opid;
-            (id, op)))
+        List.init
+          (cfg.txns * cfg.ops_per_txn)
+          (fun _ -> 1 + Prng.int rng cfg.keyspace))
   in
   let writable =
     initial
     @ Array.fold_left
-        (fun acc script ->
+        (fun acc ops ->
           List.fold_left
-            (fun acc (_, op) ->
-              match op with Model.Insert (k, v) -> (k, v) :: acc | _ -> acc)
-            acc script)
-        [] scripts
+            (fun acc op ->
+              match op with Put (k, v) -> (k, v) :: acc | Del _ -> acc)
+            acc ops)
+        [] txs
   in
-  { scripts; initial; writable }
+  let states = Array.make (cfg.txns + 1) [] in
+  states.(0) <- List.sort compare initial;
+  for i = 1 to cfg.txns do
+    states.(i) <- List.sort compare (apply_tx states.(i - 1) txs.(i - 1))
+  done;
+  { txs; reader_scripts; initial; writable; states }
 
 (* ------------------------------------------------------------------ *)
 (* One controlled execution                                            *)
@@ -163,20 +140,23 @@ type exec = {
   arena : Arena.t;
   ops : Intf.ops;
   dcfg : D.config;
-  calls : Linearize.call array;  (* only ops that were invoked *)
-  fence_points : int list;       (* absolute store counts at concurrent-phase fences *)
+  committed : int;       (* commits that returned before the crash *)
+  commit_started : int;  (* transactions whose commit call began *)
+  tx_ops : int;          (* transactional ops executed *)
+  fabricated : (int * int) option;  (* concurrent reader saw an
+                                       out-of-universe binding *)
+  fence_points : int list;
   crashed : bool;
 }
 
-(* Build + prefill on a fresh arena, then run the concurrent scripts
-   under the given policy at quantum 1 on one simulated core, so the
-   policy's decision sequence is a total order over every PM access.
-   [crash_at] arms [After_stores] before the concurrent phase; the
-   resulting [Arena.Crashed] (propagated out of [Mcsim.run]) leaves
-   in-flight calls pending. *)
+(* Mirror of [Check.execute] with a transactional writer: build +
+   prefill + transaction-manager creation happen before the event sink
+   and crash plan are armed, then the writer's transaction script and
+   the reader scripts run under the policy at quantum 1. *)
 let execute cfg d w ~policy ~crash_at =
   let pconf =
-    if cfg.non_tso then { Pconfig.default with Pconfig.memory_order = Pconfig.Non_tso }
+    if cfg.non_tso then
+      { Pconfig.default with Pconfig.memory_order = Pconfig.Non_tso }
     else Pconfig.default
   in
   let arena = Arena.create ~config:pconf ~words:(1 lsl 20) () in
@@ -188,19 +168,9 @@ let execute cfg d w ~policy ~crash_at =
   ignore
     (Mcsim.run ~cores:1 ~arena
        [| (fun _ -> List.iter (fun (k, v) -> ops.Intf.insert k v) w.initial) |]);
-  if cfg.elide_flush then Arena.set_flush_elision arena true;
-  let total = Array.fold_left (fun a s -> a + List.length s) 0 w.scripts in
-  let calls = Array.make total (Linearize.make_call ~opid:0 ~tid:0 (Model.Search 0)) in
-  Array.iteri
-    (fun tid script ->
-      List.iter
-        (fun (opid, op) -> calls.(opid) <- Linearize.make_call ~opid ~tid op)
-        script)
-    w.scripts;
+  let mgr = Tx.create ~path:cfg.path arena ops in
+  if cfg.torn_commit then Tx.set_torn_commit mgr true;
   let fences = ref [] in
-  (* Durability points: explicit fences AND non-group flushes (a flush
-     is clflush_with_mfence here — under TSO the tree never issues a
-     bare fence, so flushes are where epochs advance). *)
   let mark _ = fences := Arena.store_count arena :: !fences in
   let nop = fun (_ : int) -> () and nop2 = fun (_ : int) (_ : int) -> () in
   Arena.set_event_sink arena
@@ -216,29 +186,38 @@ let execute cfg d w ~policy ~crash_at =
   (match crash_at with
   | Some k -> Arena.set_crash_plan arena (Arena.After_stores k)
   | None -> ());
-  let stamp = ref 0 in
-  let tick () =
-    incr stamp;
-    !stamp
+  let committed = ref 0 in
+  let commit_started = ref 0 in
+  let tx_ops = ref 0 in
+  let fabricated = ref None in
+  let writer _ =
+    Array.iteri
+      (fun i txops ->
+        let tx = Tx.begin_tx mgr in
+        List.iter
+          (fun op ->
+            incr tx_ops;
+            match op with
+            | Put (k, v) -> Tx.put tx k v
+            | Del k -> ignore (Tx.del tx k))
+          txops;
+        commit_started := i + 1;
+        Tx.commit tx;
+        committed := i + 1)
+      w.txs
   in
-  let body tid _ =
+  let reader rid _ =
     List.iter
-      (fun (opid, op) ->
-        let c = calls.(opid) in
-        c.Linearize.inv <- tick ();
-        let resp =
-          match op with
-          | Model.Insert (k, v) ->
-              ops.Intf.insert k v;
-              Model.Done
-          | Model.Delete k -> Model.Deleted (ops.Intf.delete k)
-          | Model.Search k -> Model.Found (ops.Intf.search k)
-        in
-        c.Linearize.resp <- Some resp;
-        c.Linearize.ret <- tick ())
-      w.scripts.(tid)
+      (fun k ->
+        match ops.Intf.search k with
+        | Some v when not (List.mem (k, v) w.writable) ->
+            if !fabricated = None then fabricated := Some (k, v)
+        | _ -> ())
+      w.reader_scripts.(rid)
   in
-  let bodies = Array.init (Array.length w.scripts) (fun tid -> body tid) in
+  let bodies =
+    Array.append [| writer |] (Array.init cfg.readers (fun rid -> reader rid))
+  in
   let crashed =
     try
       ignore (Mcsim.run ~cores:1 ~quantum_ns:1 ~policy ~arena bodies);
@@ -246,22 +225,18 @@ let execute cfg d w ~policy ~crash_at =
     with Arena.Crashed -> true
   in
   Arena.set_event_sink arena None;
-  Arena.set_flush_elision arena false;
-  let invoked =
-    Array.of_list
-      (List.filter (fun c -> c.Linearize.inv >= 0) (Array.to_list calls))
-  in
   {
     arena;
     ops;
     dcfg;
-    calls = invoked;
+    committed = !committed;
+    commit_started = !commit_started;
+    tx_ops = !tx_ops;
+    fabricated = !fabricated;
     fence_points = List.sort_uniq compare !fences;
     crashed;
   }
 
-(* Observed final bindings, via charged searches inside the simulator
-   (the live handle may hold Sim locks). *)
 let dump_live cfg exec =
   let acc = ref [] in
   ignore
@@ -274,14 +249,14 @@ let dump_live cfg exec =
              | None -> ()
            done);
        |]);
-  !acc
+  List.sort compare !acc
 
 let dump_single cfg ops =
   let acc = ref [] in
   for k = cfg.keyspace downto 1 do
     match ops.Intf.search k with Some v -> acc := (k, v) :: !acc | None -> ()
   done;
-  !acc
+  List.sort compare !acc
 
 (* ------------------------------------------------------------------ *)
 (* Crash validation                                                    *)
@@ -301,10 +276,15 @@ let mode_of_crash (c : Cx.crash) =
       Storelog.Non_tso_cutoff (cutoff, Prng.create c.Cx.crash_seed)
   | s -> invalid_arg (Printf.sprintf "counterexample: unknown crash mode %S" s)
 
-(* Apply the crash to a finished/crashed execution and validate:
-   pre-recovery reader tolerance (lock-free readers only), then
-   recovery and durable linearizability of the invoked history against
-   the post-recovery dump. *)
+let show_state st =
+  "{"
+  ^ String.concat "; "
+      (List.map (fun (k, v) -> Printf.sprintf "%d->%d" k v) st)
+  ^ "}"
+
+(* Crash the execution, recover (index recovery then transaction
+   recovery over the persisted log), and compare the observed state
+   against the durable-serializability oracle. *)
 let validate_crash cfg d w exec (crash : Cx.crash) =
   let failures = ref [] in
   Arena.power_fail exec.arena (mode_of_crash crash);
@@ -324,27 +304,64 @@ let validate_crash cfg d w exec (crash : Cx.crash) =
      | None -> ()
      | Some (k, v) ->
          failures :=
-           ( Tolerance,
+           ( Check.Tolerance,
              Printf.sprintf
                "pre-recovery reader returned fabricated binding %d -> %d" k v )
            :: !failures
      | exception e ->
          failures :=
-           ( Tolerance,
-             "pre-recovery reader raised: " ^ Printexc.to_string e )
+           (Check.Tolerance, "pre-recovery reader raised: " ^ Printexc.to_string e)
            :: !failures);
+  (* A durable commit word covering an untrusted payload is direct
+     evidence of inverted commit ordering — flag it before recovery
+     truncates the log. *)
+  (match Ff_pmem.Txlog.attach exec.arena with
+  | Some l when Ff_pmem.Txlog.commit_torn l ->
+      failures :=
+        ( Check.Durability,
+          "torn commit: commit record durable without its payload" )
+        :: !failures
+  | _ -> ());
   (match
      let o = d.D.open_existing sdcfg exec.arena in
      o.Intf.recover ();
+     let mgr = Tx.create ~path:cfg.path exec.arena o in
+     ignore (Tx.recover mgr);
      dump_single cfg o
    with
-  | dump -> (
-      match Linearize.check ~initial:w.initial ~final:dump exec.calls with
-      | Ok () -> ()
-      | Error msg -> failures := (Durability, msg) :: !failures)
+  | dump ->
+      let c = exec.committed in
+      let ok_committed = dump = w.states.(c) in
+      let ok_inflight =
+        exec.commit_started > c
+        && exec.commit_started <= cfg.txns
+        && dump = w.states.(exec.commit_started)
+      in
+      if not (ok_committed || ok_inflight) then begin
+        let boundary = ref None in
+        Array.iteri
+          (fun i st -> if !boundary = None && dump = st then boundary := Some i)
+          w.states;
+        let detail =
+          match !boundary with
+          | Some i ->
+              Printf.sprintf
+                "durable serializability: %d transactions committed (commit \
+                 started on %d) but recovered state matches boundary %d"
+                c exec.commit_started i
+          | None ->
+              Printf.sprintf
+                "atomicity: recovered state %s matches no transaction boundary \
+                 (%d committed, expected %s)"
+                (show_state dump) c
+                (show_state w.states.(c))
+        in
+        failures := (Check.Durability, detail) :: !failures
+      end
   | exception e ->
       failures :=
-        (Durability, "recovery raised: " ^ Printexc.to_string e) :: !failures);
+        (Check.Durability, "tx recovery raised: " ^ Printexc.to_string e)
+        :: !failures);
   List.rev !failures
 
 (* ------------------------------------------------------------------ *)
@@ -362,66 +379,75 @@ let mk_cx cfg index kind ~decisions ~crash ~detail =
   {
     Cx.index;
     node_bytes = cfg.node_bytes;
-    kind = kind_to_string kind;
+    kind = Check.kind_to_string kind;
     workload =
       {
-        Cx.writers = cfg.writers;
+        Cx.writers = 1;
         readers = cfg.readers;
-        ops_per_thread = cfg.ops_per_thread;
+        ops_per_thread = cfg.ops_per_txn;
         keyspace = cfg.keyspace;
         prefill = cfg.prefill;
         seed = cfg.seed;
         non_tso = cfg.non_tso;
-        elide_flush = cfg.elide_flush;
+        elide_flush = false;
       };
-    tx = None;
+    tx =
+      Some
+        { Cx.path = path_name cfg.path; torn = cfg.torn_commit; txns = cfg.txns };
     decisions;
     crash;
     detail;
+  }
+
+let empty_report index =
+  {
+    Check.index;
+    schedules_run = 0;
+    exhausted = false;
+    crash_runs = 0;
+    ops_checked = 0;
+    violations = [];
+    skipped = None;
+    crash_note = None;
   }
 
 let run ?(config = default) ?(tracer = Trace.null) name =
   let cfg = config in
   let d = Registry.find_exn name in
   match checkable d cfg with
-  | Some reason -> { (empty_report name) with skipped = Some reason }
+  | Some reason -> { (empty_report name) with Check.skipped = Some reason }
   | None ->
       let w = gen_workload cfg in
-      let sched_span = Trace.intern tracer "check.schedule" in
-      let crash_inst = Trace.intern tracer "check.crash_point" in
-      let crash_note =
-        ref
-          (if not cfg.crashes then Some "crash engine disabled"
-           else crash_checkable d)
-      in
+      let sched_span = Trace.intern tracer "txcheck.schedule" in
+      let crash_inst = Trace.intern tracer "txcheck.crash_point" in
       let crash_budget = ref cfg.crash_budget in
       let crash_runs = ref 0 in
       let ops_checked = ref 0 in
       let violations = ref [] in
-      let crash_enabled = cfg.crashes && crash_checkable d = None in
-      (* Replays the recorded schedule up to [crash_at] and validates
-         the given crash semantics on the result. *)
+      let crash_note = ref None in
+      let add kind detail ~decisions ~crash =
+        violations :=
+          {
+            Check.kind;
+            detail;
+            counterexample = mk_cx cfg name kind ~decisions ~crash ~detail;
+          }
+          :: !violations
+      in
       let crash_run choices crash =
         incr crash_runs;
         decr crash_budget;
         Trace.instant tracer crash_inst crash.Cx.store_count;
         let rc = Schedule.recorder () in
-        let policy = Schedule.record_policy ~prefix:choices ~fallback:Mcsim.Fifo rc in
+        let policy =
+          Schedule.record_policy ~prefix:choices ~fallback:Mcsim.Fifo rc
+        in
         let exec = execute cfg d w ~policy ~crash_at:(Some crash.Cx.store_count) in
         List.iter
           (fun (kind, detail) ->
-            violations :=
-              {
-                kind;
-                detail;
-                counterexample =
-                  mk_cx cfg name kind ~decisions:choices ~crash:(Some crash) ~detail;
-              }
-              :: !violations)
+            add kind detail ~decisions:choices ~crash:(Some crash))
           (validate_crash cfg d w exec crash)
       in
-      (* Full product for one explored schedule: every (sampled) fence
-         point x every legal crash mode, within the global budget. *)
       let crash_sweep choices fence_points =
         let points = sample_evenly cfg.max_crash_points fence_points in
         List.iter
@@ -442,9 +468,6 @@ let run ?(config = default) ?(tracer = Trace.null) name =
               let non_tso_modes =
                 if not cfg.non_tso then []
                 else begin
-                  (* probe: replay to the crash point to learn which
-                     epochs still have pending stores, then sweep every
-                     cutoff exhaustively *)
                   let rc = Schedule.recorder () in
                   let policy =
                     Schedule.record_policy ~prefix:choices ~fallback:Mcsim.Fifo rc
@@ -467,51 +490,57 @@ let run ?(config = default) ?(tracer = Trace.null) name =
             end)
           points
       in
-      (* One explored schedule: execute, check linearizability against
-         the live final state, then run the crash product. *)
       let check_schedule policy rc =
         let exec = execute cfg d w ~policy ~crash_at:None in
         let choices = Schedule.choices rc in
         Trace.span_begin tracer sched_span (Array.length choices);
-        ops_checked := !ops_checked + Array.length exec.calls;
-        (match
-           Linearize.check ~initial:w.initial ~final:(dump_live cfg exec) exec.calls
-         with
-        | Ok () -> ()
-        | Error detail ->
-            violations :=
-              {
-                kind = Linearizability;
-                detail;
-                counterexample =
-                  mk_cx cfg name Linearizability ~decisions:choices ~crash:None
-                    ~detail;
-              }
-              :: !violations);
-        if crash_enabled then crash_sweep choices exec.fence_points;
+        ops_checked := !ops_checked + exec.tx_ops;
+        (match exec.fabricated with
+        | Some (k, v) ->
+            let detail =
+              Printf.sprintf "concurrent reader saw fabricated binding %d -> %d"
+                k v
+            in
+            add Check.Tolerance detail ~decisions:choices ~crash:None
+        | None -> ());
+        (if not exec.crashed then
+           let dump = dump_live cfg exec in
+           if dump <> w.states.(cfg.txns) then
+             let detail =
+               Printf.sprintf
+                 "serializability: final state %s diverges from the committed \
+                  schedule %s"
+                 (show_state dump)
+                 (show_state w.states.(cfg.txns))
+             in
+             add Check.Durability detail ~decisions:choices ~crash:None);
+        crash_sweep choices exec.fence_points;
         Trace.span_end tracer sched_span
       in
       let exploration =
         match cfg.explorer with
-        | Dfs ->
+        | Check.Dfs ->
             Schedule.dfs ~max_schedules:cfg.schedules (fun ~prefix ->
                 let rc = Schedule.recorder () in
-                let policy = Schedule.record_policy ~prefix ~fallback:Mcsim.Fifo rc in
+                let policy =
+                  Schedule.record_policy ~prefix ~fallback:Mcsim.Fifo rc
+                in
                 check_schedule policy rc;
                 (Schedule.decisions rc, ()))
-        | Pct ->
+        | Check.Pct ->
             Schedule.pct ~schedules:cfg.schedules ~seed:cfg.seed (fun ~policy ->
                 let rc = Schedule.recorder () in
                 let policy = Schedule.record_policy ~fallback:policy rc in
                 check_schedule policy rc)
       in
-      if crash_enabled && !crash_budget <= 0 then
+      if !crash_budget <= 0 then
         crash_note :=
           Some
-            (Printf.sprintf "crash budget (%d executions) exhausted; sweep truncated"
+            (Printf.sprintf
+               "crash budget (%d executions) exhausted; sweep truncated"
                cfg.crash_budget);
       {
-        index = name;
+        Check.index = name;
         schedules_run = exploration.Schedule.schedules;
         exhausted = exploration.Schedule.exhausted;
         crash_runs = !crash_runs;
@@ -522,34 +551,41 @@ let run ?(config = default) ?(tracer = Trace.null) name =
       }
 
 let config_of_counterexample (cx : Cx.t) =
-  let w = cx.Cx.workload in
-  {
-    default with
-    writers = w.Cx.writers;
-    readers = w.Cx.readers;
-    ops_per_thread = w.Cx.ops_per_thread;
-    keyspace = w.Cx.keyspace;
-    prefill = w.Cx.prefill;
-    seed = w.Cx.seed;
-    non_tso = w.Cx.non_tso;
-    elide_flush = w.Cx.elide_flush;
-    node_bytes = cx.Cx.node_bytes;
-  }
+  match cx.Cx.tx with
+  | None -> invalid_arg "Txcheck: counterexample lacks the tx extension"
+  | Some x ->
+      let w = cx.Cx.workload in
+      {
+        default with
+        txns = x.Cx.txns;
+        ops_per_txn = w.Cx.ops_per_thread;
+        readers = w.Cx.readers;
+        keyspace = w.Cx.keyspace;
+        prefill = w.Cx.prefill;
+        seed = w.Cx.seed;
+        path = path_of_name x.Cx.path;
+        torn_commit = x.Cx.torn;
+        non_tso = w.Cx.non_tso;
+        node_bytes = cx.Cx.node_bytes;
+      }
 
-(* Deterministic re-execution of one recorded counterexample: replay
-   the decision sequence and re-run exactly the recorded check. *)
 let replay ?(tracer = Trace.null) (cx : Cx.t) =
   ignore tracer;
   let cfg = config_of_counterexample cx in
   let name = cx.Cx.index in
   let d = Registry.find_exn name in
   match checkable d cfg with
-  | Some reason -> { (empty_report name) with skipped = Some reason }
+  | Some reason -> { (empty_report name) with Check.skipped = Some reason }
   | None ->
       let w = gen_workload cfg in
       let violations = ref [] in
       let ops_checked = ref 0 in
       let crash_runs = ref 0 in
+      let record kind detail =
+        violations :=
+          { Check.kind; detail; counterexample = { cx with Cx.detail = detail } }
+          :: !violations
+      in
       (match cx.Cx.crash with
       | None ->
           let rc = Schedule.recorder () in
@@ -557,37 +593,38 @@ let replay ?(tracer = Trace.null) (cx : Cx.t) =
             Schedule.record_policy ~prefix:cx.Cx.decisions ~fallback:Mcsim.Fifo rc
           in
           let exec = execute cfg d w ~policy ~crash_at:None in
-          ops_checked := Array.length exec.calls;
-          (match
-             Linearize.check ~initial:w.initial ~final:(dump_live cfg exec)
-               exec.calls
-           with
-          | Ok () -> ()
-          | Error detail ->
-              violations :=
-                [
-                  {
-                    kind = Linearizability;
-                    detail;
-                    counterexample = { cx with Cx.detail = detail };
-                  };
-                ])
+          ops_checked := exec.tx_ops;
+          (match exec.fabricated with
+          | Some (k, v) ->
+              record Check.Tolerance
+                (Printf.sprintf
+                   "concurrent reader saw fabricated binding %d -> %d" k v)
+          | None -> ());
+          if not exec.crashed then begin
+            let dump = dump_live cfg exec in
+            if dump <> w.states.(cfg.txns) then
+              record Check.Durability
+                (Printf.sprintf
+                   "serializability: final state %s diverges from the \
+                    committed schedule %s"
+                   (show_state dump)
+                   (show_state w.states.(cfg.txns)))
+          end
       | Some crash ->
           incr crash_runs;
           let rc = Schedule.recorder () in
           let policy =
             Schedule.record_policy ~prefix:cx.Cx.decisions ~fallback:Mcsim.Fifo rc
           in
-          let exec = execute cfg d w ~policy ~crash_at:(Some crash.Cx.store_count) in
-          ops_checked := Array.length exec.calls;
+          let exec =
+            execute cfg d w ~policy ~crash_at:(Some crash.Cx.store_count)
+          in
+          ops_checked := exec.tx_ops;
           List.iter
-            (fun (kind, detail) ->
-              violations :=
-                { kind; detail; counterexample = { cx with Cx.detail = detail } }
-                :: !violations)
+            (fun (kind, detail) -> record kind detail)
             (validate_crash cfg d w exec crash));
       {
-        index = name;
+        Check.index = name;
         schedules_run = 1;
         exhausted = false;
         crash_runs = !crash_runs;
@@ -596,24 +633,3 @@ let replay ?(tracer = Trace.null) (cx : Cx.t) =
         skipped = None;
         crash_note = None;
       }
-
-let report_summary r =
-  match r.skipped with
-  | Some reason -> Printf.sprintf "%s: skipped (%s)" r.index reason
-  | None ->
-      let lin, tol, dur =
-        List.fold_left
-          (fun (l, t, u) v ->
-            match v.kind with
-            | Linearizability -> (l + 1, t, u)
-            | Tolerance -> (l, t + 1, u)
-            | Durability -> (l, t, u + 1))
-          (0, 0, 0) r.violations
-      in
-      Printf.sprintf
-        "%s: %d schedules%s, %d ops checked, %d crash executions -> %d \
-         linearizability, %d tolerance, %d durability violations%s"
-        r.index r.schedules_run
-        (if r.exhausted then " (exhaustive)" else "")
-        r.ops_checked r.crash_runs lin tol dur
-        (match r.crash_note with None -> "" | Some n -> " [" ^ n ^ "]")

@@ -108,6 +108,7 @@ let () =
           tunable_node_bytes = true;
           relocatable_root = true;
           scrubbable = false;
+          txnable = true;
         };
       composite = None;
       build =

@@ -655,6 +655,7 @@ let descriptor ~name ~summary ?split_policy ?(leaf_read_locks = false) () =
         tunable_node_bytes = true;
         relocatable_root = true;
         scrubbable = true;
+        txnable = true;
       };
     composite = None;
     build =

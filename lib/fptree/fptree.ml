@@ -548,6 +548,7 @@ let () =
           tunable_node_bytes = true;
           relocatable_root = true;
           scrubbable = false;
+          txnable = true;
         };
       composite = None;
       build =

@@ -33,6 +33,12 @@ type caps = {
           enumerate its reachable blocks, validate it, and repair or
           quarantine poisoned lines — the prerequisite for leak
           reclamation and media-fault recovery *)
+  txnable : bool;
+      (** the structure's {!Intf.ops} transaction hooks
+          ([read_for_update] / [install] / [undo_of]) are sound under
+          the tx layer's protocols: [install] is idempotent and legal
+          at recovery time (after [recover]), so [Ff_tx.Tx] can log,
+          commit, roll back, and replay multi-key updates against it *)
 }
 
 (** {1 Scrub hooks}

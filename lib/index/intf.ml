@@ -9,10 +9,14 @@ type ops = {
   bulk_insert : (int * int) array -> unit;
   close : unit -> unit;
   set_tracer : Ff_trace.Trace.t -> unit;
+  read_for_update : int -> int option;
+  install : int -> int option -> unit;
+  undo_of : int -> int option -> unit -> unit;
 }
 
 let make ~name ~insert ~search ~delete ~range ~recover ?update ?bulk_insert
-    ?(close = fun () -> ()) ?(set_tracer = fun _ -> ()) () =
+    ?(close = fun () -> ()) ?(set_tracer = fun _ -> ()) ?read_for_update
+    ?install ?undo_of () =
   let update =
     match update with
     | Some u -> u
@@ -29,6 +33,22 @@ let make ~name ~insert ~search ~delete ~range ~recover ?update ?bulk_insert
     | Some b -> b
     | None -> fun pairs -> Array.iter (fun (k, v) -> insert k v) pairs
   in
+  let read_for_update =
+    match read_for_update with Some r -> r | None -> search
+  in
+  let install =
+    match install with
+    | Some i -> i
+    | None -> (
+        fun k -> function
+          | Some v -> insert k v
+          | None -> ignore (delete k))
+  in
+  let undo_of =
+    match undo_of with
+    | Some u -> u
+    | None -> fun k pre () -> install k pre
+  in
   {
     name;
     insert;
@@ -40,6 +60,9 @@ let make ~name ~insert ~search ~delete ~range ~recover ?update ?bulk_insert
     bulk_insert;
     close;
     set_tracer;
+    read_for_update;
+    install;
+    undo_of;
   }
 
 let range_count t lo hi =

@@ -32,6 +32,20 @@ type ops = {
           recovery, ...) land on its timeline — and its ordered stores
           get code-site attribution.  No-op for uninstrumented
           structures. *)
+  read_for_update : int -> int option;
+      (** Pre-image read on behalf of a transaction about to write the
+          key.  Defaults to [search]; structures with version counters
+          or intent locks may override. *)
+  install : int -> int option -> unit;
+      (** Force a binding: [install k (Some v)] makes [k -> v] current
+          (insert or overwrite), [install k None] removes [k]
+          (tolerating an already-absent key).  This is the primitive
+          transactions commit, roll back, and {e replay} through, so it
+          must be idempotent.  Derived from [insert]/[delete]. *)
+  undo_of : int -> int option -> unit -> unit;
+      (** [undo_of k pre] captures a closure restoring [k] to its
+          pre-image [pre]; the logged commit path stacks one per op.
+          Defaults to [fun () -> install k pre]. *)
 }
 
 val make :
@@ -45,11 +59,15 @@ val make :
   ?bulk_insert:((int * int) array -> unit) ->
   ?close:(unit -> unit) ->
   ?set_tracer:(Ff_trace.Trace.t -> unit) ->
+  ?read_for_update:(int -> int option) ->
+  ?install:(int -> int option -> unit) ->
+  ?undo_of:(int -> int option -> unit -> unit) ->
   unit ->
   ops
 (** Smart constructor.  [update] defaults to search-then-insert,
     [bulk_insert] to an insert loop, [close] and [set_tracer] to
-    no-ops. *)
+    no-ops, and the transaction hooks ([read_for_update], [install],
+    [undo_of]) to derivations from [search]/[insert]/[delete]. *)
 
 val range_count : ops -> int -> int -> int
 (** Number of entries a range query visits. *)

@@ -132,6 +132,15 @@ let run ?(tracer = Trace.null) ?(repair = true) ?(reclaim = true) ?recover
   (* 4. Reachability scan and leak reclamation.  Charge the sweep as a
      sequential media read of the whole allocated region. *)
   let reachable = sops.D.scrub_reachable () in
+  (* The arena's transaction-log region is root-anchored arena
+     metadata, reachable by definition — without this the reclamation
+     pass would misread it as a leak and free it out from under root
+     slot 56. *)
+  let reachable =
+    let addr = Arena.root_get arena Ff_pmem.Txlog.slot_addr in
+    if addr = 0 then reachable
+    else (addr, Arena.root_get arena Ff_pmem.Txlog.slot_words) :: reachable
+  in
   let reachable_words = List.fold_left (fun acc (_, w) -> acc + w) 0 reachable in
   let cfg = Arena.config arena in
   let scan_lines = (Arena.used_words arena + wpl - 1) / wpl in

@@ -11,6 +11,8 @@ module Metrics = Ff_trace.Metrics
 module Mcsim = Ff_mcsim.Mcsim
 module Workload = Ff_workload.Workload
 module Scrub = Ff_scrub.Scrub
+module Tx = Ff_tx.Tx
+module Txlog = Ff_pmem.Txlog
 
 exception Degraded of { shard : int; addr : int; attempts : int }
 
@@ -136,6 +138,13 @@ type t = {
   backoff_ns : int;
   mutable next_op : int;
   mutable last_scrub : Scrub.report list;
+  (* Transaction machinery: one manager per shard arena (multi mode)
+     or one routing manager (composite mode), built lazily and
+     invalidated whenever the instances' ops handles are replaced. *)
+  mutable txs : Tx.t array option;
+  mutable next_gtid : int;
+  mutable tx_torn : bool;
+  mutable tx_replays : int;
 }
 
 let mk_instance ops arena =
@@ -178,6 +187,10 @@ let make ~partition ~inner ~inner_config ~instances ~multi ~batch_cap ~group
     backoff_ns;
     next_op = 0;
     last_scrub = [];
+    txs = None;
+    next_gtid = 1;
+    tx_torn = false;
+    tx_replays = 0;
   }
 
 (* Shard-local clock: global simulated time inside Mcsim.run, else the
@@ -534,6 +547,7 @@ let close t = Array.iter (fun it -> it.ops.Intf.close ()) t.instances
 
 let power_fail t mode =
   ignore (drain_queues t);
+  t.txs <- None;
   if t.multi then
     Array.iter (fun it -> Arena.power_fail it.arena mode) t.instances
   else Arena.power_fail t.instances.(0).arena mode
@@ -572,8 +586,52 @@ let set_health t i was clean =
     Trace.instant t.tracer Trace.id_readmit i
   end
 
+(* Resolve every shard's transaction log after the structural recovery
+   pass.  Prepared participants consult the coordinator shard's log for
+   the global decision, so all Prepared logs resolve in a first pass
+   while every coordinator's commit record is still intact; Committed /
+   In_flight logs (including coordinators, which discard their decision
+   records) resolve second. *)
+let dec_v v = if v = 0 then None else Some v
+
+let tx_resolve t =
+  let n = Array.length t.instances in
+  let logs =
+    if t.multi then Array.map (fun it -> Txlog.attach it.arena) t.instances
+    else
+      Array.init n (fun i ->
+          if i = 0 then Txlog.attach t.instances.(0).arena else None)
+  in
+  let install i k post =
+    let j = if t.multi then i else Partition.shard_of t.partition k in
+    t.instances.(j).ops.Intf.install k post
+  in
+  let decided ~gtid ~coord =
+    coord >= 0 && coord < n
+    && match logs.(coord) with
+       | Some cl -> Txlog.decision cl ~gtid
+       | None -> false
+  in
+  let resolve i log =
+    let redo (r : Txlog.record) = install i r.Txlog.key (dec_v r.Txlog.new_v) in
+    let undo (r : Txlog.record) = install i r.Txlog.key (dec_v r.Txlog.old_v) in
+    match Txlog.resolve log ~decided ~redo ~undo with
+    | `Clean -> ()
+    | `Redone k | `Undone k | `Aborted k ->
+        t.tx_replays <- t.tx_replays + 1;
+        if Trace.enabled t.tracer then Trace.instant t.tracer Trace.id_tx_replay k
+  in
+  let prepared log =
+    match Txlog.state log with Txlog.Prepared _ -> true | _ -> false
+  in
+  Array.iteri
+    (fun i -> function Some l when prepared l -> resolve i l | _ -> ())
+    logs;
+  Array.iteri (fun i -> function Some l -> resolve i l | None -> ()) logs
+
 let recover t =
   t.last_scrub <- [];
+  t.txs <- None;
   if t.multi then begin
     if Scrub.scrubbable t.inner then
       Array.iteri
@@ -603,7 +661,8 @@ let recover t =
       Array.iteri (fun i _ -> set_health t i was.(i) (Scrub.clean r)) t.instances
     end
     else plain_recover t
-  end
+  end;
+  tx_resolve t
 
 let healthy t = Array.map (fun it -> it.healthy) t.instances
 
@@ -625,16 +684,21 @@ let recover_parallel ?cores t =
         it.ops.Intf.recover ())
       t.instances
   in
-  if t.multi then begin
-    Array.iter
-      (fun it -> Arena.set_yield_hook it.arena (Some Mcsim.charge))
-      t.instances;
-    Fun.protect
-      ~finally:(fun () ->
-        Array.iter (fun it -> Arena.set_yield_hook it.arena None) t.instances)
-      (fun () -> Mcsim.run ~cores bodies)
-  end
-  else Mcsim.run ~cores ~arena:t.instances.(0).arena bodies
+  let outcome =
+    if t.multi then begin
+      Array.iter
+        (fun it -> Arena.set_yield_hook it.arena (Some Mcsim.charge))
+        t.instances;
+      Fun.protect
+        ~finally:(fun () ->
+          Array.iter (fun it -> Arena.set_yield_hook it.arena None) t.instances)
+        (fun () -> Mcsim.run ~cores bodies)
+    end
+    else Mcsim.run ~cores ~arena:t.instances.(0).arena bodies
+  in
+  t.txs <- None;
+  tx_resolve t;
+  outcome
 
 (* ------------------------------------------------------------------ *)
 (* Composite registry descriptor                                       *)
@@ -654,6 +718,133 @@ let ops_of t name =
       t.tracer <- tr;
       wire_tracer tr t.instances)
     ()
+
+(* ------------------------------------------------------------------ *)
+(* Multi-key transactions                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One Tx manager per shard arena in serving mode; in composite mode
+   the single arena carries a single log, so one manager routes
+   installs through the ensemble's own ops.  Shard transactions always
+   stage (deferred writes): a cross-shard global decision must precede
+   every in-place install, and a single-shard transaction then commits
+   through the same shadow protocol as a degenerate one-participant
+   case. *)
+let tx_managers t =
+  match t.txs with
+  | Some a -> a
+  | None ->
+      let a =
+        if t.multi then
+          Array.map (fun it -> Tx.create ~path:Tx.Shadow it.arena it.ops)
+            t.instances
+        else
+          [| Tx.create ~path:Tx.Shadow t.instances.(0).arena (ops_of t "tx") |]
+      in
+      Array.iter
+        (fun m ->
+          Tx.set_torn_commit m t.tx_torn;
+          if Trace.enabled t.tracer then Tx.set_tracer m t.tracer)
+        a;
+      t.txs <- Some a;
+      a
+
+let set_tx_torn t b =
+  t.tx_torn <- b;
+  match t.txs with
+  | Some a -> Array.iter (fun m -> Tx.set_torn_commit m b) a
+  | None -> ()
+
+type txn = {
+  sh : t;
+  mutable parts : (int * Tx.tx) list; (* participating shard -> open tx *)
+  mutable live : bool;
+}
+
+let txn_begin t =
+  ignore (tx_managers t);
+  { sh = t; parts = []; live = true }
+
+let txn_live x = if not x.live then invalid_arg "Shard.txn: already retired"
+
+let txn_shard_of x k =
+  if x.sh.multi then Partition.shard_of x.sh.partition k else 0
+
+let txn_part x k =
+  let i = txn_shard_of x k in
+  match List.assoc_opt i x.parts with
+  | Some p -> p
+  | None ->
+      let p = Tx.begin_tx ~deferred:true (tx_managers x.sh).(i) in
+      x.parts <- (i, p) :: x.parts;
+      p
+
+let txn_get x k =
+  txn_live x;
+  match List.assoc_opt (txn_shard_of x k) x.parts with
+  | Some p -> Tx.get p k
+  | None -> search x.sh k
+
+let txn_put x k v =
+  txn_live x;
+  Tx.put (txn_part x k) k v
+
+let txn_del x k =
+  txn_live x;
+  Tx.del (txn_part x k) k
+
+let txn_rollback x =
+  txn_live x;
+  List.iter (fun (_, p) -> Tx.cancel p) x.parts;
+  x.live <- false
+
+(* Commit: single participant commits locally; several run two-phase
+   commit with the lowest participating shard as coordinator.  The
+   coordinator's commit word is the global decision record; it is
+   truncated last, so a prepared participant can always still read the
+   decision at recovery. *)
+let txn_commit x =
+  txn_live x;
+  (match x.parts with
+  | [] -> ()
+  | [ (_, p) ] -> Tx.commit p
+  | parts ->
+      let parts = List.sort (fun (a, _) (b, _) -> compare a b) parts in
+      let coord = fst (List.hd parts) in
+      let cp = List.assoc coord parts in
+      let gtid = x.sh.next_gtid in
+      x.sh.next_gtid <- gtid + 1;
+      List.iter (fun (i, p) -> if i <> coord then Tx.prepare p ~gtid ~coord) parts;
+      Tx.prepare cp ~gtid ~coord;
+      Tx.decide cp;
+      List.iter (fun (_, p) -> Tx.apply p) parts;
+      List.iter (fun (i, p) -> if i <> coord then Tx.finish p) parts;
+      Tx.finish cp);
+  x.live <- false
+
+let txn t f =
+  let x = txn_begin t in
+  match f x with
+  | v ->
+      txn_commit x;
+      Ok v
+  | exception Tx.Abort reason ->
+      txn_rollback x;
+      Error reason
+  | exception e ->
+      if x.live then txn_rollback x;
+      raise e
+
+let tx_stats t =
+  let c, a =
+    match t.txs with
+    | Some ms ->
+        Array.fold_left
+          (fun (c, a) m -> (c + Tx.commits m, a + Tx.aborts m))
+          (0, 0) ms
+    | None -> (0, 0)
+  in
+  (c, a, t.tx_replays)
 
 let descriptor ?(policy = `Hash) ~inner ~shards () =
   check_shards shards;

@@ -128,6 +128,46 @@ val range : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
 (** Globally ordered scan across all overlapping shards (k-way merged
     cursor; emits one [merge] trace instant). *)
 
+(** {1 Multi-key transactions}
+
+    Failure-atomic transactions over the ensemble, built on one
+    {!Ff_tx.Tx} manager per shard arena.  Writes stage in volatile
+    write sets; a transaction touching one shard commits through the
+    local shadow protocol, while one spanning several shards runs a
+    two-phase commit over the per-shard log regions: every participant
+    persists its payload plus a prepared marker, the coordinator (the
+    lowest participating shard) persists the commit word as the global
+    decision record, installs happen under group-flush scopes, and the
+    coordinator's log is truncated last.  {!recover} (and
+    {!recover_parallel}) resolve surviving logs — prepared
+    participants consult the coordinator's decision — so a crash at
+    any point leaves every key in either the full transaction or none
+    of it. *)
+
+type txn
+(** An open ensemble transaction.  Not reusable after
+    {!txn_commit} / {!txn_rollback}. *)
+
+val txn_begin : t -> txn
+val txn_get : txn -> int -> int option
+(** Reads through the transaction's own staged writes. *)
+
+val txn_put : txn -> int -> int -> unit
+val txn_del : txn -> int -> bool
+val txn_commit : txn -> unit
+val txn_rollback : txn -> unit
+
+val txn : t -> (txn -> 'a) -> ('a, string) result
+(** [txn t f] opens, applies [f], commits; {!Ff_tx.Tx.Abort} rolls
+    back into [Error reason]. *)
+
+val set_tx_torn : t -> bool -> unit
+(** Arm the torn-commit mutant on every shard's log.  Test-only. *)
+
+val tx_stats : t -> int * int * int
+(** [(commits, aborts, replays)]; replays counts logs the last
+    recovery had to resolve. *)
+
 (** {1 Batched scheduler} *)
 
 val submit : t -> Ff_workload.Workload.op array -> int

@@ -258,6 +258,7 @@ let () =
           tunable_node_bytes = false;
           relocatable_root = true;
           scrubbable = false;
+          txnable = true;
         };
       composite = None;
       build =

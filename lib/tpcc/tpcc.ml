@@ -2,6 +2,7 @@ module Arena = Ff_pmem.Arena
 module Prng = Ff_util.Prng
 module Intf = Ff_index.Intf
 module Descriptor = Ff_index.Descriptor
+module Tx = Ff_tx.Tx
 
 type config = {
   warehouses : int;
@@ -65,35 +66,24 @@ type t = {
   arena : Arena.t;
   pool : cellpool;
   rng : Prng.t;
+  tx : Tx.t;
   next_oid : int array; (* per (w, d) *)
   frontier : int array; (* oldest undelivered order per (w, d) *)
   mutable history_seq : int;
   mutable orders : int;
   mutable digest : int;
+  mutable retries : int;
 }
 
 let wd_index t w d = ((w - 1) * t.cfg.districts) + (d - 1)
 
 let absorb t v = t.digest <- (t.digest * 31) + (v land 0xffff)
 
-(* Insert a fresh row: allocate its payload cell and index it. *)
+(* Bulk load runs outside transactions: each put is a single
+   failure-atomic index insert, exactly as before the tx layer. *)
 let put_row t k init = t.index.Intf.insert k (alloc_cell t.pool init)
 
-(* Read a row's payload through the index. *)
-let read_row t k =
-  match t.index.Intf.search k with
-  | Some cell ->
-      let v = Arena.read t.arena cell in
-      absorb t v;
-      Some (cell, v)
-  | None -> None
-
-(* In-place PM update of a row payload. *)
-let update_cell t cell v =
-  Arena.write t.arena cell v;
-  Arena.flush t.arena cell
-
-let load ~arena index cfg =
+let load ?(path = Tx.Logged) ~arena index cfg =
   let t =
     {
       cfg;
@@ -101,11 +91,13 @@ let load ~arena index cfg =
       arena;
       pool = new_pool arena;
       rng = Prng.create cfg.seed;
+      tx = Tx.create ~path arena index;
       next_oid = Array.make (cfg.warehouses * cfg.districts) 1;
       frontier = Array.make (cfg.warehouses * cfg.districts) 1;
       history_seq = 1;
       orders = 0;
       digest = 0;
+      retries = 0;
     }
   in
   for i = 1 to cfg.items do
@@ -126,14 +118,39 @@ let load ~arena index cfg =
   t
 
 (* Order-Status and Stock-Level scan; a structure without ordered
-   range queries cannot host the tables. *)
-let load_descriptor ~arena ?(dconfig = Descriptor.default_config) d cfg =
+   range queries cannot host the tables, and the ACID driver needs the
+   transaction hooks to be declared sound. *)
+let load_descriptor ?(path = Tx.Logged) ~arena
+    ?(dconfig = Descriptor.default_config) d cfg =
   if not d.Descriptor.caps.Descriptor.has_range then
     invalid_arg ("Tpcc: index " ^ d.Descriptor.name ^ " lacks range scans");
-  load ~arena (d.Descriptor.build dconfig arena) cfg
+  if not d.Descriptor.caps.Descriptor.txnable then
+    invalid_arg ("Tpcc: index " ^ d.Descriptor.name ^ " is not txnable");
+  load ~path ~arena (d.Descriptor.build dconfig arena) cfg
 
 (* ------------------------------------------------------------------ *)
-(* Transactions                                                        *)
+(* Transactional row access                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Rows update by shadow cell: a new payload cell is allocated and
+   persisted, then the index binding swings to it through the
+   transaction.  Cell addresses stay unique (the index value
+   contract), the pre-image cell survives untouched for rollback, and
+   a cell orphaned by an abort is ordinary leaked garbage the scrub
+   pass reclaims. *)
+
+let read_row t tx k =
+  match Tx.get tx k with
+  | Some cell ->
+      let v = Arena.read t.arena cell in
+      absorb t v;
+      Some v
+  | None -> None
+
+let write_row t tx k v = Tx.put tx k (alloc_cell t.pool v)
+
+(* ------------------------------------------------------------------ *)
+(* Transaction bodies                                                  *)
 (* ------------------------------------------------------------------ *)
 
 let rand_w t = 1 + Prng.int t.rng t.cfg.warehouses
@@ -141,45 +158,56 @@ let rand_d t = 1 + Prng.int t.rng t.cfg.districts
 let rand_c t = 1 + Prng.int t.rng t.cfg.customers
 let rand_i t = 1 + Prng.int t.rng t.cfg.items
 
-let new_order t =
+let new_order_body t tx =
   let w = rand_w t and d = rand_d t and c = rand_c t in
-  ignore (read_row t (warehouse_key w));
-  ignore (read_row t (district_key w d));
-  ignore (read_row t (customer_key w d c));
+  ignore (read_row t tx (warehouse_key w));
+  ignore (read_row t tx (district_key w d));
+  ignore (read_row t tx (customer_key w d c));
   let idx = wd_index t w d in
   let o = t.next_oid.(idx) in
   t.next_oid.(idx) <- o + 1;
   t.orders <- t.orders + 1;
   let nlines = 5 + Prng.int t.rng 11 in
-  put_row t (order_key w d o) ((c lsl 8) lor nlines);
-  put_row t (neworder_key w d o) 1;
+  (* TPC-C 2.4.1.5: ~1% of New-Order requests carry an unused item
+     number and must roll back after doing their work so far. *)
+  let invalid = Prng.int t.rng 100 = 0 in
+  write_row t tx (order_key w d o) ((c lsl 8) lor nlines);
+  write_row t tx (neworder_key w d o) 1;
   for l = 1 to nlines do
-    let i = rand_i t in
-    ignore (read_row t (item_key i));
+    let i =
+      if invalid && l = nlines then t.cfg.items + 1 + Prng.int t.rng 100
+      else rand_i t
+    in
+    (match read_row t tx (item_key i) with
+    | Some _ -> ()
+    | None -> Tx.abort ~reason:"invalid item" tx);
     let qty = 1 + Prng.int t.rng 10 in
-    (match read_row t (stock_key w i) with
-    | Some (cell, s) ->
+    (match read_row t tx (stock_key w i) with
+    | Some s ->
         let s' = if s >= qty + 10 then s - qty else s - qty + 91 in
-        update_cell t cell s'
+        write_row t tx (stock_key w i) s'
     | None -> ());
-    put_row t (orderline_key w d o l) ((i lsl 8) lor qty)
+    write_row t tx (orderline_key w d o l) ((i lsl 8) lor qty)
   done
 
-let payment t =
+let payment_body t tx =
   let w = rand_w t and d = rand_d t and c = rand_c t in
+  (* Simulated lock conflict: a small slice of payments lose their row
+     lock and retry — deterministic via the driver PRNG. *)
+  if Prng.int t.rng 200 = 0 then Tx.abort ~reason:"transient" tx;
   let amount = 1 + Prng.int t.rng 5000 in
-  (match read_row t (warehouse_key w) with
-  | Some (cell, v) -> update_cell t cell (v + amount)
+  (match read_row t tx (warehouse_key w) with
+  | Some v -> write_row t tx (warehouse_key w) (v + amount)
   | None -> ());
-  (match read_row t (district_key w d) with
-  | Some (cell, v) -> update_cell t cell (v + amount)
+  (match read_row t tx (district_key w d) with
+  | Some v -> write_row t tx (district_key w d) (v + amount)
   | None -> ());
-  (match read_row t (customer_key w d c) with
-  | Some (cell, v) -> update_cell t cell (v - amount)
+  (match read_row t tx (customer_key w d c) with
+  | Some v -> write_row t tx (customer_key w d c) (v - amount)
   | None -> ());
   let h = t.history_seq in
   t.history_seq <- h + 1;
-  put_row t (history_key h) amount
+  write_row t tx (history_key h) amount
 
 let last_orders t w d n =
   let idx = wd_index t w d in
@@ -199,39 +227,39 @@ let read_order_lines t w d o =
   t.index.Intf.range (orderline_key w d o 0) (orderline_key w d o 255)
     (fun _ cell -> absorb t (Arena.read t.arena cell))
 
-let order_status t =
+let order_status_body t tx =
   let w = rand_w t and d = rand_d t in
   let c = rand_c t in
-  ignore (read_row t (customer_key w d c));
+  ignore (read_row t tx (customer_key w d c));
   match List.rev (last_orders t w d 1) with
   | (o, cell) :: _ ->
       absorb t (Arena.read t.arena cell);
       read_order_lines t w d o
   | [] -> ()
 
-let delivery t =
+let delivery_body t tx =
   let w = rand_w t in
   for d = 1 to t.cfg.districts do
     let idx = wd_index t w d in
     let o = t.frontier.(idx) in
     if o < t.next_oid.(idx) then begin
-      match t.index.Intf.search (neworder_key w d o) with
+      match Tx.get tx (neworder_key w d o) with
       | Some _ ->
-          ignore (t.index.Intf.delete (neworder_key w d o));
-          (match read_row t (order_key w d o) with
-          | Some (cell, v) -> update_cell t cell (v lor (1 lsl 30))
+          ignore (Tx.del tx (neworder_key w d o));
+          (match read_row t tx (order_key w d o) with
+          | Some v -> write_row t tx (order_key w d o) (v lor (1 lsl 30))
           | None -> ());
           read_order_lines t w d o;
           let c = 1 + (o mod t.cfg.customers) in
-          (match read_row t (customer_key w d c) with
-          | Some (cell, v) -> update_cell t cell (v + 1)
+          (match read_row t tx (customer_key w d c) with
+          | Some v -> write_row t tx (customer_key w d c) (v + 1)
           | None -> ());
           t.frontier.(idx) <- o + 1
       | None -> t.frontier.(idx) <- o + 1
     end
   done
 
-let stock_level t =
+let stock_level_body t tx =
   let w = rand_w t and d = rand_d t in
   let threshold = 10 + Prng.int t.rng 11 in
   let low = ref 0 in
@@ -241,11 +269,50 @@ let stock_level t =
         (fun _ cell ->
           let line = Arena.read t.arena cell in
           let i = (line lsr 8) land 0xffffff in
-          match read_row t (stock_key w i) with
-          | Some (_, s) -> if s < threshold then incr low
+          match read_row t tx (stock_key w i) with
+          | Some s -> if s < threshold then incr low
           | None -> ()))
     (last_orders t w d 20);
   absorb t !low
+
+(* ------------------------------------------------------------------ *)
+(* ACID execution: commit, abort, retry                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Driver-side state (digest, order counters, delivery frontier) is
+   snapshotted around each transaction so an abort leaves the driver
+   exactly as consistent as the index the tx layer just rolled back.
+   "transient" aborts (simulated conflicts) retry with a fresh draw;
+   logical rollbacks (invalid item) are final, per the TPC-C spec. *)
+let max_retries = 3
+
+let exec t body =
+  let rec go attempts =
+    let digest = t.digest
+    and history_seq = t.history_seq
+    and orders = t.orders in
+    let next_oid = Array.copy t.next_oid and frontier = Array.copy t.frontier in
+    match Tx.run t.tx (fun tx -> body t tx) with
+    | Ok () -> true
+    | Error reason ->
+        t.digest <- digest;
+        t.history_seq <- history_seq;
+        t.orders <- orders;
+        Array.blit next_oid 0 t.next_oid 0 (Array.length next_oid);
+        Array.blit frontier 0 t.frontier 0 (Array.length frontier);
+        if reason = "transient" && attempts < max_retries then begin
+          t.retries <- t.retries + 1;
+          go (attempts + 1)
+        end
+        else false
+  in
+  go 0
+
+let new_order t = ignore (exec t new_order_body)
+let payment t = ignore (exec t payment_body)
+let order_status t = ignore (exec t order_status_body)
+let delivery t = ignore (exec t delivery_body)
+let stock_level t = ignore (exec t stock_level_body)
 
 (* ------------------------------------------------------------------ *)
 (* Mixes                                                               *)
@@ -283,3 +350,7 @@ let run t mix ~txns =
 
 let orders_created t = t.orders
 let checksum t = t.digest land max_int
+let tx_manager t = t.tx
+let commits t = Tx.commits t.tx
+let aborts t = Tx.aborts t.tx
+let retries t = t.retries

@@ -1,13 +1,22 @@
-(** TPC-C-style workload driver (paper Section 5.6, Figure 6).
+(** TPC-C-style ACID workload driver (paper Section 5.6, Figure 6).
 
     A self-contained OLTP workload with the five TPC-C transaction
     types over warehouse / district / customer / order / order-line /
     stock / item / history tables.  All tables live in {e one} index
     instance (the structure under test) using table-tagged composite
-    integer keys; row payloads are 8-byte PM cells updated in place
-    with a flush, so every index pays identical record-update costs
-    and differs only in its indexing behaviour — exactly what Figure 6
-    compares.
+    integer keys; row payloads are 8-byte PM cells, and every row
+    update allocates a fresh {e shadow cell} and swings the index
+    binding through the transaction layer — cell addresses stay unique
+    (the index value contract) and the pre-image cell survives for
+    rollback.
+
+    Each of the five transaction types runs as a real {!Ff_tx.Tx}
+    transaction: multi-key updates are failure-atomic (a crash at any
+    point recovers to whole transactions), ~1% of New-Orders carry an
+    invalid item and roll back (TPC-C 2.4.1.5), a small slice of
+    Payments hit a simulated lock conflict and retry, and the driver's
+    volatile bookkeeping is snapshotted around each transaction so an
+    abort is observationally a no-op.
 
     Scales are reduced from full TPC-C (configurable); the transaction
     logic preserves each type's index-operation profile: New-Order is
@@ -27,19 +36,31 @@ val default_config : config
 
 type t
 
-val load : arena:Ff_pmem.Arena.t -> Ff_index.Intf.ops -> config -> t
-(** Populate items, warehouses, districts, customers and stock. *)
+val load :
+  ?path:Ff_tx.Tx.path ->
+  arena:Ff_pmem.Arena.t ->
+  Ff_index.Intf.ops ->
+  config ->
+  t
+(** Populate items, warehouses, districts, customers and stock (bulk
+    load runs outside transactions), and bind a transaction manager
+    using commit path [path] (default [Logged]). *)
 
 val load_descriptor :
+  ?path:Ff_tx.Tx.path ->
   arena:Ff_pmem.Arena.t ->
   ?dconfig:Ff_index.Descriptor.config ->
   Ff_index.Descriptor.t ->
   config ->
   t
 (** {!load} over an index built from a registry descriptor.
-    @raise Invalid_argument if the descriptor lacks range scans. *)
+    @raise Invalid_argument if the descriptor lacks range scans or is
+    not [txnable]. *)
 
-(** {1 Transactions} *)
+(** {1 Transactions}
+
+    Each call runs one full ACID transaction (begin, body, commit)
+    and absorbs its aborts/retries into the driver statistics. *)
 
 val new_order : t -> unit
 val payment : t -> unit
@@ -71,3 +92,15 @@ val orders_created : t -> int
 val checksum : t -> int
 (** Stable digest of reads performed (keeps work observable and lets
     tests compare runs). *)
+
+val tx_manager : t -> Ff_tx.Tx.t
+(** The underlying transaction manager (for recovery: run the index's
+    own recovery, then {!Ff_tx.Tx.recover} on this). *)
+
+val commits : t -> int
+val aborts : t -> int
+(** Rolled-back transactions (invalid items plus unretried
+    conflicts). *)
+
+val retries : t -> int
+(** Re-executions after a simulated transient conflict. *)

@@ -64,13 +64,19 @@ let id_op = 13
 let id_degraded = 14
 let id_readmit = 15
 let id_slo_violation = 16
-let id_untagged = 17
+let id_tx_begin = 17
+let id_tx_log = 18
+let id_tx_commit = 19
+let id_tx_abort = 20
+let id_tx_replay = 21
+let id_untagged = 22
 
 let predefined =
   [|
     "insert"; "delete"; "search"; "range"; "split"; "fast_shift";
     "sibling_chase"; "dup_skip"; "recovery"; "crash"; "batch"; "merge";
-    "scrub"; "op"; "degraded"; "readmit"; "slo_violation"; "untagged";
+    "scrub"; "op"; "degraded"; "readmit"; "slo_violation"; "tx_begin";
+    "tx_log"; "tx_commit"; "tx_abort"; "tx_replay"; "untagged";
   |]
 
 let make ~enabled ~capacity ~threads ~clock ~tid =

@@ -82,6 +82,22 @@ val id_readmit : int
 val id_slo_violation : int
 (** An SLO rule fired (detail = rule index in the evaluated set). *)
 
+val id_tx_begin : int
+(** A transaction opened (detail = tx id). *)
+
+val id_tx_log : int
+(** Log-region traffic for one tx op (detail = records so far). *)
+
+val id_tx_commit : int
+(** A commit-record protocol run (detail = ops committed). *)
+
+val id_tx_abort : int
+(** A transaction rolled back (detail = ops undone). *)
+
+val id_tx_replay : int
+(** Recovery replayed or rolled back a logged tx
+    (detail = records resolved). *)
+
 val intern : t -> string -> int
 (** Id for an arbitrary name (stable within this tracer). *)
 

@@ -44,6 +44,25 @@ type mix = {
   range_len : int;
 }
 
+(* YCSB core-workload presets (update = insert over an existing key).
+   A/B/C are the read/update blends; scans and inserts-of-new-keys
+   (D/E) stay with the dedicated bench targets. *)
+let ycsb_a =
+  { insert_pct = 50; search_pct = 50; delete_pct = 0; range_pct = 0; range_len = 0 }
+
+let ycsb_b =
+  { insert_pct = 5; search_pct = 95; delete_pct = 0; range_pct = 0; range_len = 0 }
+
+let ycsb_c =
+  { insert_pct = 0; search_pct = 100; delete_pct = 0; range_pct = 0; range_len = 0 }
+
+let ycsb_mix name =
+  match String.lowercase_ascii name with
+  | "a" | "ycsb-a" | "ycsb_a" -> Some ycsb_a
+  | "b" | "ycsb-b" | "ycsb_b" -> Some ycsb_b
+  | "c" | "ycsb-c" | "ycsb_c" -> Some ycsb_c
+  | _ -> None
+
 let mixed_trace rng ~n ~space mix =
   assert (mix.insert_pct + mix.search_pct + mix.delete_pct + mix.range_pct = 100);
   Array.init n (fun _ ->

@@ -37,6 +37,19 @@ type mix = {
   range_len : int;
 }
 
+val ycsb_a : mix
+(** YCSB-A: 50% read / 50% update (update = insert on a loaded key). *)
+
+val ycsb_b : mix
+(** YCSB-B: 95% read / 5% update. *)
+
+val ycsb_c : mix
+(** YCSB-C: read-only. *)
+
+val ycsb_mix : string -> mix option
+(** Preset lookup by name: ["a"|"b"|"c"], with or without a
+    ["ycsb-"] prefix, case-insensitive. *)
+
 val mixed_trace :
   Ff_util.Prng.t -> n:int -> space:int -> mix -> op array
 (** Random trace over the key space with the given percentages

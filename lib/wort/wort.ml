@@ -288,6 +288,7 @@ let () =
           tunable_node_bytes = false;
           relocatable_root = true;
           scrubbable = false;
+          txnable = true;
         };
       composite = None;
       build = (fun cfg a -> ops (create ~root_slot:cfg.D.root_slot a));

@@ -19,4 +19,5 @@ let () =
       ("trace", Test_trace.suite);
       ("obs", Test_obs.suite);
       ("check", Test_check.suite);
+      ("tx", Test_tx.suite);
     ]

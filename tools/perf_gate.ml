@@ -16,7 +16,10 @@
    Exit 0 when the headline holds (kops not down, fences/op not up,
    beyond tolerance), 1 on regression, 2 on usage errors.  With fewer
    than two snapshots there is nothing to compare: exit 0 with a note,
-   so the first PR that checks in a snapshot passes. *)
+   so the first PR that checks in a snapshot passes.  --fresh with no
+   checked-in baseline at all, though, exits 2 with the expected
+   baseline name and the command that regenerates one — that is a
+   broken setup, not a green gate. *)
 
 module J = Ff_trace.Json
 module Snapshot = Ff_obs.Snapshot
@@ -103,9 +106,16 @@ let () =
     | f, (_, latest) :: _ ->
         gate ~tolerance:!tolerance ~prev_path:latest ~fresh_path:f
     | f, [] ->
-        Printf.printf
-          "perf_gate: no checked-in BENCH_<n>.json in %s to gate %s against\n"
-          !dir f;
-        0
+        (* --fresh without a baseline is a broken setup (wrong --dir, or
+           the snapshot was never checked in), not a trivially-green
+           gate: fail loudly and say how to repair it. *)
+        prerr_endline ("perf_gate: no checked-in baseline to gate " ^ f ^ " against");
+        Printf.eprintf
+          "perf_gate: expected a BENCH_<n>.json in %s (e.g. %s); check --dir, \
+           or regenerate and check in a baseline with:\n\
+          \  dune exec bench/main.exe -- --json BENCH_<n>.json --slo\n"
+          !dir
+          (Filename.concat !dir "BENCH_1.json");
+        2
   in
   exit rc
