@@ -896,6 +896,8 @@ let sharded_run ~shards ~group =
       delete_pct = 5;
       range_pct = 5;
       range_len = 16;
+      read_latest = false;
+      scan_len_max = 0;
     }
   in
   let traces =
@@ -1321,17 +1323,150 @@ let tx_target () =
     [ Tx.Logged; Tx.Shadow ]
 
 (* ------------------------------------------------------------------ *)
-(* YCSB mix presets (--mix ycsb-a|b|c)                                 *)
+(* Snapshots: MVCC wrapper overhead, publish cost, backup throughput   *)
 (* ------------------------------------------------------------------ *)
+
+module Snap = Ff_snapshot.Snapshot
+
+type snap_row = {
+  sn_phase : string;
+  sn_ops : int;
+  sn_kops : float;
+  sn_fences_per_op : float;
+  sn_flushes_per_op : float;
+}
+
+let snap_mk_row phase a ops =
+  let s = Arena.total_stats a in
+  let fops = float_of_int ops in
+  {
+    sn_phase = phase;
+    sn_ops = ops;
+    sn_kops = kops a ops;
+    sn_fences_per_op = float_of_int s.Stats.fences /. fops;
+    sn_flushes_per_op = float_of_int s.Stats.flushes /. fops;
+  }
+
+(* Writer cost with and without the version store in the loop (a live
+   pin forces every overwrite to preserve its superseded value), point
+   reads live vs as-of a pinned epoch, the price of publishing an
+   epoch, and online-backup streaming rate. *)
+let snap_rows () =
+  let n = sc 20_000 in
+  let ops = sc 10_000 in
+  let config = Config.pm ~read_ns:300 ~write_ns:300 () in
+  let fresh_wrapped () =
+    let a = arena ~config (max (n * 96) (1 lsl 18)) in
+    let st = Snap.create a ((fastfair ()).build a) in
+    let t = Snap.ops_of st "snap-fastfair" in
+    W.load_keys t (W.sequential ~n);
+    (a, st, t)
+  in
+  let overwrite t rng =
+    (* fresh values disjoint from the loaded ones: uniqueness contract *)
+    let vc = ref 0 in
+    for _ = 1 to ops do
+      incr vc;
+      t.Intf.insert (1 + Prng.int rng n) (W.value_of (n + (ops * 2) + !vc))
+    done
+  in
+  let plain =
+    let a = arena ~config (max (n * 64) (1 lsl 17)) in
+    let t = (fastfair ()).build a in
+    W.load_keys t (W.sequential ~n);
+    Arena.reset_stats a;
+    overwrite t (Prng.create !base_seed);
+    snap_mk_row "writer-plain" a ops
+  in
+  let wrapped =
+    let a, st, t = fresh_wrapped () in
+    let pin = Snap.take st in
+    Arena.reset_stats a;
+    overwrite t (Prng.create !base_seed);
+    Snap.release pin;
+    snap_mk_row "writer-pinned" a ops
+  in
+  let reads =
+    let a, st, t = fresh_wrapped () in
+    let pin = Snap.take st in
+    overwrite t (Prng.create !base_seed);
+    let e = Snap.epoch pin in
+    let rng = Prng.create (W.shard_seed ~base:!base_seed ~shard:3) in
+    Arena.reset_stats a;
+    for _ = 1 to ops do
+      ignore (Snap.read_at st e (1 + Prng.int rng n))
+    done;
+    snap_mk_row "read-pinned" a ops
+  in
+  let publish =
+    let a, st, t = fresh_wrapped () in
+    let rng = Prng.create !base_seed in
+    let pins = 64 in
+    Arena.reset_stats a;
+    for _ = 1 to pins do
+      (* one write between pins so every publish advances the epoch *)
+      t.Intf.insert (1 + Prng.int rng n) (W.value_of (n + (ops * 4) + Prng.int rng 1_000_000));
+      ignore (Snap.snapshot_begin st 0)
+    done;
+    snap_mk_row "publish" a pins
+  in
+  let backup =
+    let a, st, _t = fresh_wrapped () in
+    let dest_arena = arena ~config (max (n * 64) (1 lsl 17)) in
+    let dest = (fastfair ()).build dest_arena in
+    let pin = Snap.take st in
+    Arena.reset_stats a;
+    Arena.reset_stats dest_arena;
+    let total =
+      Snap.backup st ~epoch:(Snap.epoch pin) ~dest ~chunk:512 ()
+    in
+    let s = Arena.total_stats a and d = Arena.total_stats dest_arena in
+    let ns = Stats.total_ns s + Stats.total_ns d in
+    let fpairs = float_of_int total in
+    {
+      sn_phase = "backup";
+      sn_ops = total;
+      sn_kops =
+        (if ns = 0 then 0.
+         else fpairs /. (float_of_int ns /. 1e9) /. 1000.);
+      sn_fences_per_op = float_of_int (s.Stats.fences + d.Stats.fences) /. fpairs;
+      sn_flushes_per_op =
+        float_of_int (s.Stats.flushes + d.Stats.flushes) /. fpairs;
+    }
+  in
+  [ plain; wrapped; reads; publish; backup ]
+
+let snapshot_target () =
+  print_endline
+    "== snapshot: MVCC wrapper overhead over fast+fair, latency 300/300 ==";
+  let rows = snap_rows () in
+  let tbl = Table.create [ "phase"; "ops"; "kops"; "fences/op"; "flushes/op" ] in
+  List.iter
+    (fun r ->
+      Table.add_floats tbl r.sn_phase
+        [ float_of_int r.sn_ops; r.sn_kops; r.sn_fences_per_op; r.sn_flushes_per_op ])
+    rows;
+  Table.print tbl
+
+(* ------------------------------------------------------------------ *)
+(* YCSB mix presets (--mix ycsb-a..e)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mix_names_str = String.concat "|" W.mix_names
+
+let bad_mix spec =
+  raise
+    (Arg.Bad
+       (Printf.sprintf "--mix: unknown preset '%s' (valid: %s)" spec
+          mix_names_str))
 
 let ycsb_mix_target spec =
   let mix =
-    match W.ycsb_mix spec with
-    | Some m -> m
-    | None -> raise (Arg.Bad ("--mix: unknown preset " ^ spec))
+    match W.ycsb_mix spec with Some m -> m | None -> bad_mix spec
   in
-  Printf.printf "== YCSB mix %s: %d%% update / %d%% read, latency 300/300 ==\n"
-    spec mix.W.insert_pct mix.W.search_pct;
+  Printf.printf
+    "== YCSB mix %s: %d%% update / %d%% read / %d%% scan, latency 300/300 ==\n"
+    spec mix.W.insert_pct mix.W.search_pct mix.W.range_pct;
   let n = sc 50_000 in
   let opsn = sc 100_000 in
   let config = Config.pm ~read_ns:300 ~write_ns:300 () in
@@ -1442,6 +1577,16 @@ let json_report file =
           J.Obj (List.map (fun (s, f) -> (s, J.Int f)) r.tx_site_fences) );
       ]
   in
+  let snap_row_json r =
+    J.Obj
+      [
+        ("phase", J.Str r.sn_phase);
+        ("ops", J.Int r.sn_ops);
+        ("kops", J.Float r.sn_kops);
+        ("fences_per_op", J.Float r.sn_fences_per_op);
+        ("flushes_per_op", J.Float r.sn_flushes_per_op);
+      ]
+  in
   let tx_tpcc_json path =
     let c, ab, re = tx_tpcc_stats path in
     J.Obj
@@ -1491,6 +1636,7 @@ let json_report file =
                ( "tpcc",
                  J.Arr (List.map tx_tpcc_json [ Tx.Logged; Tx.Shadow ]) );
              ] );
+         ("snapshot", J.Arr (List.map snap_row_json (snap_rows ())));
        ]
       @ (if !shard_counts = [] then []
          else [ ("sharded", J.Arr (List.map sharded_row_json (sharded_rows ()))) ])
@@ -1593,6 +1739,7 @@ let targets =
     ("scrub", scrub_target);
     ("soak", soak_target);
     ("tx", tx_target);
+    ("snapshot", snapshot_target);
   ]
 
 let () =
@@ -1614,11 +1761,11 @@ let () =
       ( "--mix",
         Arg.String
           (fun s ->
-            if W.ycsb_mix s = None then
-              raise (Arg.Bad ("--mix: unknown preset " ^ s ^ " (ycsb-a|b|c)"));
+            if W.ycsb_mix s = None then bad_mix s;
             mix_spec := s),
-        "M  run a YCSB mix preset (ycsb-a|ycsb-b|ycsb-c) over the registered \
-         indexes" );
+        Printf.sprintf
+          "M  run a YCSB mix preset (%s) over the registered indexes"
+          mix_names_str );
       ( "--shards",
         Arg.String
           (fun s ->

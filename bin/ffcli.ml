@@ -15,9 +15,14 @@
      trace       record a multithreaded run as a Perfetto JSON trace
      top         SLO/profiler dashboard from a live run or a snapshot
      check       model-check schedules and crash states (--tx switches
-                 to whole-transaction durable serializability)
+                 to whole-transaction durable serializability,
+                 --snapshot to snapshot serializability)
      tx          failure-atomic multi-key transfers: crash one transfer
-                 mid-commit at every sampled store, audit the balances *)
+                 mid-commit at every sampled store, audit the balances
+     snapshot    MVCC time travel: pin epochs, crash, read the old
+                 world back, reclaim with epoch GC
+     backup      online backup of a pinned snapshot into a second
+                 arena while the source keeps serving writes *)
 
 module Arena = Ff_pmem.Arena
 module Config = Ff_pmem.Config
@@ -1069,6 +1074,128 @@ let tx_demo index_name path_name accounts transfers points seed json =
   end
 
 (* ------------------------------------------------------------------ *)
+(* snapshot: MVCC time travel over a snapshottable index               *)
+(* ------------------------------------------------------------------ *)
+
+module Snapshot = Ff_snapshot.Snapshot
+
+let dump_at ops epoch hi =
+  let acc = ref [] in
+  ops.Intf.range_at epoch 1 hi (fun k v -> acc := (k, v) :: !acc);
+  List.rev !acc
+
+(* Load, pin, mutate, pin again: show that the first epoch still reads
+   the old world, then power-fail and prove the pinned epoch survives
+   recovery byte-for-byte before GC reclaims it. *)
+let snapshot_demo index_name keys seed =
+  let d = Registry.find_exn index_name in
+  if not d.Descriptor.caps.Descriptor.snapshottable then begin
+    Printf.printf "snapshot: %s is not snapshottable (caps: %s)\n" index_name
+      (Descriptor.caps_line d);
+    2
+  end
+  else begin
+    let space = 2 * keys in
+    let arena = mk_arena (max (1 lsl 20) (keys * 96)) in
+    let ops = Registry.build index_name arena in
+    let rng = Prng.create seed in
+    let ks = W.distinct_uniform rng ~n:keys ~space in
+    W.load_keys ops ks;
+    let s1 = ops.Intf.snapshot_begin 0 in
+    Array.iteri
+      (fun i k ->
+        (* fresh values from a disjoint part of the odd space (values
+           must stay unique across keys) *)
+        if i mod 2 = 0 then ops.Intf.insert k (W.value_of (space + k))
+        else if i mod 9 = 0 then ignore (ops.Intf.delete k))
+      ks;
+    let s2 = ops.Intf.snapshot_begin 0 in
+    let v1 = dump_at ops s1 space in
+    let v2 = dump_at ops s2 space in
+    Printf.printf "%s: %d keys loaded, epochs %d and %d pinned\n" index_name
+      keys s1 s2;
+    Printf.printf "  as-of %d: %d keys   as-of %d: %d keys\n" s1
+      (List.length v1) s2 (List.length v2);
+    Arena.power_fail arena Storelog.Keep_all;
+    let o = Registry.open_existing arena in
+    o.Intf.recover ();
+    let r1 = dump_at o s1 space in
+    let survived = r1 = v1 in
+    Printf.printf "  power_fail + recovery: epoch %d re-pin %s\n" s1
+      (if survived then "byte-identical" else "DIVERGED");
+    let freed = o.Intf.gc_before s2 in
+    Printf.printf "  gc_before %d: %d lines freed\n" s2 freed;
+    let refused =
+      match o.Intf.read_at s1 ks.(0) with
+      | exception Invalid_argument _ -> true
+      | _ -> false
+    in
+    Printf.printf "  epoch %d below the GC floor: reads %s\n" s1
+      (if refused then "refused" else "STILL SERVED");
+    let intact = dump_at o s2 space = v2 in
+    Printf.printf "  epoch %d after GC: %s\n" s2
+      (if intact then "intact" else "DAMAGED");
+    if survived && refused && intact then 0 else 1
+  end
+
+(* Online backup: stream a pinned epoch into a second arena at a
+   non-default root slot while the source keeps absorbing writes
+   between chunks. *)
+let backup_demo keys seed root_slot chunk =
+  let space = 2 * keys in
+  let src = mk_arena (max (1 lsl 20) (keys * 96)) in
+  let inner = Registry.build "fastfair" src in
+  let st = Snapshot.create src inner in
+  let sops = Snapshot.ops_of st "snap-fastfair" in
+  let rng = Prng.create seed in
+  let ks = W.distinct_uniform rng ~n:keys ~space in
+  W.load_keys sops ks;
+  let snap = Snapshot.take st in
+  let e = Snapshot.epoch snap in
+  let expected = ref [] in
+  Snapshot.range snap ~lo:1 ~hi:space (fun k v ->
+      expected := (k, v) :: !expected);
+  let expected = List.rev !expected in
+  let dcfg = { Descriptor.default_config with Descriptor.root_slot } in
+  let dest = mk_arena (max (1 lsl 20) (keys * 64)) in
+  let d = Registry.find_exn "fastfair" in
+  let dest_ops = d.Descriptor.build dcfg dest in
+  let writes = ref 0 in
+  let total =
+    Snapshot.backup st ~epoch:e ~dest:dest_ops ~chunk
+      ~between:(fun () ->
+        (* the source stays online: mutate a few keys per chunk *)
+        for _ = 1 to 4 do
+          let k = ks.(Prng.int rng keys) in
+          sops.Intf.insert k (W.value_of (space + k));
+          incr writes
+        done)
+      ()
+  in
+  let dump ops =
+    let acc = ref [] in
+    ops.Intf.range 1 space (fun k v -> acc := (k, v) :: !acc);
+    List.rev !acc
+  in
+  let live_ok = dump dest_ops = expected in
+  Printf.printf
+    "backup: %d pairs streamed at epoch %d (chunk %d, root slot %d), %d \
+     concurrent writes on the source\n"
+    total e chunk root_slot !writes;
+  Printf.printf "  destination matches the pinned epoch: %s\n"
+    (if live_ok then "yes" else "NO");
+  Arena.power_fail dest Storelog.Keep_all;
+  (* the manifest does not record the root slot, so reopening at a
+     non-default slot takes an explicit config — the relocatable_root
+     contract *)
+  let reopened = d.Descriptor.open_existing dcfg dest in
+  reopened.Intf.recover ();
+  let crash_ok = dump reopened = expected in
+  Printf.printf "  after power_fail + recovery at slot %d: %s\n" root_slot
+    (if crash_ok then "byte-identical" else "DIVERGED");
+  if live_ok && crash_ok then 0 else 1
+
+(* ------------------------------------------------------------------ *)
 (* check: model-check schedules and crash states                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1091,9 +1218,11 @@ let print_check_report ~out (r : Ff_check.Check.report) =
   if r.Ff_check.Check.violations = [] then 0 else 1
 
 let check index_name writers readers ops keyspace prefill seed explorer schedules
-    no_crashes crash_budget non_tso elide tx txns tx_path torn out replay =
+    no_crashes crash_budget non_tso elide tx txns tx_path torn snapshot rounds
+    snap_mutant out replay =
   let module C = Ff_check.Check in
   let module TC = Ff_check.Txcheck in
+  let module SC = Ff_check.Snapcheck in
   match replay with
   | Some path -> (
       match Ff_check.Counterexample.load path with
@@ -1101,18 +1230,26 @@ let check index_name writers readers ops keyspace prefill seed explorer schedule
           Printf.printf "check --replay: %s\n" msg;
           2
       | Ok cx ->
-          (* A counterexample carrying the tx extension came from the
-             transaction checker; replay it through tx recovery. *)
+          (* A counterexample carrying the tx (resp. snap) extension
+             came from the transaction (resp. snapshot) checker;
+             replay it through the matching engine. *)
           let is_tx = cx.Ff_check.Counterexample.tx <> None in
+          let is_snap = cx.Ff_check.Counterexample.snap <> None in
           Printf.printf "replaying %s%s counterexample for %s (crash: %s)\n"
-            (if is_tx then "transaction " else "")
+            (if is_tx then "transaction "
+             else if is_snap then "snapshot "
+             else "")
             cx.Ff_check.Counterexample.kind cx.Ff_check.Counterexample.index
             (match cx.Ff_check.Counterexample.crash with
             | None -> "none"
             | Some c ->
                 Printf.sprintf "%s at store %d" c.Ff_check.Counterexample.mode
                   c.Ff_check.Counterexample.store_count);
-          let r = if is_tx then TC.replay cx else C.replay cx in
+          let r =
+            if is_tx then TC.replay cx
+            else if is_snap then SC.replay cx
+            else C.replay cx
+          in
           let rc = print_check_report ~out:None r in
           if rc = 1 then begin
             print_endline "counterexample REPRODUCED";
@@ -1129,7 +1266,28 @@ let check index_name writers readers ops keyspace prefill seed explorer schedule
         | "pct" -> C.Pct
         | s -> invalid_arg (Printf.sprintf "unknown explorer %S (dfs, pct)" s)
       in
-      if tx then begin
+      if snapshot then begin
+        let config =
+          {
+            SC.default with
+            SC.rounds;
+            ops_per_round = ops;
+            keyspace;
+            prefill;
+            seed;
+            mutant = snap_mutant;
+            explorer;
+            schedules;
+            crash_budget = (if no_crashes then 0 else crash_budget);
+          }
+        in
+        match SC.checkable (Registry.find_exn index_name) config with
+        | Some msg ->
+            Printf.printf "check --snapshot: %s\n" msg;
+            2
+        | None -> print_check_report ~out (SC.run ~config index_name)
+      end
+      else if tx then begin
         let config =
           {
             TC.default with
@@ -1417,6 +1575,25 @@ let check_cmd =
                ordering the payload behind it — the sweep must fail and emit a \
                replayable counterexample.")
   in
+  let snapshot =
+    Arg.(value & flag & info [ "snapshot" ]
+         ~doc:"Check snapshot serializability instead of individual operations: \
+               a reader pins an epoch mid-schedule, its read vector must match \
+               a commit-log prefix inside the pin window, stay stable under \
+               concurrent writes, and survive every crash point byte-for-byte. \
+               Needs a snapshottable index (e.g. $(b,snap-fastfair)); \
+               $(b,--ops) becomes operations per round.")
+  in
+  let rounds =
+    Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"N"
+         ~doc:"With --snapshot: write rounds in the commit log.")
+  in
+  let snap_mutant =
+    Arg.(value & flag & info [ "mutate-read-latest" ]
+         ~doc:"Fault injection (with --snapshot): pinned reads silently resolve \
+               against the live tree — the sweep must fail and emit a \
+               replayable counterexample.")
+  in
   let out =
     Arg.(value & opt (some string) (Some "counterexamples") & info [ "out"; "o" ] ~docv:"DIR"
          ~doc:"Directory for counterexample artifacts.")
@@ -1432,7 +1609,8 @@ let check_cmd =
              for durable serializability instead")
     Term.(const check $ index_arg $ writers $ readers $ ops $ keyspace $ prefill $ seed_arg
           $ explorer $ schedules $ no_crashes $ crash_budget $ non_tso $ elide
-          $ tx $ txns $ tx_path $ torn $ out $ replay)
+          $ tx $ txns $ tx_path $ torn $ snapshot $ rounds $ snap_mutant
+          $ out $ replay)
 
 let tx_cmd =
   let path =
@@ -1462,10 +1640,49 @@ let tx_cmd =
     Term.(const tx_demo $ index_arg $ path $ accounts $ transfers $ points
           $ seed_arg $ json)
 
+let snapshot_cmd =
+  let index =
+    let doc =
+      "Snapshottable index (snap column in $(b,ffcli list))."
+    in
+    Arg.(value & opt index_conv "snap-fastfair"
+         & info [ "index"; "i" ] ~docv:"INDEX" ~doc)
+  in
+  let keys =
+    Arg.(value & opt int 2000 & info [ "keys"; "k" ] ~docv:"N"
+         ~doc:"Keys loaded before the first pin.")
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:"MVCC time travel: pin an epoch, keep writing, read the old world \
+             back — including after a power failure — then reclaim it with \
+             epoch GC")
+    Term.(const snapshot_demo $ index $ keys $ seed_arg)
+
+let backup_cmd =
+  let keys =
+    Arg.(value & opt int 2000 & info [ "keys"; "k" ] ~docv:"N"
+         ~doc:"Keys loaded before the backup epoch is pinned.")
+  in
+  let root_slot =
+    Arg.(value & opt int 4 & info [ "root-slot" ] ~docv:"SLOT"
+         ~doc:"Destination root slot (exercises relocatable_root).")
+  in
+  let chunk =
+    Arg.(value & opt int 256 & info [ "chunk" ] ~docv:"N"
+         ~doc:"Pairs streamed per batch between source write bursts.")
+  in
+  Cmd.v
+    (Cmd.info "backup"
+       ~doc:"Online backup: stream a pinned snapshot into a second arena at a \
+             non-default root slot while the source keeps serving writes, \
+             then crash the copy and verify it recovers byte-identical")
+    Term.(const backup_demo $ keys $ seed_arg $ root_slot $ chunk)
+
 let () =
   let info = Cmd.info "ffcli" ~doc:"FAST+FAIR persistent B+-tree playground" in
   exit
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; fuzz_cmd; crash_cmd; check_cmd; scrub_cmd; stats_cmd; dump_cmd;
-            persist_cmd; trace_cmd; top_cmd; tx_cmd ]))
+            persist_cmd; trace_cmd; top_cmd; tx_cmd; snapshot_cmd; backup_cmd ]))

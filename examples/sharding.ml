@@ -31,6 +31,8 @@ let () =
                delete_pct = 5;
                range_pct = 5;
                range_len = 16;
+               read_latest = false;
+               scan_len_max = 0;
              }))
   in
   let checksum = Shard.submit t trace in

@@ -339,6 +339,7 @@ let () =
           relocatable_root = false;
           scrubbable = false;
           txnable = false;
+          snapshottable = false;
         };
       composite = None;
       build = (fun cfg a -> ops (create ~lock_mode:cfg.D.lock_mode a));

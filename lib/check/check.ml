@@ -375,6 +375,7 @@ let mk_cx cfg index kind ~decisions ~crash ~detail =
         elide_flush = cfg.elide_flush;
       };
     tx = None;
+    snap = None;
     decisions;
     crash;
     detail;

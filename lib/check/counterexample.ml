@@ -24,12 +24,18 @@ type tx_info = {
   txns : int;
 }
 
+type snap_info = {
+  mutant : bool; (* read-latest mutant armed *)
+  rounds : int;
+}
+
 type t = {
   index : string;
   node_bytes : int option;
   kind : string;
   workload : workload;
   tx : tx_info option;
+  snap : snap_info option;
   decisions : int array;
   crash : crash option;
   detail : string;
@@ -68,6 +74,15 @@ let to_json t =
                    ("path", Json.Str x.path);
                    ("torn", Json.Bool x.torn);
                    ("txns", Json.Int x.txns);
+                 ] );
+         ( "snap",
+           match t.snap with
+           | None -> Json.Null
+           | Some s ->
+               Json.Obj
+                 [
+                   ("mutant", Json.Bool s.mutant);
+                   ("rounds", Json.Int s.rounds);
                  ] );
          ( "decisions",
            Json.Arr (Array.to_list (Array.map (fun d -> Json.Int d) t.decisions)) );
@@ -138,6 +153,20 @@ let of_json s =
               in
               Ok (Some { path; torn; txns })
         in
+        (* Optional snapshot extension (same tolerant-parse convention
+           as [tx]; version stays 1). *)
+        let* snap =
+          match Json.member "snap" j with
+          | None | Some Json.Null -> Ok None
+          | Some sj ->
+              let* rounds = field "rounds" Json.to_int sj in
+              let mutant =
+                match Json.member "mutant" sj with
+                | Some (Json.Bool b) -> b
+                | _ -> false
+              in
+              Ok (Some { mutant; rounds })
+        in
         let* decisions = field "decisions" Json.to_list j in
         let* decisions =
           try
@@ -183,6 +212,7 @@ let of_json s =
                 elide_flush;
               };
             tx;
+            snap;
             decisions;
             crash;
             detail;

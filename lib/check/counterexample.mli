@@ -39,12 +39,21 @@ type tx_info = {
     optional ["tx"] member — absent/[null] for per-op counterexamples
     — so pre-transaction artifacts still parse (version stays 1). *)
 
+type snap_info = {
+  mutant : bool;  (** read-latest mutant was active *)
+  rounds : int;   (** writer rounds in the script *)
+}
+(** Snapshot-checker extension ({!Snapcheck}).  Serialized as an
+    optional ["snap"] member with the same tolerant-parse convention
+    as [tx] (version stays 1). *)
+
 type t = {
   index : string;       (** registry name *)
   node_bytes : int option;
   kind : string;        (** "linearizability" | "tolerance" | "durability" *)
   workload : workload;
   tx : tx_info option;  (** present iff produced by {!Txcheck} *)
+  snap : snap_info option;  (** present iff produced by {!Snapcheck} *)
   decisions : int array;
   crash : crash option;
   detail : string;      (** human-readable failure description *)

@@ -1,0 +1,64 @@
+(** Snapshot-serializability checker for the MVCC snapshot layer.
+
+    One writer thread applies a deterministic commit log of puts and
+    deletes through a snapshot-wrapped index
+    ({!Ff_snapshot.Snapshot}), while a reader thread pins an epoch at
+    a scheduler-chosen point and reads the whole keyspace at that
+    epoch — twice.  The schedule x crash product is explored exactly
+    as in {!Check}.
+
+    Three oracles:
+
+    - {e Prefix-window isolation}: the reader records how many log
+      entries were fully applied immediately before and after its
+      [snapshot_begin] call.  The pinned read vector must equal the
+      model state at some commit-log prefix inside that window — a
+      vector matching a later prefix read the future; one matching no
+      prefix is torn.  Reported as [Tolerance].
+    - {e Stability}: a second full pass over the same pinned epoch,
+      taken while the writer keeps committing, must be identical to
+      the first.  Reported as [Tolerance].
+    - {e Durability}: every crash point is replayed under each crash
+      mode; after [power_fail] + recovery the pre-crash epoch must
+      still be published and re-pinning it must reproduce every
+      pre-crash observation byte-for-byte.  Reported as
+      [Durability].
+
+    [mutant] arms {!Ff_snapshot.Snapshot.mutant_read_latest} (pinned
+    reads silently resolve against the live tree).  A run over the
+    mutant must produce violations; each counterexample carries the
+    [snap] extension so [ffcli check --replay] re-executes it
+    deterministically. *)
+
+type config = {
+  rounds : int;          (** writer rounds (default 3) *)
+  ops_per_round : int;   (** puts/deletes per round (default 4) *)
+  keyspace : int;
+  prefill : int;
+  seed : int;
+  mutant : bool;         (** arm the read-latest mutant (default false) *)
+  explorer : Check.explorer;
+  schedules : int;
+  max_crash_points : int;
+  crash_budget : int;
+  node_bytes : int option;
+}
+
+val default : config
+
+val checkable : Ff_index.Descriptor.t -> config -> string option
+(** [None] when the descriptor is snapshot-checkable: [snapshottable]
+    and persistent with recovery. *)
+
+val run : ?config:config -> ?tracer:Ff_trace.Trace.t -> string -> Check.report
+(** [run name] checks the registry index [name] (e.g.
+    ["snap-fastfair"]) and returns a {!Check.report}.  Counterexamples
+    carry [Counterexample.snap = Some _]. *)
+
+val replay : ?tracer:Ff_trace.Trace.t -> Counterexample.t -> Check.report
+(** Re-execute one recorded snapshot counterexample (the artifact must
+    carry the [snap] extension).
+    @raise Invalid_argument if [cx.snap = None]. *)
+
+val config_of_counterexample : Counterexample.t -> config
+(** @raise Invalid_argument if [cx.snap = None]. *)

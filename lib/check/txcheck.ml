@@ -394,6 +394,7 @@ let mk_cx cfg index kind ~decisions ~crash ~detail =
     tx =
       Some
         { Cx.path = path_name cfg.path; torn = cfg.torn_commit; txns = cfg.txns };
+    snap = None;
     decisions;
     crash;
     detail;

@@ -656,6 +656,7 @@ let descriptor ~name ~summary ?split_policy ?(leaf_read_locks = false) () =
         relocatable_root = true;
         scrubbable = true;
         txnable = true;
+        snapshottable = false;
       };
     composite = None;
     build =

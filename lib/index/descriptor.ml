@@ -9,6 +9,7 @@ type caps = {
   relocatable_root : bool;
   scrubbable : bool;
   txnable : bool;
+  snapshottable : bool;
 }
 
 type scrub_repair = {
@@ -60,7 +61,7 @@ let name_hash name =
 let caps_line d =
   let b v = if v then "yes" else "-" in
   Printf.sprintf
-    "range=%s delete=%s recovery=%s persistent=%s locks=%s lf-reads=%s node-size=%s root=%s scrub=%s tx=%s"
+    "range=%s delete=%s recovery=%s persistent=%s locks=%s lf-reads=%s node-size=%s root=%s scrub=%s tx=%s snap=%s"
     (b d.caps.has_range) (b d.caps.has_delete) (b d.caps.has_recovery)
     (b d.caps.is_persistent)
     (String.concat "/"
@@ -70,4 +71,4 @@ let caps_line d =
     (b d.caps.lock_free_reads)
     (if d.caps.tunable_node_bytes then "tunable" else "fixed")
     (if d.caps.relocatable_root then "relocatable" else "fixed")
-    (b d.caps.scrubbable) (b d.caps.txnable)
+    (b d.caps.scrubbable) (b d.caps.txnable) (b d.caps.snapshottable)

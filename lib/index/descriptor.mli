@@ -39,6 +39,12 @@ type caps = {
           the tx layer's protocols: [install] is idempotent and legal
           at recovery time (after [recover]), so [Ff_tx.Tx] can log,
           commit, roll back, and replay multi-key updates against it *)
+  snapshottable : bool;
+      (** the structure's {!Intf.ops} snapshot hooks ([snapshot_begin]
+          / [read_at] / [range_at] / [gc_before]) implement MVCC epoch
+          snapshots: [snapshot_begin] publishes a crash-atomic epoch
+          and [read_at]/[range_at] read strictly as-of a published
+          epoch while writers proceed (see [Ff_snapshot.Snapshot]) *)
 }
 
 (** {1 Scrub hooks}

@@ -12,11 +12,15 @@ type ops = {
   read_for_update : int -> int option;
   install : int -> int option -> unit;
   undo_of : int -> int option -> unit -> unit;
+  snapshot_begin : int -> int;
+  read_at : int -> int -> int option;
+  range_at : int -> int -> int -> (int -> int -> unit) -> unit;
+  gc_before : int -> int;
 }
 
 let make ~name ~insert ~search ~delete ~range ~recover ?update ?bulk_insert
     ?(close = fun () -> ()) ?(set_tracer = fun _ -> ()) ?read_for_update
-    ?install ?undo_of () =
+    ?install ?undo_of ?snapshot_begin ?read_at ?range_at ?gc_before () =
   let update =
     match update with
     | Some u -> u
@@ -49,6 +53,23 @@ let make ~name ~insert ~search ~delete ~range ~recover ?update ?bulk_insert
     | Some u -> u
     | None -> fun k pre () -> install k pre
   in
+  let unsupported hook _ =
+    invalid_arg (Printf.sprintf "%s: %s unsupported (not snapshottable)" name hook)
+  in
+  let snapshot_begin =
+    match snapshot_begin with Some f -> f | None -> unsupported "snapshot_begin"
+  in
+  let read_at =
+    match read_at with Some f -> f | None -> fun e _ -> unsupported "read_at" e
+  in
+  let range_at =
+    match range_at with
+    | Some f -> f
+    | None -> fun e _ _ _ -> unsupported "range_at" e
+  in
+  let gc_before =
+    match gc_before with Some f -> f | None -> unsupported "gc_before"
+  in
   {
     name;
     insert;
@@ -63,6 +84,10 @@ let make ~name ~insert ~search ~delete ~range ~recover ?update ?bulk_insert
     read_for_update;
     install;
     undo_of;
+    snapshot_begin;
+    read_at;
+    range_at;
+    gc_before;
   }
 
 let range_count t lo hi =

@@ -46,6 +46,28 @@ type ops = {
       (** [undo_of k pre] captures a closure restoring [k] to its
           pre-image [pre]; the logged commit path stacks one per op.
           Defaults to [fun () -> install k pre]. *)
+  snapshot_begin : int -> int;
+      (** [snapshot_begin at] quiesces in-flight writers and publishes
+          a fresh epoch [e >= max at (current + 1)] crash-atomically
+          (payload persisted, then one ordered epoch-word store);
+          returns [e].  All mutations committed before the call are
+          visible at [e]; later ones are not.  The [at] floor lets a
+          cross-shard coordinator align every shard at one global
+          epoch (pass [0] for a local snapshot).  Only meaningful on
+          structures whose descriptor claims [snapshottable]; the
+          default raises [Invalid_argument]. *)
+  read_at : int -> int -> int option;
+      (** [read_at e k]: the value of [k] as of published epoch [e],
+          immune to concurrent and later mutations. *)
+  range_at : int -> int -> int -> (int -> int -> unit) -> unit;
+      (** [range_at e lo hi f]: ascending scan of [\[lo, hi\]] as of
+          epoch [e]. *)
+  gc_before : int -> int;
+      (** [gc_before e] reclaims superseded versions only needed by
+          epochs [< e] (through the hardened [Arena.free]) and
+          persists [e] as the GC floor — pinning an epoch below the
+          floor is refused afterwards.  Returns the number of version
+          lines freed. *)
 }
 
 val make :
@@ -62,12 +84,19 @@ val make :
   ?read_for_update:(int -> int option) ->
   ?install:(int -> int option -> unit) ->
   ?undo_of:(int -> int option -> unit -> unit) ->
+  ?snapshot_begin:(int -> int) ->
+  ?read_at:(int -> int -> int option) ->
+  ?range_at:(int -> int -> int -> (int -> int -> unit) -> unit) ->
+  ?gc_before:(int -> int) ->
   unit ->
   ops
 (** Smart constructor.  [update] defaults to search-then-insert,
     [bulk_insert] to an insert loop, [close] and [set_tracer] to
     no-ops, and the transaction hooks ([read_for_update], [install],
-    [undo_of]) to derivations from [search]/[insert]/[delete]. *)
+    [undo_of]) to derivations from [search]/[insert]/[delete].  The
+    snapshot hooks default to raising [Invalid_argument] — only
+    structures claiming [Descriptor.caps.snapshottable] provide
+    them. *)
 
 val range_count : ops -> int -> int -> int
 (** Number of entries a range query visits. *)

@@ -33,7 +33,17 @@ type event_sink = {
 }
 
 let words_per_line = 8
-let reserved_words = 64
+
+(* Root/metadata slot map (one word each):
+     0-55   shard inner roots (shard i at 2i, 2i+1; up to 28 shards)
+     56-57  transaction log region (Txlog)
+     58-60  shard manifest
+     61-63  registry root-slot manifest
+     64     published snapshot epoch cell (Epoch)
+     65     cross-shard global snapshot decision word
+     66-67  snapshot version-store anchor
+     68-71  unassigned *)
+let reserved_words = 72
 
 type ctx = { cache : Cachesim.t; stats : Stats.t }
 

@@ -42,7 +42,11 @@ val words_per_line : int
 
 val reserved_words : int
 (** Words [0 .. reserved_words-1] are root/metadata slots; {!alloc}
-    never returns them. *)
+    never returns them.  Currently 72: shard inner roots (0-55), the
+    transaction log anchor (56-57), the shard manifest (58-60), the
+    registry manifest (61-63), the published snapshot epoch cell (64),
+    the cross-shard snapshot decision word (65) and the snapshot
+    version-store anchor (66-67). *)
 
 val create : ?config:Config.t -> words:int -> unit -> t
 val config : t -> Config.t

@@ -1,0 +1,38 @@
+(* Failure-atomic snapshot epoch cell.
+
+   The published epoch lives in one reserved root word.  Publication
+   follows the manifest-magic discipline: everything the new epoch
+   covers is already persisted (the caller's flush/fence protocol plus
+   our explicit ordering fence), and then the epoch word itself is
+   stored, flushed and fenced as a single word — a crash either keeps
+   the old epoch or installs the new one, never a torn state. *)
+
+let slot_epoch = 64
+let slot_global = 65
+
+let current arena = Arena.root_get arena slot_epoch
+
+let publish arena e =
+  if e <= current arena then
+    invalid_arg
+      (Printf.sprintf "Epoch.publish: epoch %d not beyond published %d" e
+         (current arena));
+  if Arena.in_group arena then
+    invalid_arg "Epoch.publish: inside a group-flush scope";
+  (* Order every payload store (version records, entry updates, the
+     structures' own writes) ahead of the epoch word. *)
+  Arena.fence arena;
+  Arena.root_set arena slot_epoch e
+
+let bump arena =
+  let e = current arena + 1 in
+  publish arena e;
+  e
+
+let global_decision arena = Arena.root_get arena slot_global
+
+let publish_global arena g =
+  if Arena.in_group arena then
+    invalid_arg "Epoch.publish_global: inside a group-flush scope";
+  Arena.fence arena;
+  Arena.root_set arena slot_global g

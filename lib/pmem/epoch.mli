@@ -1,0 +1,43 @@
+(** Failure-atomic snapshot epoch cell (root slot 64).
+
+    The epoch is the snapshot subsystem's notion of logical time: a
+    monotonically increasing counter persisted in one reserved root
+    word.  {!publish} is crash-atomic in the same way the registry
+    manifest magic is — the payload the epoch covers is persisted
+    first (an explicit ordering fence), then the epoch word is written
+    with a single store + flush + fence.  A crash anywhere in between
+    leaves the old epoch current, and the versions only reachable
+    through the new epoch are unreachable garbage, not corruption.
+
+    A fresh arena reads epoch [0]; the first published epoch is [1].
+    Root slot 65 holds the {e cross-shard decision word}: a serving
+    ensemble's coordinator publishes the agreed global epoch there
+    after every shard pinned it, so post-crash validity of a global
+    snapshot is decided by one word (see [Ff_shard.Shard.snapshot_begin]). *)
+
+val slot_epoch : int
+(** 64 *)
+
+val slot_global : int
+(** 65 *)
+
+val current : Arena.t -> int
+(** Published epoch; [0] on a fresh arena. *)
+
+val publish : Arena.t -> int -> unit
+(** [publish arena e] fences, then installs [e] as the published epoch
+    (store + flush + fence on one word — crash-atomic).
+    @raise Invalid_argument if [e <= current arena], or inside a
+    group-flush scope (the group's deferred fence would break the
+    payload-before-epoch ordering). *)
+
+val bump : Arena.t -> int
+(** Publish and return [current + 1]. *)
+
+val global_decision : Arena.t -> int
+(** The cross-shard decision word (root slot 65); [0] when no global
+    snapshot was ever taken on this arena. *)
+
+val publish_global : Arena.t -> int -> unit
+(** Persist the cross-shard decision word (fence, then store + flush +
+    fence — same discipline as {!publish}). *)

@@ -13,6 +13,7 @@ module Workload = Ff_workload.Workload
 module Scrub = Ff_scrub.Scrub
 module Tx = Ff_tx.Tx
 module Txlog = Ff_pmem.Txlog
+module Epoch = Ff_pmem.Epoch
 
 exception Degraded of { shard : int; addr : int; attempts : int }
 
@@ -86,13 +87,19 @@ let check_shards n =
           root slots), got %d"
          max_shards n)
 
-let require_shardable (d : D.t) =
+(* Serving mode gives every shard a whole arena, so the inner builds at
+   its native root slot and [relocatable_root] is not required there —
+   which is what lets the snapshot wrapper (fixed version-store anchor,
+   hence one instance per arena) shard in serving mode only. *)
+let require_shardable ?(relocatable = true) (d : D.t) =
   let c = d.D.caps in
   let missing =
     (if c.D.is_persistent then [] else [ "persistence" ])
     @ (if c.D.has_recovery then [] else [ "crash recovery" ])
     @ (if c.D.has_range then [] else [ "range scans" ])
-    @ if c.D.relocatable_root then [] else [ "a relocatable root" ]
+    @
+    if c.D.relocatable_root || not relocatable then []
+    else [ "a relocatable root" ]
   in
   if missing <> [] then
     invalid_arg
@@ -145,6 +152,9 @@ type t = {
   mutable next_gtid : int;
   mutable tx_torn : bool;
   mutable tx_replays : int;
+  (* A global snapshot pin in progress: new mutations stall until every
+     shard sits on the agreed epoch (reads keep flowing). *)
+  mutable pinning : bool;
 }
 
 let mk_instance ops arena =
@@ -191,6 +201,7 @@ let make ~partition ~inner ~inner_config ~instances ~multi ~batch_cap ~group
     next_gtid = 1;
     tx_torn = false;
     tx_replays = 0;
+    pinning = false;
   }
 
 (* Shard-local clock: global simulated time inside Mcsim.run, else the
@@ -213,7 +224,7 @@ let create ?(pm_config = Config.default) ?(words = 1 lsl 20)
     ?(backoff_ns = 1000) ~inner ~shards () =
   check_shards shards;
   let d = Registry.find_exn inner in
-  require_shardable d;
+  require_shardable ~relocatable:false d;
   let partition =
     match partition with
     | None -> Partition.hash ~shards
@@ -328,7 +339,16 @@ let guarded t i f =
   in
   attempt 0
 
+(* Mutations wait out an in-progress global snapshot pin so no write
+   lands on an already-pinned shard while a sibling has yet to pin —
+   the cross-shard cut stays consistent.  Reads are unaffected. *)
+let write_gate t =
+  while t.pinning do
+    Arena.cpu_work t.instances.(0).arena 30
+  done
+
 let insert t ~key ~value =
+  write_gate t;
   let i = shard_of_key t key in
   let it = t.instances.(i) in
   it.routed <- it.routed + 1;
@@ -339,14 +359,17 @@ let search t key =
   guarded t i (fun () -> t.instances.(i).ops.Intf.search key)
 
 let delete t key =
+  write_gate t;
   let i = shard_of_key t key in
   guarded t i (fun () -> t.instances.(i).ops.Intf.delete key)
 
 let update t ~key ~value =
+  write_gate t;
   let i = shard_of_key t key in
   guarded t i (fun () -> t.instances.(i).ops.Intf.update key value)
 
 let bulk_insert t pairs =
+  write_gate t;
   (* Partition first so each inner sees one call and may use its bulk
      path; within a shard the submission order is preserved. *)
   let buckets = Array.make (shards t) [] in
@@ -483,10 +506,108 @@ let drain_queues t =
   done;
   !acc
 
+(* ------------------------------------------------------------------ *)
+(* Cross-shard consistent snapshots                                    *)
+(* ------------------------------------------------------------------ *)
+
+let require_snapshottable t =
+  if not t.inner.D.caps.D.snapshottable then
+    invalid_arg
+      (Printf.sprintf "Shard: inner '%s' is not snapshottable (caps: %s)"
+         t.inner.D.name (D.caps_line t.inner));
+  if not t.multi then
+    invalid_arg
+      "Shard: cross-shard snapshots need serving mode (one arena per shard)"
+
+(* Pin every shard at one global epoch, 2PC-style: mutations stall
+   behind [pinning] (the prepare barrier), queues drain, each shard
+   publishes the agreed epoch [g] through its own crash-atomic epoch
+   cell, and finally the coordinator (shard 0's arena) persists [g] as
+   the global decision word.  After a crash, a global snapshot [g] is
+   valid iff the decision word reached [g]: a crash before that leaves
+   some shards unpinned, and the partial pins are harmless local
+   epochs. *)
+let snapshot_begin t =
+  require_snapshottable t;
+  write_gate t;
+  t.pinning <- true;
+  Fun.protect
+    ~finally:(fun () -> t.pinning <- false)
+    (fun () ->
+      ignore (drain_queues t);
+      let g =
+        1
+        + Array.fold_left
+            (fun m it -> max m (Epoch.current it.arena))
+            0 t.instances
+      in
+      Array.iteri
+        (fun i it ->
+          let got = guarded t i (fun () -> it.ops.Intf.snapshot_begin g) in
+          assert (got = g))
+        t.instances;
+      Epoch.publish_global t.instances.(0).arena g;
+      g)
+
+let snapshot_decision t =
+  require_snapshottable t;
+  Epoch.global_decision t.instances.(0).arena
+
+let read_at t ~epoch k =
+  require_snapshottable t;
+  let i = shard_of_key t k in
+  guarded t i (fun () -> t.instances.(i).ops.Intf.read_at epoch k)
+
+(* As-of variant of the merged range cursor: each overlapping shard's
+   pinned slice is already ascending, so the same stable k-way heap
+   merge yields a globally ordered cut. *)
+let range_at t ~epoch ~lo ~hi f =
+  require_snapshottable t;
+  let slo, shi = Partition.overlapping t.partition ~lo ~hi in
+  let nsh = shi - slo + 1 in
+  if Trace.enabled t.tracer then Trace.instant t.tracer Trace.id_merge nsh;
+  if nsh = 1 then
+    guarded t slo (fun () -> t.instances.(slo).ops.Intf.range_at epoch lo hi f)
+  else begin
+    let slices =
+      Array.init nsh (fun j ->
+          guarded t (slo + j) (fun () ->
+              let buf = ref [] in
+              t.instances.(slo + j).ops.Intf.range_at epoch lo hi (fun k v ->
+                  buf := (k, v) :: !buf);
+              Array.of_list (List.rev !buf)))
+    in
+    let cursor = Array.make nsh 0 in
+    let heap = Heap.create () in
+    Array.iteri
+      (fun j s -> if Array.length s > 0 then Heap.push heap (fst s.(0)) j)
+      slices;
+    let rec drain () =
+      match Heap.pop heap with
+      | None -> ()
+      | Some (_, j) ->
+          let s = slices.(j) in
+          let k, v = s.(cursor.(j)) in
+          f k v;
+          cursor.(j) <- cursor.(j) + 1;
+          if cursor.(j) < Array.length s then
+            Heap.push heap (fst s.(cursor.(j))) j;
+          drain ()
+    in
+    drain ()
+  end
+
+let gc_before t epoch =
+  require_snapshottable t;
+  Array.fold_left
+    (fun acc it -> acc + it.ops.Intf.gc_before epoch)
+    0 t.instances
+
 (* Enqueue a trace; a shard executes whenever its queue reaches
    [batch_cap].  Range is a scheduling barrier: all queues drain so the
    merged cursor sees every prior write, matching sequential order. *)
 let submit t ops =
+  write_gate t;
   let acc = ref 0 in
   Array.iter
     (fun op ->
@@ -805,6 +926,7 @@ let txn_rollback x =
    decision at recovery. *)
 let txn_commit x =
   txn_live x;
+  write_gate x.sh;
   (match x.parts with
   | [] -> ()
   | [ (_, p) ] -> Tx.commit p
@@ -865,7 +987,11 @@ let descriptor ?(policy = `Hash) ~inner ~shards () =
     summary =
       Printf.sprintf "%d-way sharded %s: partitioned serving layer, merged \
                       range cursor, per-shard recovery" shards d.D.name;
-    caps = { d.D.caps with D.relocatable_root = false };
+    (* Single-arena composite: every shard shares one root-slot space,
+       so per-shard epoch cells / version-store anchors would collide —
+       snapshots need serving mode. *)
+    caps =
+      { d.D.caps with D.relocatable_root = false; D.snapshottable = false };
     composite = Some (inner, shards);
     build = (fun cfg a -> ops_of (build_single ~inner:d ~partition cfg a) name);
     open_existing = (fun cfg a -> ops_of (attach_with d cfg a) name);

@@ -183,6 +183,37 @@ val submit : t -> Ff_workload.Workload.op array -> int
 val drain_queues : t -> int
 (** Force-drain every pending queue; returns the checksum sum. *)
 
+(** {1 Cross-shard consistent snapshots}
+
+    Serving-mode ensembles over a snapshottable inner (e.g.
+    ["snap-fastfair"]) can pin {e all} shards at one global epoch.
+    {!snapshot_begin} runs a two-phase protocol: stall writers, drain
+    the batch queues, have every shard publish the agreed epoch [g]
+    through its own crash-atomic epoch cell, then persist [g] in the
+    coordinator's decision word (shard 0's arena, root slot 65).
+    After a crash, a global snapshot [g] is valid iff
+    [snapshot_decision t >= g]. *)
+
+val snapshot_begin : t -> int
+(** Pin every shard at one freshly published global epoch and return
+    it.  @raise Invalid_argument for single-arena ensembles or a
+    non-snapshottable inner. *)
+
+val snapshot_decision : t -> int
+(** The coordinator's persisted decision word — the largest global
+    epoch whose 2PC completed; [0] when none ever did. *)
+
+val read_at : t -> epoch:int -> int -> int option
+(** Point read as of a pinned global epoch, routed like [find]. *)
+
+val range_at : t -> epoch:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** Ascending merged scan of [\[lo, hi\]] as of a pinned global epoch
+    — same stable k-way heap merge as {!range}. *)
+
+val gc_before : t -> int -> int
+(** Reclaim version records below [epoch] on every shard; returns
+    total freed lines. *)
+
 (** {1 Statistics} *)
 
 val occupancy : t -> int array

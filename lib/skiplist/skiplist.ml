@@ -259,6 +259,7 @@ let () =
           relocatable_root = true;
           scrubbable = false;
           txnable = true;
+          snapshottable = false;
         };
       composite = None;
       build =

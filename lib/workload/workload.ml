@@ -42,36 +42,77 @@ type mix = {
   delete_pct : int;
   range_pct : int;
   range_len : int;
+  read_latest : bool;
+  scan_len_max : int;
 }
 
 (* YCSB core-workload presets (update = insert over an existing key).
-   A/B/C are the read/update blends; scans and inserts-of-new-keys
-   (D/E) stay with the dedicated bench targets. *)
+   A/B/C are the read/update blends; D biases reads toward the latest
+   inserts, E is the scan-heavy blend with a drawn scan length. *)
 let ycsb_a =
-  { insert_pct = 50; search_pct = 50; delete_pct = 0; range_pct = 0; range_len = 0 }
+  { insert_pct = 50; search_pct = 50; delete_pct = 0; range_pct = 0;
+    range_len = 0; read_latest = false; scan_len_max = 0 }
 
 let ycsb_b =
-  { insert_pct = 5; search_pct = 95; delete_pct = 0; range_pct = 0; range_len = 0 }
+  { insert_pct = 5; search_pct = 95; delete_pct = 0; range_pct = 0;
+    range_len = 0; read_latest = false; scan_len_max = 0 }
 
 let ycsb_c =
-  { insert_pct = 0; search_pct = 100; delete_pct = 0; range_pct = 0; range_len = 0 }
+  { insert_pct = 0; search_pct = 100; delete_pct = 0; range_pct = 0;
+    range_len = 0; read_latest = false; scan_len_max = 0 }
+
+let ycsb_d =
+  { insert_pct = 5; search_pct = 95; delete_pct = 0; range_pct = 0;
+    range_len = 0; read_latest = true; scan_len_max = 0 }
+
+let ycsb_e =
+  { insert_pct = 5; search_pct = 0; delete_pct = 0; range_pct = 95;
+    range_len = 0; read_latest = false; scan_len_max = 100 }
+
+let mix_names = [ "ycsb-a"; "ycsb-b"; "ycsb-c"; "ycsb-d"; "ycsb-e" ]
 
 let ycsb_mix name =
   match String.lowercase_ascii name with
   | "a" | "ycsb-a" | "ycsb_a" -> Some ycsb_a
   | "b" | "ycsb-b" | "ycsb_b" -> Some ycsb_b
   | "c" | "ycsb-c" | "ycsb_c" -> Some ycsb_c
+  | "d" | "ycsb-d" | "ycsb_d" -> Some ycsb_d
+  | "e" | "ycsb-e" | "ycsb_e" -> Some ycsb_e
   | _ -> None
+
+(* The recency window for read-latest mixes: reads draw from the last
+   [recency_window] inserted keys, like YCSB-D's "latest" request
+   distribution collapsed to a uniform window. *)
+let recency_window = 16
 
 let mixed_trace rng ~n ~space mix =
   assert (mix.insert_pct + mix.search_pct + mix.delete_pct + mix.range_pct = 100);
+  let recent = Array.make recency_window 0 in
+  let inserted = ref 0 in
+  (* Extra PRNG draws happen only on the D/E-specific paths, so the
+     A/B/C draw sequences — and their soak checksums — are unchanged. *)
   Array.init n (fun _ ->
       let k = 1 + Prng.int rng space in
       let d = Prng.int rng 100 in
-      if d < mix.insert_pct then Insert k
-      else if d < mix.insert_pct + mix.search_pct then Search k
+      if d < mix.insert_pct then begin
+        if mix.read_latest then begin
+          recent.(!inserted mod recency_window) <- k;
+          incr inserted
+        end;
+        Insert k
+      end
+      else if d < mix.insert_pct + mix.search_pct then
+        if mix.read_latest && !inserted > 0 then
+          let w = min !inserted recency_window in
+          Search recent.(Prng.int rng w)
+        else Search k
       else if d < mix.insert_pct + mix.search_pct + mix.delete_pct then Delete k
-      else Range (k, mix.range_len))
+      else
+        let len =
+          if mix.scan_len_max > 0 then 1 + Prng.int rng mix.scan_len_max
+          else mix.range_len
+        in
+        Range (k, len))
 
 let run_op (t : Intf.ops) op =
   match op with

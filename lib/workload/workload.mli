@@ -34,7 +34,13 @@ type mix = {
   search_pct : int;
   delete_pct : int;
   range_pct : int;
-  range_len : int;
+  range_len : int;  (** fixed scan length target when [scan_len_max = 0] *)
+  read_latest : bool;
+      (** reads draw from the last {!recency_window} inserted keys
+          (YCSB-D's "latest" distribution, windowed) *)
+  scan_len_max : int;
+      (** when positive, each [Range] draws its length uniformly from
+          [\[1, scan_len_max\]] (YCSB-E) *)
 }
 
 val ycsb_a : mix
@@ -46,14 +52,32 @@ val ycsb_b : mix
 val ycsb_c : mix
 (** YCSB-C: read-only. *)
 
+val ycsb_d : mix
+(** YCSB-D: 95% read / 5% insert, reads biased to the latest inserts
+    ([read_latest]). *)
+
+val ycsb_e : mix
+(** YCSB-E: 95% scan / 5% insert, scan length uniform in
+    [\[1, 100\]]. *)
+
+val mix_names : string list
+(** Canonical accepted preset names (["ycsb-a"] .. ["ycsb-e"]) — the
+    single source for CLI validation and error messages. *)
+
 val ycsb_mix : string -> mix option
-(** Preset lookup by name: ["a"|"b"|"c"], with or without a
+(** Preset lookup by name: ["a"|"b"|"c"|"d"|"e"], with or without a
     ["ycsb-"] prefix, case-insensitive. *)
+
+val recency_window : int
+(** Size of the sliding window of recent inserts that [read_latest]
+    reads draw from (16). *)
 
 val mixed_trace :
   Ff_util.Prng.t -> n:int -> space:int -> mix -> op array
 (** Random trace over the key space with the given percentages
-    (must sum to 100). *)
+    (must sum to 100).  Presets A/B/C consume the PRNG identically to
+    earlier releases; only the [read_latest] / [scan_len_max] paths add
+    draws, so existing soak checksums are stable. *)
 
 val run_op : Ff_index.Intf.ops -> op -> int
 (** Execute one op; returns a small checksum (found values / counts)

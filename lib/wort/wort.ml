@@ -289,6 +289,7 @@ let () =
           relocatable_root = true;
           scrubbable = false;
           txnable = true;
+          snapshottable = false;
         };
       composite = None;
       build = (fun cfg a -> ops (create ~root_slot:cfg.D.root_slot a));

@@ -20,4 +20,5 @@ let () =
       ("obs", Test_obs.suite);
       ("check", Test_check.suite);
       ("tx", Test_tx.suite);
+      ("snapshot", Test_snapshot.suite);
     ]

@@ -23,7 +23,7 @@ let small_config d =
 let expected_names =
   [
     "blink"; "fastfair"; "fastfair-kv"; "fastfair-leaflock"; "fastfair-logged";
-    "fptree"; "sharded-fastfair"; "skiplist"; "wbtree"; "wort";
+    "fptree"; "sharded-fastfair"; "skiplist"; "snap-fastfair"; "wbtree"; "wort";
   ]
 
 let test_names () =

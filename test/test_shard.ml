@@ -135,6 +135,8 @@ let mixed_trace seed n =
       delete_pct = 15;
       range_pct = 10;
       range_len = 8;
+      read_latest = false;
+      scan_len_max = 0;
     }
 
 (* submit must produce exactly the sequential result: same checksum,

@@ -42,7 +42,7 @@ let test_zipfian_bounds () =
 let test_mixed_trace_ratios () =
   let rng = Prng.create 4 in
   let mix =
-    { W.insert_pct = 50; search_pct = 30; delete_pct = 15; range_pct = 5; range_len = 10 }
+    { W.insert_pct = 50; search_pct = 30; delete_pct = 15; range_pct = 5; range_len = 10; read_latest = false; scan_len_max = 0 }
   in
   let ops = W.mixed_trace rng ~n:20_000 ~space:1000 mix in
   let count p = Array.fold_left (fun acc op -> if p op then acc + 1 else acc) 0 ops in
@@ -56,7 +56,7 @@ let test_run_trace () =
   let t = Ff_fastfair.Tree.ops (Ff_fastfair.Tree.create ~node_bytes:256 a) in
   let rng = Prng.create 5 in
   let mix =
-    { W.insert_pct = 60; search_pct = 30; delete_pct = 5; range_pct = 5; range_len = 8 }
+    { W.insert_pct = 60; search_pct = 30; delete_pct = 5; range_pct = 5; range_len = 8; read_latest = false; scan_len_max = 0 }
   in
   let ops = W.mixed_trace rng ~n:2000 ~space:500 mix in
   let sum = W.run_trace t ops in
