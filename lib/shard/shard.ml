@@ -155,6 +155,10 @@ type t = {
   (* A global snapshot pin in progress: new mutations stall until every
      shard sits on the agreed epoch (reads keep flowing). *)
   mutable pinning : bool;
+  (* Cross-shard commits past the write gate but still applying shard
+     by shard; a pin must wait these out or its cut could capture half
+     a committed transaction. *)
+  mutable commits_in_flight : int;
 }
 
 let mk_instance ops arena =
@@ -202,6 +206,7 @@ let make ~partition ~inner ~inner_config ~instances ~multi ~batch_cap ~group
     tx_torn = false;
     tx_replays = 0;
     pinning = false;
+    commits_in_flight = 0;
   }
 
 (* Shard-local clock: global simulated time inside Mcsim.run, else the
@@ -534,6 +539,13 @@ let snapshot_begin t =
   Fun.protect
     ~finally:(fun () -> t.pinning <- false)
     (fun () ->
+      (* Commits that passed the write gate before the pin flag rose
+         may still be applying shard by shard; wait them out so the
+         cut sits on a transaction boundary (new commits stall at the
+         gate, so the counter drains). *)
+      while t.commits_in_flight > 0 do
+        Arena.cpu_work t.instances.(0).arena 30
+      done;
       ignore (drain_queues t);
       let g =
         1
@@ -543,8 +555,17 @@ let snapshot_begin t =
       in
       Array.iteri
         (fun i it ->
+          (* The per-shard pin is idempotent at [g], so a transient
+             media fault retried by [guarded] re-pins cleanly; any
+             other epoch is a broken 2PC agreement — a real error, not
+             an assert that -noassert compiles away. *)
           let got = guarded t i (fun () -> it.ops.Intf.snapshot_begin g) in
-          assert (got = g))
+          if got <> g then
+            failwith
+              (Printf.sprintf
+                 "Shard.snapshot_begin: shard %d pinned epoch %d instead of \
+                  the agreed %d"
+                 i got g))
         t.instances;
       Epoch.publish_global t.instances.(0).arena g;
       g)
@@ -926,22 +947,33 @@ let txn_rollback x =
    decision at recovery. *)
 let txn_commit x =
   txn_live x;
-  write_gate x.sh;
-  (match x.parts with
-  | [] -> ()
-  | [ (_, p) ] -> Tx.commit p
-  | parts ->
-      let parts = List.sort (fun (a, _) (b, _) -> compare a b) parts in
-      let coord = fst (List.hd parts) in
-      let cp = List.assoc coord parts in
-      let gtid = x.sh.next_gtid in
-      x.sh.next_gtid <- gtid + 1;
-      List.iter (fun (i, p) -> if i <> coord then Tx.prepare p ~gtid ~coord) parts;
-      Tx.prepare cp ~gtid ~coord;
-      Tx.decide cp;
-      List.iter (fun (_, p) -> Tx.apply p) parts;
-      List.iter (fun (i, p) -> if i <> coord then Tx.finish p) parts;
-      Tx.finish cp);
+  let t = x.sh in
+  write_gate t;
+  (* Counted from the moment the gate is passed: a global pin raised
+     after this point waits for the whole commit (prepare, decide, and
+     every per-shard apply) to land before cutting.  No yield point
+     separates the gate check from the increment. *)
+  t.commits_in_flight <- t.commits_in_flight + 1;
+  Fun.protect
+    ~finally:(fun () -> t.commits_in_flight <- t.commits_in_flight - 1)
+    (fun () ->
+      match x.parts with
+      | [] -> ()
+      | [ (_, p) ] -> Tx.commit p
+      | parts ->
+          let parts = List.sort (fun (a, _) (b, _) -> compare a b) parts in
+          let coord = fst (List.hd parts) in
+          let cp = List.assoc coord parts in
+          let gtid = t.next_gtid in
+          t.next_gtid <- gtid + 1;
+          List.iter
+            (fun (i, p) -> if i <> coord then Tx.prepare p ~gtid ~coord)
+            parts;
+          Tx.prepare cp ~gtid ~coord;
+          Tx.decide cp;
+          List.iter (fun (_, p) -> Tx.apply p) parts;
+          List.iter (fun (i, p) -> if i <> coord then Tx.finish p) parts;
+          Tx.finish cp);
   x.live <- false
 
 let txn t f =

@@ -70,6 +70,7 @@ type t = {
   pins : (int, int) Hashtbl.t;   (* epoch -> pin count (volatile) *)
   mutable floor : int;           (* volatile mirror of the GC floor *)
   mutable in_flight : int;
+  mutable readers : int;
   mutable publishing : bool;
   mutable tracer : (Trace.t * sites) option;
 }
@@ -150,6 +151,7 @@ let create ?(buckets = 64) arena inner =
     pins = Hashtbl.create 8;
     floor = 0;
     in_flight = 0;
+    readers = 0;
     publishing = false;
     tracer = None;
   }
@@ -168,6 +170,7 @@ let attach arena inner =
       pins = Hashtbl.create 8;
       floor = 0;
       in_flight = 0;
+      readers = 0;
       publishing = false;
       tracer = None;
     }
@@ -178,6 +181,7 @@ let attach arena inner =
 let recover t =
   t.inner.Intf.recover ();
   t.in_flight <- 0;
+  t.readers <- 0;
   t.publishing <- false;
   rebuild_cache t
 
@@ -185,18 +189,19 @@ let recover t =
 (* Write path                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let create_entry t k w =
+let create_entry t k b =
   let head = bucket_of t k in
   let e = Arena.alloc t.arena line in
   Arena.write t.arena e k;
-  Arena.write t.arena (e + 1) w;
+  Arena.write t.arena (e + 1) b;
   Arena.write t.arena (e + 3) (Arena.read t.arena head);
   Arena.flush_range t.arena e line;
   fence_unless_group t;
   Arena.write t.arena head e;
   Arena.flush t.arena head;
   fence_unless_group t;
-  Hashtbl.replace t.cache k e
+  Hashtbl.replace t.cache k e;
+  e
 
 (* Preserve the inner's current state for [k] before a mutation at
    working epoch [w]: append the superseded value (if any) as a fully
@@ -236,6 +241,10 @@ let enter t =
 let leave t = t.in_flight <- t.in_flight - 1
 
 let mutate t k f =
+  if k < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Snapshot: key %d outside the positive key domain (Intf contract)" k);
   enter t;
   Fun.protect
     ~finally:(fun () -> leave t)
@@ -243,7 +252,16 @@ let mutate t k f =
       let w = Epoch.current t.arena + 1 in
       (match Hashtbl.find_opt t.cache k with
       | Some e -> preserve t e k w
-      | None -> create_entry t k w);
+      | None ->
+          (* A missing entry is not proof of a missing pre-image: GC
+             unlinks entries whose whole history the live tree already
+             answers, yet epochs >= floor stay pinnable.  The live value
+             of such a key has been current since before the floor (any
+             later write would have re-created the entry), so re-anchor
+             it at the floor and preserve it like any other
+             supersession — a pin in [floor, w) keeps its read. *)
+          if t.inner.Intf.search k = None then ignore (create_entry t k w)
+          else preserve t (create_entry t k t.floor) k w);
       f ())
 
 (* ------------------------------------------------------------------ *)
@@ -260,61 +278,88 @@ let chain_find t e s =
   in
   walk (Arena.read t.arena (e + 2))
 
+(* Readers hold a slot so the collector can quiesce them: [gc_before]
+   unlinks and [Arena.free]s version lines, and a reader mid-walk must
+   never keep a pointer into a line being recycled.  The slot is gated
+   on the same [publishing] flag as writers; the check-then-increment
+   touches no arena word, so it is atomic under the cooperative
+   simulator.  The floor check lives *inside* the slot — checking it
+   before the gate would let a concurrent gc collect the epoch between
+   the check and the walk. *)
+let reader_enter t =
+  while t.publishing do
+    Arena.cpu_work t.arena 20
+  done;
+  t.readers <- t.readers + 1
+
+let reader_leave t = t.readers <- t.readers - 1
+
+let check_floor t s which =
+  if s < t.floor then
+    invalid_arg
+      (Printf.sprintf "Snapshot.%s: epoch %d below GC floor %d" which s t.floor)
+
 (* Resolution races with the write protocol only through the inner
    search: a writer may supersede the live value after we chose the
    live path.  Every such write advances [begin_epoch] *before* the
    inner mutation, so re-reading it detects the race and the retry
-   finds the preserved record. *)
+   finds the preserved record.  The caller holds a reader slot. *)
+let resolve_at t s k =
+  match Hashtbl.find_opt t.cache k with
+  | None ->
+      (* Never written through the wrapper: content that predates the
+         version store is visible at every epoch. *)
+      t.inner.Intf.search k
+  | Some e ->
+      let rec resolve () =
+        match chain_find t e s with
+        | Some v -> Some v
+        | None ->
+            let b = Arena.read t.arena (e + 1) in
+            if b > s then
+              (* The span covering [s] (if any) was linked before
+                 [begin_epoch] advanced past [s]; one re-walk sees it. *)
+              chain_find t e s
+            else
+              let r = t.inner.Intf.search k in
+              if Arena.read t.arena (e + 1) <> b then resolve () else r
+      in
+      resolve ()
+
 let read_at t s k =
-  if s < t.floor then
-    invalid_arg
-      (Printf.sprintf "Snapshot.read_at: epoch %d below GC floor %d" s t.floor);
   if !mutant_read_latest then t.inner.Intf.search k
   else begin
+    reader_enter t;
+    Fun.protect ~finally:(fun () -> reader_leave t) @@ fun () ->
+    check_floor t s "read_at";
     site_enter t `Read;
-    Fun.protect ~finally:(fun () -> site_exit t) @@ fun () ->
-    match Hashtbl.find_opt t.cache k with
-    | None ->
-        (* Never written through the wrapper: content that predates the
-           version store is visible at every epoch. *)
-        t.inner.Intf.search k
-    | Some e ->
-        let rec resolve () =
-          match chain_find t e s with
-          | Some v -> Some v
-          | None ->
-              let b = Arena.read t.arena (e + 1) in
-              if b > s then
-                (* The span covering [s] (if any) was linked before
-                   [begin_epoch] advanced past [s]; one re-walk sees it. *)
-                chain_find t e s
-              else
-                let r = t.inner.Intf.search k in
-                if Arena.read t.arena (e + 1) <> b then resolve () else r
-        in
-        resolve ()
+    Fun.protect ~finally:(fun () -> site_exit t) @@ fun () -> resolve_at t s k
   end
 
 let range_at t s lo hi f =
-  if s < t.floor then
-    invalid_arg
-      (Printf.sprintf "Snapshot.range_at: epoch %d below GC floor %d" s t.floor);
   if !mutant_read_latest then t.inner.Intf.range lo hi f
   else begin
     (* Candidates: every key the live tree holds in the window plus
        every key the version store has ever seen there (covers keys
        deleted since [s]).  The cache fold touches no arena word, so it
-       is atomic under the simulator; per-key resolution then applies
-       the same race-safe protocol as [read_at]. *)
-    let seen = Hashtbl.create 64 in
-    t.inner.Intf.range lo hi (fun k _ -> Hashtbl.replace seen k ());
-    Hashtbl.iter
-      (fun k _ -> if k >= lo && k <= hi then Hashtbl.replace seen k ())
-      t.cache;
-    let keys = Hashtbl.fold (fun k () acc -> k :: acc) seen [] in
+       is atomic under the simulator.  Per-key resolution then goes
+       through [read_at], taking one reader slot per key — [f] runs
+       outside any slot, so a backup's between-chunk writes cannot
+       deadlock against a concurrent collector. *)
+    let keys =
+      reader_enter t;
+      Fun.protect ~finally:(fun () -> reader_leave t) @@ fun () ->
+      check_floor t s "range_at";
+      let seen = Hashtbl.create 64 in
+      t.inner.Intf.range lo hi (fun k _ -> Hashtbl.replace seen k ());
+      Hashtbl.iter
+        (fun k _ -> if k >= lo && k <= hi then Hashtbl.replace seen k ())
+        t.cache;
+      List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+    in
     List.iter
       (fun k -> match read_at t s k with Some v -> f k v | None -> ())
-      (List.sort compare keys)
+      keys
   end
 
 (* ------------------------------------------------------------------ *)
@@ -335,11 +380,25 @@ let snapshot_begin t at =
       while t.in_flight > 0 || Arena.in_group t.arena do
         Arena.cpu_work t.arena 30
       done;
-      let e = max at (Epoch.current t.arena + 1) in
-      site_enter t `Publish;
-      Fun.protect ~finally:(fun () -> site_exit t) @@ fun () ->
-      Epoch.publish t.arena e;
-      e)
+      let c = Epoch.current t.arena in
+      if at > 0 && c = at then
+        (* Already pinned at the coordinator's epoch — a retried call
+           (a transient fault can hit between the publish and the
+           return) must succeed idempotently, not publish past the
+           agreed epoch. *)
+        at
+      else if at > 0 && c > at then
+        invalid_arg
+          (Printf.sprintf
+             "Snapshot.snapshot_begin: published epoch %d already beyond \
+              requested pin %d" c at)
+      else begin
+        let e = max at (c + 1) in
+        site_enter t `Publish;
+        Fun.protect ~finally:(fun () -> site_exit t) @@ fun () ->
+        Epoch.publish t.arena e;
+        e
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Epoch-based GC                                                      *)
@@ -359,7 +418,10 @@ let gc_before t e =
   Fun.protect
     ~finally:(fun () -> t.publishing <- false)
     (fun () ->
-      while t.in_flight > 0 || Arena.in_group t.arena do
+      (* Quiesce readers as well as writers: a reader mid-chain-walk
+         must not hold a pointer into a record this pass is about to
+         unlink and free (the line could be reallocated under it). *)
+      while t.in_flight > 0 || t.readers > 0 || Arena.in_group t.arena do
         Arena.cpu_work t.arena 30
       done;
       site_enter t `Gc;
@@ -487,6 +549,9 @@ let backup t ~epoch ~dest ?(chunk = 512) ?(between = fun () -> ()) () =
       between ()
     end
   in
+  (* [mutate] rejects non-positive keys (the Intf contract), so the
+     scan over [1, max_int] provably covers every key the wrapped
+     index can hold — the copy cannot silently omit records. *)
   range_at t epoch 1 max_int (fun k v ->
       buf := (k, v) :: !buf;
       incr n;

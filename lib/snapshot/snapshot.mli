@@ -51,7 +51,12 @@ val recover : t -> unit
 val snapshot_begin : t -> int -> int
 (** [snapshot_begin t at]: quiesce in-flight writers and any open
     group-flush scope, then publish and return
-    [max at (current + 1)].  See {!Ff_index.Intf.ops.snapshot_begin}. *)
+    [max at (current + 1)].  Idempotent on retry: when [at > 0] is
+    already the published epoch (a coordinator re-issuing a pin after
+    a transient fault), returns [at] without publishing again.
+    @raise Invalid_argument when [at > 0] and the published epoch has
+    already moved beyond it.  See
+    {!Ff_index.Intf.ops.snapshot_begin}. *)
 
 val read_at : t -> int -> int -> int option
 (** [read_at t e k]: the value of [k] as of published epoch [e].
@@ -69,7 +74,10 @@ val gc_before : t -> int -> int
     mid-reclamation cannot resurrect a half-collected epoch), then
     free every version record with [end <= e] and every entry that no
     longer distinguishes a pinnable epoch from the live tree — all
-    through the hardened {!Ff_pmem.Arena.free}.  Returns freed lines. *)
+    through the hardened {!Ff_pmem.Arena.free}.  Runs exclusive with
+    writers {e and} readers (both quiesce on the publication gate), so
+    no walk can hold a pointer into a reclaimed line.  Returns freed
+    lines. *)
 
 (** {1 Pinned snapshot handles} *)
 

@@ -19,6 +19,7 @@ module Scrub = Ff_scrub.Scrub
 module SC = Ff_check.Snapcheck
 module C = Ff_check.Check
 module Cx = Ff_check.Counterexample
+module Mcsim = Ff_mcsim.Mcsim
 
 let fresh_arena () = Arena.create ~words:(1 lsl 20) ()
 
@@ -189,6 +190,94 @@ let test_gc_floor_and_scrub () =
   Alcotest.(check (list (pair int int))) "no leaked blocks after gc" []
     audit.Scrub.leaked_blocks
 
+(* Regression: GC may unlink a key entry whose whole history the live
+   tree answers, but epochs >= floor stay pinnable — a later overwrite
+   of such a key must re-anchor the pre-image at the floor, not bury
+   it behind a fresh begin epoch. *)
+let test_gc_unlink_then_overwrite () =
+  let n = 20 in
+  let a, st, t = wrapped ~n () in
+  let s = Snap.take st in
+  let e = Snap.epoch s in
+  let before = dump_at t e n in
+  (* GC up to the pinned floor unlinks every entry: all chains are
+     empty and every begin epoch is at or below the pin. *)
+  ignore (Snap.gc st);
+  Alcotest.(check int) "floor sits at the pinned epoch" e (Snap.gc_floor st);
+  for k = 1 to n do
+    if k mod 2 = 0 then t.Intf.insert k (fresh_value n k)
+  done;
+  ignore (t.Intf.delete 3);
+  Alcotest.(check (option int)) "pin survives the overwrite"
+    (Some (W.value_of 2)) (Snap.get s 2);
+  Alcotest.(check (option int)) "pin survives the delete"
+    (Some (W.value_of 3)) (Snap.get s 3);
+  check_pairs "pinned range identical after gc + overwrite" before
+    (dump_at t e n);
+  Snap.release s;
+  let d = Registry.find_exn "snap-fastfair" in
+  let audit = Scrub.audit ~config:D.default_config d a in
+  Alcotest.(check (list (pair int int))) "re-anchored store leaks nothing" []
+    audit.Scrub.leaked_blocks
+
+(* Regression: a coordinator-requested pin retried after a transient
+   fault (the publish already landed) must succeed idempotently at the
+   agreed epoch; a pin below the published epoch is a real error. *)
+let test_repin_idempotent () =
+  let a, st, t = wrapped ~n:10 () in
+  ignore st;
+  let e1 = t.Intf.snapshot_begin 0 in
+  t.Intf.insert 1 (fresh_value 10 1);
+  let e2 = t.Intf.snapshot_begin 0 in
+  Alcotest.(check int) "retry at the published epoch is a no-op success" e2
+    (t.Intf.snapshot_begin e2);
+  Alcotest.(check int) "the retry did not advance the epoch" e2
+    (Epoch.current a);
+  Alcotest.check_raises "pinning a bypassed epoch refused"
+    (Invalid_argument
+       (Printf.sprintf
+          "Snapshot.snapshot_begin: published epoch %d already beyond \
+           requested pin %d" e2 e1))
+    (fun () -> ignore (t.Intf.snapshot_begin e1))
+
+(* Regression: readers walking version chains must be quiesced by the
+   collector — a walk racing gc_before could chase a pointer into a
+   line already freed and reallocated by a concurrent writer.  Every
+   read at the probed epoch must return the value that was live there,
+   or be refused outright once the floor passes it; never garbage. *)
+let test_reader_vs_gc () =
+  let n = 30 in
+  let a, _st, t = wrapped ~n () in
+  ignore (t.Intf.snapshot_begin 0);
+  for k = 1 to n do
+    t.Intf.insert k (fresh_value n k)
+  done;
+  let e = t.Intf.snapshot_begin 0 in
+  for k = 1 to n do
+    t.Intf.insert k (fresh_value (3 * n) k)
+  done;
+  (* [e] now resolves through chain records; gc past it frees them. *)
+  let anomalies = ref [] and refused = ref 0 and freed = ref 0 in
+  let reader _ =
+    for k = 1 to n do
+      match t.Intf.read_at e k with
+      | Some v when v = fresh_value n k -> ()
+      | got -> anomalies := (k, got) :: !anomalies
+      | exception Invalid_argument _ -> incr refused
+    done
+  in
+  let collector _ = freed := t.Intf.gc_before (e + 1) in
+  let writer _ =
+    for k = n + 1 to 2 * n do
+      t.Intf.insert k (fresh_value (5 * n) k)
+    done
+  in
+  ignore
+    (Mcsim.run ~cores:3 ~quantum_ns:1 ~arena:a [| reader; collector; writer |]);
+  Alcotest.(check bool) "collector reclaimed lines" true (!freed > 0);
+  Alcotest.(check (list (pair int (option int)))) "no stale or garbage reads"
+    [] !anomalies
+
 (* ------------------------------------------------------------------ *)
 (* Online backup                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -284,6 +373,50 @@ let test_shard_snapshot_requires_cap () =
       in
       Alcotest.(check bool) "refusal names the capability" true
         (contains m "not snapshottable")
+
+(* Regression: a global pin racing a multi-shard transaction commit
+   must not cut between the per-shard applies — the pinned epoch sees
+   the transaction's writes on every participating shard or on none.
+   The gate releases the pinner only once the committer is heading
+   into txn_commit, so the two genuinely overlap under the simulator. *)
+let test_txn_commit_vs_pin () =
+  let t = Shard.create ~words:(1 lsl 18) ~inner:"snap-fastfair" ~shards:4 () in
+  let n = 16 in
+  for k = 1 to n do
+    Shard.insert t ~key:k ~value:(W.value_of k)
+  done;
+  let gate = Mcsim.create_gate () in
+  let g = ref 0 in
+  let committer _ =
+    let x = Shard.txn_begin t in
+    for k = 1 to 8 do
+      Shard.txn_put x k (fresh_value n k)
+    done;
+    Mcsim.gate_open gate;
+    Shard.txn_commit x
+  in
+  let pinner _ =
+    Mcsim.gate_wait gate;
+    g := Shard.snapshot_begin t
+  in
+  let arenas = Shard.arenas t in
+  Array.iter (fun a -> Arena.set_yield_hook a (Some Mcsim.charge)) arenas;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun a -> Arena.set_yield_hook a None) arenas)
+    (fun () ->
+      ignore (Mcsim.run ~cores:2 ~quantum_ns:1 [| committer; pinner |]));
+  let news = ref 0 in
+  for k = 1 to 8 do
+    match Shard.read_at t ~epoch:!g k with
+    | Some v when v = fresh_value n k -> incr news
+    | Some v when v = W.value_of k -> ()
+    | Some v -> Alcotest.failf "key %d: alien value %d at the pinned epoch" k v
+    | None -> Alcotest.failf "key %d: absent at the pinned epoch" k
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "pin cuts on a transaction boundary (%d/8 new)" !news)
+    true (!news = 0 || !news = 8)
 
 (* ------------------------------------------------------------------ *)
 (* QCheck: a pinned cross-shard range equals the model at pin time     *)
@@ -388,6 +521,14 @@ let suite =
       test_crash_repin_eviction;
     Alcotest.test_case "gc floor + scrub leak oracle" `Quick
       test_gc_floor_and_scrub;
+    Alcotest.test_case "gc unlink + overwrite keeps the pinned pre-image"
+      `Quick test_gc_unlink_then_overwrite;
+    Alcotest.test_case "per-shard re-pin is idempotent" `Quick
+      test_repin_idempotent;
+    Alcotest.test_case "readers quiesced against the collector" `Quick
+      test_reader_vs_gc;
+    Alcotest.test_case "global pin cuts on a txn boundary" `Quick
+      test_txn_commit_vs_pin;
     Alcotest.test_case "online backup round-trip" `Quick test_backup_roundtrip;
     Alcotest.test_case "cross-shard consistent snapshots" `Quick
       test_shard_snapshot;
