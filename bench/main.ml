@@ -25,6 +25,7 @@ module Shard = Ff_shard.Shard
 module Histogram = Ff_util.Histogram
 module Tree = Ff_fastfair.Tree
 module Tpcc = Ff_tpcc.Tpcc
+module Rebalance = Ff_rebalance.Rebalance
 
 (* ------------------------------------------------------------------ *)
 (* Scales (overridable via CLI)                                        *)
@@ -41,6 +42,9 @@ let sc n = max 16 (int_of_float (float_of_int n *. !scale))
 let sched_policy = ref "fifo"
 let sched_seed = ref 0
 let sched () = Mcsim.policy_of_spec ~seed:!sched_seed !sched_policy
+
+(* Zipfian skew for the YCSB-style and soak workloads (--zipf). *)
+let zipf_theta = ref 0.99
 
 (* ------------------------------------------------------------------ *)
 (* Builders — resolved through the index registry                      *)
@@ -793,7 +797,7 @@ let ycsb () =
             let keys = W.distinct_uniform rng ~n ~space in
             W.load_keys t keys;
             (* zipfian access pattern over loaded keys *)
-            let z = Ff_util.Zipf.create ~n ~theta:0.99 in
+            let z = Ff_util.Zipf.create ~n ~theta:!zipf_theta in
             let zrng = Prng.create 32 in
             let hot = Array.init n (fun _ -> keys.(Ff_util.Zipf.sample z zrng)) in
             Arena.reset_stats a;
@@ -805,7 +809,7 @@ let ycsb () =
       Table.add_floats tbl wname row)
     workloads;
   Table.print tbl;
-  print_endline "   (Zipfian theta = 0.99 over the loaded keys)"
+  Printf.printf "   (Zipfian theta = %.2f over the loaded keys)\n" !zipf_theta
 
 
 (* ------------------------------------------------------------------ *)
@@ -1099,8 +1103,23 @@ let soak_scenario () =
      time only grows. *)
   let clock_ref = ref (fun () -> 0) in
   let tr = Trace.create ~capacity:(1 lsl 16) ~clock:(fun () -> !clock_ref ()) () in
+  let keys = W.zipfian (Prng.create !base_seed) ~n ~space:(8 * n) ~theta:!zipf_theta in
   let t =
+    (* A range partition (not the default hash) so the mid-soak split
+       below has a contiguous span to cut; bounds at the workload's
+       own quantiles, or the zipfian skew would pile every op onto
+       the lowest shard and serialize the batch scheduler. *)
+    let bounds =
+      let sorted = Array.copy keys in
+      Array.sort compare sorted;
+      let b = Array.init (shards - 1) (fun i -> sorted.((i + 1) * n / shards)) in
+      for i = 1 to Array.length b - 1 do
+        if b.(i) <= b.(i - 1) then b.(i) <- b.(i - 1) + 1
+      done;
+      b
+    in
     Shard.create ~pm_config:config ~words ~batch_cap:64 ~group:true ~tracer:tr
+      ~partition:(Shard.Partition.range ~bounds)
       ~inner:"fastfair" ~shards ()
   in
   let arenas = Shard.arenas t in
@@ -1110,7 +1129,6 @@ let soak_scenario () =
         (fun acc a -> max acc (Stats.total_ns (Arena.total_stats a)))
         0 arenas);
   Array.iter (fun a -> Trace.attach_arena tr a) arenas;
-  let keys = W.zipfian (Prng.create !base_seed) ~n ~space:(8 * n) ~theta:0.99 in
   let oprng = Prng.create (W.shard_seed ~base:!base_seed ~shard:1) in
   let ops =
     Array.map
@@ -1143,13 +1161,57 @@ let soak_scenario () =
   let total = Array.length ops in
   (* Phase 1: steady state. *)
   run_range 0 (total / 2);
+  (* Phase 1.5: elastic resharding under watch — the zipfian load
+     piles onto the low end of the range partition, so split the
+     hottest shard at its median key while the SLO monitor keeps
+     scoring.  The new shard joins the tracer and the soak's own
+     power failure below then exercises the post-split topology. *)
+  let hot =
+    let occ = Shard.occupancy t in
+    let best = ref 0 in
+    Array.iteri (fun i c -> if c > occ.(!best) then best := i) occ;
+    !best
+  in
+  let pivot =
+    let ops_h = Shard.instance_ops t hot in
+    let count = ref 0 in
+    ops_h.Intf.range 1 (8 * n) (fun _ _ -> incr count);
+    let seen = ref 0 and p = ref 0 in
+    (try
+       ops_h.Intf.range 1 (8 * n) (fun k _ ->
+           incr seen;
+           if !seen >= !count / 2 then begin
+             p := k;
+             raise Exit
+           end)
+     with Exit -> ());
+    !p
+  in
+  let dst = Arena.create ~config ~words () in
+  let rb = Rebalance.split t ~shard:hot ~pivot ~dst in
+  Trace.attach_arena tr dst;
+  clock_ref :=
+    (fun () ->
+      Array.fold_left
+        (fun acc a -> max acc (Stats.total_ns (Arena.total_stats a)))
+        0 (Shard.arenas t));
+  Printf.printf
+    "  [mid-soak split: shard %d at pivot %d -> %d shards, %d keys copied, \
+     cutover %d ns]\n%!"
+    hot pivot (Shard.shards t) rb.Rebalance.r_moved_keys
+    rb.Rebalance.r_cutover_ns;
   (* Phase 2: one power failure, scrubbed recovery. *)
   Shard.power_fail t (Ff_workload.Crash_harness.default_mode !base_seed);
   Shard.recover t;
-  (* Phase 3: fault storm — poison shard 0's leftmost leaf header (a
-     line scrub can repair) and touch a key that descends into it, so
-     the shard deterministically degrades. *)
-  let a0 = arenas.(0) in
+  (* Phase 3: fault storm — poison the last shard's leftmost leaf
+     header (a line scrub can repair it) and touch a key that
+     descends into it, so that shard deterministically degrades until
+     the scrub re-admits it.  The last shard owns the cold high span
+     of the range partition; poisoning shard 0 would put the fault on
+     the zipfian hot keys themselves and the retry storm would swamp
+     the run. *)
+  let victim = Shard.shards t - 1 in
+  let av = Shard.instance_arena t victim in
   let leftmost_leaf a =
     let module L = Ff_fastfair.Layout in
     let rec go node =
@@ -1158,10 +1220,10 @@ let soak_scenario () =
     in
     go (Arena.root_get a 0)
   in
-  Arena.poison_line a0 (leftmost_leaf a0 / Arena.words_per_line);
+  Arena.poison_line av (leftmost_leaf av / Arena.words_per_line);
   (try
      for k = 1 to 8 * n do
-       if Shard.shard_of_key t k = 0 then begin
+       if Shard.shard_of_key t k = victim then begin
          ignore (Shard.search t k);
          raise Exit
        end
@@ -1170,10 +1232,24 @@ let soak_scenario () =
   | Exit -> ()
   | Shard.Degraded _ -> ());
   run_range (total / 2) (3 * total / 4);
-  (* Phase 4: scrub repairs the line, the shard is re-admitted, and a
-     tail of clean traffic follows. *)
+  (* Phase 4: scrub repairs the line and the shard is re-admitted;
+     with the heat subsided, the elastic story closes by merging the
+     two coldest neighbours back (the split scaled out, the merge
+     scales back in), then a tail of clean traffic follows. *)
   Shard.power_fail t Ff_pmem.Storelog.Keep_all;
   Shard.recover t;
+  let cold_left =
+    let occ = Shard.occupancy t in
+    let best = ref 0 in
+    for i = 1 to Array.length occ - 2 do
+      if occ.(i) + occ.(i + 1) < occ.(!best) + occ.(!best + 1) then best := i
+    done;
+    !best
+  in
+  let rbm = Rebalance.merge t ~left:cold_left in
+  Printf.printf
+    "  [mid-soak merge: shards %d+%d -> %d shards, %d keys copied back]\n%!"
+    cold_left (cold_left + 1) (Shard.shards t) rbm.Rebalance.r_moved_keys;
   run_range (3 * total / 4) total;
   let now = Trace.now tr in
   Slo.Monitor.check mon ~now;
@@ -1189,7 +1265,8 @@ let soak_scenario () =
 
 let soak_target () =
   print_endline
-    "== soak: zipfian mix + crash + fault storm + scrub on 4 shards ==";
+    "== soak: zipfian mix + crash + fault storm + scrub + elastic \
+     split/merge on 4 shards ==";
   let t, tr, ts, snap, report = soak_scenario () in
   Snapshot.pp Format.std_formatter snap;
   Format.printf "timeseries: %d samples over %d series@."
@@ -1212,6 +1289,162 @@ let soak_target () =
     Printf.printf "[slo report -> %s]\n%!" !slo_out
   end;
   if !slo_flag && not (Slo.ok report) then slo_failed := true
+
+(* ------------------------------------------------------------------ *)
+(* Rebalance: copy throughput, cutover pause, foreground p99           *)
+(* ------------------------------------------------------------------ *)
+
+type rb_row = {
+  rb_kind : string;
+  rb_prefill : int;
+  rb_moved_keys : int;
+  rb_moved_bytes : int;
+  rb_copy_ns : int;
+  rb_cutover_ns : int;
+  rb_copy_mb_s : float;
+  rb_p99_before : int;
+  rb_p99_during : int;
+  rb_p99_after : int;
+}
+
+let p99_of = function
+  | [] -> 0
+  | l ->
+      let a = Array.of_list (List.sort compare l) in
+      a.(min (Array.length a - 1) (Array.length a * 99 / 100))
+
+(* One rebalance under a foreground thread on the multicore simulator.
+   Foreground latency is the simulated-clock delta around each op,
+   bucketed by protocol phase (the rebalancer flips the bucket as it
+   starts and finishes), so the three p99s isolate the background
+   copy's interference and the cutover pause from steady state. *)
+let rb_row kind =
+  let n = sc 4_000 in
+  let config = Config.pm ~read_ns:300 ~write_ns:300 () in
+  let words = max (1 lsl 20) (n * 96) in
+  let prefill = Array.init n (fun i -> (2 * i) + 1) in
+  let t, sim_arena, dst, run_rebalance =
+    match kind with
+    | "split" | "merge" ->
+        let a = arena ~config words in
+        let bounds = if kind = "merge" then [| n |] else [||] in
+        let t =
+          Shard.create_composite ~inner:"fastfair"
+            ~partition:(Shard.Partition.range ~bounds)
+            a
+        in
+        ( t,
+          a,
+          None,
+          fun () ->
+            if kind = "split" then Rebalance.split t ~shard:0 ~pivot:n
+            else Rebalance.merge t ~left:0 )
+    | "migrate" ->
+        let t =
+          Shard.create ~pm_config:config ~words ~group:false
+            ~inner:"fastfair" ~shards:1 ()
+        in
+        let src = (Shard.arenas t).(0) in
+        let dst = arena ~config words in
+        (t, src, Some dst, fun () -> Rebalance.migrate t ~shard:0 ~dst)
+    | s -> invalid_arg ("rb_row: unknown kind " ^ s)
+  in
+  Array.iter (fun k -> Shard.insert t ~key:k ~value:(W.value_of k)) prefill;
+  (* Summing the arenas' consumed ns gives a monotonic clock that
+     keeps ticking after a migrate cutover moves the writer onto the
+     destination arena (a max would freeze at the source's total). *)
+  let clock () =
+    let ns a = Stats.total_ns (Arena.total_stats a) in
+    match dst with None -> ns sim_arena | Some d -> ns sim_arena + ns d
+  in
+  let phase = ref `Before in
+  let before = ref [] and during = ref [] and after = ref [] in
+  let before_ops = ref 0 and after_ops = ref 0 in
+  let report = ref None in
+  let writer _ =
+    let rng = Prng.create (W.shard_seed ~base:!base_seed ~shard:11) in
+    (* run until the post-rebalance bucket has enough samples for a
+       stable p99 *)
+    let quota = 256 in
+    let i = ref 0 in
+    while !after_ops < quota do
+      incr i;
+      let k = 1 + Prng.int rng (2 * n) in
+      let ph = !phase in
+      let t0 = clock () in
+      if !i land 3 = 0 then Shard.insert t ~key:k ~value:(W.value_of k)
+      else ignore (Shard.search t k);
+      let dt = clock () - t0 in
+      match ph with
+      | `Before ->
+          before := dt :: !before;
+          incr before_ops
+      | `During -> during := dt :: !during
+      | `After ->
+          after := dt :: !after;
+          incr after_ops
+    done
+  in
+  let rebalancer _ =
+    (* let steady state accumulate first; cpu_work passes through the
+       scheduler's yield hook, so the writer keeps running *)
+    while !before_ops < 256 do
+      Arena.cpu_work sim_arena 1_000
+    done;
+    phase := `During;
+    report := Some (run_rebalance ());
+    phase := `After
+  in
+  ignore
+    (Mcsim.run ~cores:1 ~quantum_ns:200 ~arena:sim_arena
+       [| writer; rebalancer |]);
+  let r = Option.get !report in
+  let moved_bytes =
+    if r.Rebalance.r_moved_words > 0 then 8 * r.Rebalance.r_moved_words
+    else 16 * r.Rebalance.r_moved_keys
+  in
+  {
+    rb_kind = kind;
+    rb_prefill = n;
+    rb_moved_keys = r.Rebalance.r_moved_keys;
+    rb_moved_bytes = moved_bytes;
+    rb_copy_ns = r.Rebalance.r_copy_ns;
+    rb_cutover_ns = r.Rebalance.r_cutover_ns;
+    rb_copy_mb_s =
+      (if r.Rebalance.r_copy_ns = 0 then 0.
+       else float_of_int moved_bytes *. 1e3 /. float_of_int r.Rebalance.r_copy_ns);
+    rb_p99_before = p99_of !before;
+    rb_p99_during = p99_of !during;
+    rb_p99_after = p99_of !after;
+  }
+
+(* The three kinds run once each; cached so a `rebalance` target and a
+   --json report in the same invocation measure a single run. *)
+let rb_rows_cache = ref None
+
+let rebalance_rows () =
+  match !rb_rows_cache with
+  | Some rows -> rows
+  | None ->
+      let rows = List.map rb_row [ "split"; "merge"; "migrate" ] in
+      rb_rows_cache := Some rows;
+      rows
+
+let rebalance_target () =
+  print_endline
+    "== rebalance: live split / merge / migrate under foreground load ==";
+  Printf.printf "%-8s %10s %10s %11s %12s %15s %15s %14s\n" "kind" "moved_keys"
+    "moved_kb" "copy_MB_s" "cutover_ns" "p99_before_ns" "p99_during_ns"
+    "p99_after_ns";
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %10d %10d %11.2f %12d %15d %15d %14d\n" r.rb_kind
+        r.rb_moved_keys (r.rb_moved_bytes / 1024) r.rb_copy_mb_s r.rb_cutover_ns
+        r.rb_p99_before r.rb_p99_during r.rb_p99_after)
+    (rebalance_rows ());
+  print_endline
+    "   (simulated ns; p99 over foreground point ops before / during / after \
+     the rebalance)"
 
 (* ------------------------------------------------------------------ *)
 (* Transactions: logged vs shadow commit-path cost, TPC-C aborts       *)
@@ -1598,6 +1831,21 @@ let json_report file =
         ("retries", J.Int re);
       ]
   in
+  let rb_row_json r =
+    J.Obj
+      [
+        ("kind", J.Str r.rb_kind);
+        ("prefill", J.Int r.rb_prefill);
+        ("moved_keys", J.Int r.rb_moved_keys);
+        ("moved_bytes", J.Int r.rb_moved_bytes);
+        ("copy_ns", J.Int r.rb_copy_ns);
+        ("cutover_ns", J.Int r.rb_cutover_ns);
+        ("copy_mb_per_s", J.Float r.rb_copy_mb_s);
+        ("p99_before_ns", J.Int r.rb_p99_before);
+        ("p99_during_ns", J.Int r.rb_p99_during);
+        ("p99_after_ns", J.Int r.rb_p99_after);
+      ]
+  in
   let sharded_row_json r =
     J.Obj
       [
@@ -1637,6 +1885,7 @@ let json_report file =
                  J.Arr (List.map tx_tpcc_json [ Tx.Logged; Tx.Shadow ]) );
              ] );
          ("snapshot", J.Arr (List.map snap_row_json (snap_rows ())));
+         ("rebalance", J.Arr (List.map rb_row_json (rebalance_rows ())));
        ]
       @ (if !shard_counts = [] then []
          else [ ("sharded", J.Arr (List.map sharded_row_json (sharded_rows ()))) ])
@@ -1738,6 +1987,7 @@ let targets =
     ("sharded", sharded_target);
     ("scrub", scrub_target);
     ("soak", soak_target);
+    ("rebalance", rebalance_target);
     ("tx", tx_target);
     ("snapshot", snapshot_target);
   ]
@@ -1794,6 +2044,14 @@ let () =
       ( "--sched-seed",
         Arg.Set_int sched_seed,
         "S  seed for --sched-policy random/pct (default 0); recorded in --json" );
+      ( "--zipf",
+        Arg.Float
+          (fun t ->
+            if t <= 0. then
+              raise (Arg.Bad (Printf.sprintf "--zipf: theta %g must be > 0" t));
+            zipf_theta := t),
+        "T  Zipfian skew theta for the ycsb and soak workloads (default 0.99; \
+         smaller is flatter)" );
       ( "--slo",
         Arg.Set slo_flag,
         "  evaluate SLO rules on the soak scenario (exit 1 on violation); with \

@@ -16,13 +16,16 @@
      top         SLO/profiler dashboard from a live run or a snapshot
      check       model-check schedules and crash states (--tx switches
                  to whole-transaction durable serializability,
-                 --snapshot to snapshot serializability)
+                 --snapshot to snapshot serializability, --rebalance
+                 to lost-write freedom under live resharding)
      tx          failure-atomic multi-key transfers: crash one transfer
                  mid-commit at every sampled store, audit the balances
      snapshot    MVCC time travel: pin epochs, crash, read the old
                  world back, reclaim with epoch GC
      backup      online backup of a pinned snapshot into a second
-                 arena while the source keeps serving writes *)
+                 arena while the source keeps serving writes
+     rebalance   live shard split / merge / migrate under a concurrent
+                 writer, auditing zero lost acknowledged writes *)
 
 module Arena = Ff_pmem.Arena
 module Config = Ff_pmem.Config
@@ -32,9 +35,11 @@ module Prng = Ff_util.Prng
 module Intf = Ff_index.Intf
 module Descriptor = Ff_index.Descriptor
 module Registry = Ff_index.Registry
+module Locks = Ff_index.Locks
 module W = Ff_workload.Workload
 module Harness = Ff_workload.Crash_harness
 module Shard = Ff_shard.Shard
+module Rebalance = Ff_rebalance.Rebalance
 module Scrub = Ff_scrub.Scrub
 module Tree = Ff_fastfair.Tree
 open Cmdliner
@@ -63,16 +68,43 @@ let list_indexes names_only persistent_only =
       (Registry.all ())
   in
   if names_only then List.iter (fun d -> print_endline d.Descriptor.name) ds
-  else
+  else begin
+    (* Aligned capability matrix: one row per index, one column per
+       capability, so "which indexes can migrate" (reloc) is a single
+       glance down a column. *)
+    let b v = if v then "yes" else "-" in
+    let row name range del recov pers locks node reloc scrub tx snap =
+      Printf.printf "%-18s %-5s %-4s %-4s %-5s %-10s %-8s %-6s %-6s %-4s %-4s\n"
+        name range del recov pers locks node reloc scrub tx snap
+    in
+    row "name" "range" "del" "rec" "pers" "locks" "node" "reloc" "scrub" "tx"
+      "snap";
     List.iter
       (fun d ->
-        Printf.printf "%-18s %s\n%-18s   %s\n" d.Descriptor.name
-          d.Descriptor.summary "" (Descriptor.caps_line d);
+        let c = d.Descriptor.caps in
+        row d.Descriptor.name (b c.Descriptor.has_range)
+          (b c.Descriptor.has_delete)
+          (b c.Descriptor.has_recovery)
+          (b c.Descriptor.is_persistent)
+          (String.concat "/"
+             (List.map
+                (function Locks.Single -> "single" | Locks.Sim -> "sim")
+                c.Descriptor.lock_modes))
+          (if c.Descriptor.tunable_node_bytes then "tunable" else "fixed")
+          (b c.Descriptor.relocatable_root)
+          (b c.Descriptor.scrubbable) (b c.Descriptor.txnable)
+          (b c.Descriptor.snapshottable))
+      ds;
+    print_newline ();
+    List.iter
+      (fun d ->
+        Printf.printf "%-18s %s\n" d.Descriptor.name d.Descriptor.summary;
         match d.Descriptor.composite with
         | Some (inner, n) ->
             Printf.printf "%-18s   composite: %d shards over %s\n" "" n inner
         | None -> ())
-      ds;
+      ds
+  end;
   0
 
 (* ------------------------------------------------------------------ *)
@@ -1196,6 +1228,143 @@ let backup_demo keys seed root_slot chunk =
   if live_ok && crash_ok then 0 else 1
 
 (* ------------------------------------------------------------------ *)
+(* rebalance: live split / merge / migrate under a concurrent writer   *)
+(* ------------------------------------------------------------------ *)
+
+(* One rebalance runs while a simulated writer keeps inserting; the
+   audit is the rebalancer's whole contract: every acknowledged write
+   (prefill and concurrent) reads back afterwards, live and again
+   after a power failure resolved from the decision word alone.
+   --mutate-drop-delta arms the cutover mutant, so the audit must
+   fail — the lost writes are exactly the dual-written delta. *)
+let rebalance_demo kind keys seed bytes_per_ms chunk_ops mutate =
+  let module Mcsim = Ff_mcsim.Mcsim in
+  let value_of k = (k * 7919) + 13 in
+  let throttle = { Rebalance.bytes_per_ms; chunk_ops } in
+  let prefill = List.init keys (fun i -> (2 * i) + 1) in
+  let writer_keys =
+    (* even keys, inserted in a seed-shuffled order so the dual-write
+       window sees an unpredictable mix of both spans *)
+    let a = Array.init keys (fun i -> (2 * i) + 2) in
+    let rng = Prng.create seed in
+    for i = keys - 1 downto 1 do
+      let j = Prng.int rng (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    Array.to_list a
+  in
+  let run t arena rebalance =
+    let pairs = List.map (fun k -> (k, value_of k)) writer_keys in
+    let writer _ =
+      List.iter (fun (k, v) -> Shard.insert t ~key:k ~value:v) pairs
+    in
+    let report = ref None in
+    ignore
+      (Mcsim.run ~cores:1 ~quantum_ns:1 ~arena
+         [| writer; (fun _ -> report := Some (rebalance ())) |]);
+    (List.map (fun k -> (k, value_of k)) prefill @ pairs, Option.get !report)
+  in
+  let audit what read expected =
+    let missing =
+      List.filter (fun (k, v) -> read k <> Some v) expected
+    in
+    Printf.printf "  %s: %d/%d acknowledged writes visible%s\n" what
+      (List.length expected - List.length missing)
+      (List.length expected)
+      (if missing = [] then ""
+       else
+         Printf.sprintf " — LOST %s"
+           (String.concat ", "
+              (List.map (fun (k, _) -> string_of_int k) missing)));
+    missing = []
+  in
+  let print_report (r : Rebalance.report) =
+    Printf.printf
+      "%s: generation %d at shard %d — %d keys copied, %d delta records \
+       replayed, %d stale keys cleaned\n"
+      kind r.Rebalance.r_generation r.Rebalance.r_shard
+      r.Rebalance.r_moved_keys r.Rebalance.r_delta_replayed
+      r.Rebalance.r_cleaned_keys;
+    Printf.printf
+      "  background copy %d ns, cutover window %d ns (simulated)\n"
+      r.Rebalance.r_copy_ns r.Rebalance.r_cutover_ns
+  in
+  Rebalance.mutant_drop_delta := mutate;
+  Fun.protect
+    ~finally:(fun () -> Rebalance.mutant_drop_delta := false)
+    (fun () ->
+      match kind with
+      | "split" | "merge" ->
+          let bounds = if kind = "merge" then [| keys |] else [||] in
+          let a = mk_arena (max (1 lsl 20) (keys * 160)) in
+          let t =
+            Shard.create_composite ~inner:"fastfair"
+              ~partition:(Shard.Partition.range ~bounds)
+              a
+          in
+          List.iter
+            (fun k -> Shard.insert t ~key:k ~value:(value_of k))
+            prefill;
+          let expected, r =
+            run t a (fun () ->
+                if kind = "split" then
+                  Rebalance.split ~throttle t ~shard:0 ~pivot:keys
+                else Rebalance.merge ~throttle t ~left:0)
+          in
+          print_report r;
+          Printf.printf "  topology: %d shard%s\n" (Shard.shards t)
+            (if Shard.shards t = 1 then "" else "s");
+          let live_ok = audit "live audit" (Shard.search t) expected in
+          Arena.power_fail a Storelog.Keep_all;
+          let res = Rebalance.resolve a in
+          Printf.printf "  power_fail + resolve: %s\n"
+            (match res with
+            | Rebalance.Resolved_idle -> "idle (finish already durable)"
+            | Rebalance.Resolved_aborted _ -> "ABORTED"
+            | Rebalance.Resolved_completed _ -> "rolled forward"
+            | Rebalance.Resolved_migrated -> "MIGRATED?");
+          let t2 = Shard.attach ~inner:"fastfair" a in
+          Shard.recover t2;
+          let crash_ok = audit "post-crash audit" (Shard.search t2) expected in
+          if live_ok && crash_ok then 0 else 1
+      | "migrate" ->
+          let t = Shard.create ~group:false ~inner:"fastfair" ~shards:1 () in
+          let src = (Shard.arenas t).(0) in
+          let dst = mk_arena (max (1 lsl 20) (keys * 160)) in
+          List.iter
+            (fun k -> Shard.insert t ~key:k ~value:(value_of k))
+            prefill;
+          let expected, r =
+            run t src (fun () -> Rebalance.migrate ~throttle t ~shard:0 ~dst)
+          in
+          print_report r;
+          Printf.printf "  %d arena words shipped; source tombstone: %s\n"
+            r.Rebalance.r_moved_words
+            (match Rebalance.phase src with
+            | Rebalance.Committed _ -> "committed"
+            | _ -> "MISSING");
+          let live_ok = audit "live audit" (Shard.search t) expected in
+          Arena.power_fail dst Storelog.Keep_all;
+          let res = Rebalance.resolve src in
+          Printf.printf "  power_fail(dst) + resolve(src): %s\n"
+            (match res with
+            | Rebalance.Resolved_migrated -> "mount the destination"
+            | _ -> "UNEXPECTED");
+          let o = Registry.open_existing dst in
+          o.Intf.recover ();
+          let crash_ok =
+            audit "post-crash audit" (fun k -> o.Intf.search k) expected
+          in
+          if live_ok && crash_ok && res = Rebalance.Resolved_migrated then 0
+          else 1
+      | s ->
+          Printf.printf
+            "rebalance: unknown kind %S (split, merge, migrate)\n" s;
+          2)
+
+(* ------------------------------------------------------------------ *)
 (* check: model-check schedules and crash states                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1219,10 +1388,11 @@ let print_check_report ~out (r : Ff_check.Check.report) =
 
 let check index_name writers readers ops keyspace prefill seed explorer schedules
     no_crashes crash_budget non_tso elide tx txns tx_path torn snapshot rounds
-    snap_mutant out replay =
+    snap_mutant rebalance rebal_kind rebal_mutant out replay =
   let module C = Ff_check.Check in
   let module TC = Ff_check.Txcheck in
   let module SC = Ff_check.Snapcheck in
+  let module RC = Ff_check.Rebalcheck in
   match replay with
   | Some path -> (
       match Ff_check.Counterexample.load path with
@@ -1235,9 +1405,11 @@ let check index_name writers readers ops keyspace prefill seed explorer schedule
              replay it through the matching engine. *)
           let is_tx = cx.Ff_check.Counterexample.tx <> None in
           let is_snap = cx.Ff_check.Counterexample.snap <> None in
+          let is_rebal = cx.Ff_check.Counterexample.rebal <> None in
           Printf.printf "replaying %s%s counterexample for %s (crash: %s)\n"
             (if is_tx then "transaction "
              else if is_snap then "snapshot "
+             else if is_rebal then "rebalance "
              else "")
             cx.Ff_check.Counterexample.kind cx.Ff_check.Counterexample.index
             (match cx.Ff_check.Counterexample.crash with
@@ -1248,6 +1420,7 @@ let check index_name writers readers ops keyspace prefill seed explorer schedule
           let r =
             if is_tx then TC.replay cx
             else if is_snap then SC.replay cx
+            else if is_rebal then RC.replay cx
             else C.replay cx
           in
           let rc = print_check_report ~out:None r in
@@ -1266,7 +1439,28 @@ let check index_name writers readers ops keyspace prefill seed explorer schedule
         | "pct" -> C.Pct
         | s -> invalid_arg (Printf.sprintf "unknown explorer %S (dfs, pct)" s)
       in
-      if snapshot then begin
+      if rebalance then begin
+        let config =
+          {
+            RC.default with
+            RC.kind = RC.rkind_of_string rebal_kind;
+            ops;
+            keyspace;
+            prefill;
+            seed;
+            mutant = rebal_mutant;
+            explorer;
+            schedules;
+            crash_budget = (if no_crashes then 0 else crash_budget);
+          }
+        in
+        match RC.checkable (Registry.find_exn index_name) config with
+        | Some msg ->
+            Printf.printf "check --rebalance: %s\n" msg;
+            2
+        | None -> print_check_report ~out (RC.run ~config index_name)
+      end
+      else if snapshot then begin
         let config =
           {
             SC.default with
@@ -1594,6 +1788,24 @@ let check_cmd =
                against the live tree — the sweep must fail and emit a \
                replayable counterexample.")
   in
+  let rebalance =
+    Arg.(value & flag & info [ "rebalance" ]
+         ~doc:"Check live resharding instead of individual operations: a \
+               writer applies a deterministic commit log while a rebalancer \
+               splits, merges or migrates a shard underneath it; after every \
+               explored schedule and crash point, zero acknowledged writes \
+               may be lost. $(b,--ops) becomes the writer commit-log length.")
+  in
+  let rebal_kind =
+    Arg.(value & opt string "split" & info [ "rebal-kind" ] ~docv:"KIND"
+         ~doc:"With --rebalance: $(b,split), $(b,merge) or $(b,migrate).")
+  in
+  let rebal_mutant =
+    Arg.(value & flag & info [ "mutate-drop-delta" ]
+         ~doc:"Fault injection (with --rebalance): cutover silently discards \
+               the dual-written delta records — the sweep must fail and emit \
+               a replayable counterexample.")
+  in
   let out =
     Arg.(value & opt (some string) (Some "counterexamples") & info [ "out"; "o" ] ~docv:"DIR"
          ~doc:"Directory for counterexample artifacts.")
@@ -1606,11 +1818,12 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Model-check an index: explore schedules, verify linearizability, and crash \
              every explored schedule at each fence; --tx checks whole transactions \
-             for durable serializability instead")
+             for durable serializability, --rebalance checks lost-write freedom \
+             under live resharding instead")
     Term.(const check $ index_arg $ writers $ readers $ ops $ keyspace $ prefill $ seed_arg
           $ explorer $ schedules $ no_crashes $ crash_budget $ non_tso $ elide
           $ tx $ txns $ tx_path $ torn $ snapshot $ rounds $ snap_mutant
-          $ out $ replay)
+          $ rebalance $ rebal_kind $ rebal_mutant $ out $ replay)
 
 let tx_cmd =
   let path =
@@ -1679,10 +1892,43 @@ let backup_cmd =
              then crash the copy and verify it recovers byte-identical")
     Term.(const backup_demo $ keys $ seed_arg $ root_slot $ chunk)
 
+let rebalance_cmd =
+  let kind =
+    Arg.(value & opt string "split" & info [ "kind" ] ~docv:"KIND"
+         ~doc:"$(b,split), $(b,merge) or $(b,migrate).")
+  in
+  let keys =
+    Arg.(value & opt int 400 & info [ "keys"; "k" ] ~docv:"N"
+         ~doc:"Prefilled keys; the concurrent writer inserts as many again.")
+  in
+  let bytes_per_ms =
+    Arg.(value & opt int 65536 & info [ "bytes-per-ms" ] ~docv:"B"
+         ~doc:"Background-copy budget per simulated millisecond (0 = unthrottled).")
+  in
+  let chunk_ops =
+    Arg.(value & opt int 64 & info [ "chunk-ops" ] ~docv:"N"
+         ~doc:"Keys moved per throttle charge.")
+  in
+  let mutate =
+    Arg.(value & flag & info [ "mutate-drop-delta" ]
+         ~doc:"Fault injection: cutover silently discards the dual-written \
+               delta records — the audit must then report lost acknowledged \
+               writes and exit 1.")
+  in
+  Cmd.v
+    (Cmd.info "rebalance"
+       ~doc:"Live resharding: split, merge or migrate a shard while a \
+             concurrent writer keeps inserting, audit that no acknowledged \
+             write is lost — live and again after a power failure resolved \
+             from the decision word alone")
+    Term.(const rebalance_demo $ kind $ keys $ seed_arg $ bytes_per_ms
+          $ chunk_ops $ mutate)
+
 let () =
   let info = Cmd.info "ffcli" ~doc:"FAST+FAIR persistent B+-tree playground" in
   exit
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; fuzz_cmd; crash_cmd; check_cmd; scrub_cmd; stats_cmd; dump_cmd;
-            persist_cmd; trace_cmd; top_cmd; tx_cmd; snapshot_cmd; backup_cmd ]))
+            persist_cmd; trace_cmd; top_cmd; tx_cmd; snapshot_cmd; backup_cmd;
+            rebalance_cmd ]))

@@ -376,6 +376,7 @@ let mk_cx cfg index kind ~decisions ~crash ~detail =
       };
     tx = None;
     snap = None;
+    rebal = None;
     decisions;
     crash;
     detail;

@@ -29,6 +29,13 @@ type snap_info = {
   rounds : int;
 }
 
+type rebal_info = {
+  rb_kind : string; (* "split" | "merge" | "migrate" *)
+  rb_mutant : bool; (* drop-delta mutant armed *)
+  rb_shards : int;  (* shard count before the rebalance *)
+  rb_arena : int;   (* crash-plan arena: 0 = source, 1 = migrate dst *)
+}
+
 type t = {
   index : string;
   node_bytes : int option;
@@ -36,6 +43,7 @@ type t = {
   workload : workload;
   tx : tx_info option;
   snap : snap_info option;
+  rebal : rebal_info option;
   decisions : int array;
   crash : crash option;
   detail : string;
@@ -83,6 +91,17 @@ let to_json t =
                  [
                    ("mutant", Json.Bool s.mutant);
                    ("rounds", Json.Int s.rounds);
+                 ] );
+         ( "rebal",
+           match t.rebal with
+           | None -> Json.Null
+           | Some r ->
+               Json.Obj
+                 [
+                   ("rb_kind", Json.Str r.rb_kind);
+                   ("rb_mutant", Json.Bool r.rb_mutant);
+                   ("rb_shards", Json.Int r.rb_shards);
+                   ("rb_arena", Json.Int r.rb_arena);
                  ] );
          ( "decisions",
            Json.Arr (Array.to_list (Array.map (fun d -> Json.Int d) t.decisions)) );
@@ -167,6 +186,26 @@ let of_json s =
               in
               Ok (Some { mutant; rounds })
         in
+        (* Optional rebalance extension (same tolerant-parse
+           convention; version stays 1). *)
+        let* rebal =
+          match Json.member "rebal" j with
+          | None | Some Json.Null -> Ok None
+          | Some rj ->
+              let* rb_kind = field "rb_kind" Json.to_str rj in
+              let* rb_shards = field "rb_shards" Json.to_int rj in
+              let rb_mutant =
+                match Json.member "rb_mutant" rj with
+                | Some (Json.Bool b) -> b
+                | _ -> false
+              in
+              let rb_arena =
+                match Json.member "rb_arena" rj with
+                | Some (Json.Int a) -> a
+                | _ -> 0
+              in
+              Ok (Some { rb_kind; rb_mutant; rb_shards; rb_arena })
+        in
         let* decisions = field "decisions" Json.to_list j in
         let* decisions =
           try
@@ -213,6 +252,7 @@ let of_json s =
               };
             tx;
             snap;
+            rebal;
             decisions;
             crash;
             detail;

@@ -47,6 +47,16 @@ type snap_info = {
     optional ["snap"] member with the same tolerant-parse convention
     as [tx] (version stays 1). *)
 
+type rebal_info = {
+  rb_kind : string; (** "split" | "merge" | "migrate" *)
+  rb_mutant : bool; (** drop-delta mutant was active *)
+  rb_shards : int;  (** shard count before the rebalance *)
+  rb_arena : int;   (** crash-plan arena: 0 = source, 1 = migrate dst *)
+}
+(** Rebalance-checker extension ({!Rebalcheck}).  Serialized as an
+    optional ["rebal"] member with the same tolerant-parse convention
+    as [tx] and [snap] (version stays 1). *)
+
 type t = {
   index : string;       (** registry name *)
   node_bytes : int option;
@@ -54,6 +64,7 @@ type t = {
   workload : workload;
   tx : tx_info option;  (** present iff produced by {!Txcheck} *)
   snap : snap_info option;  (** present iff produced by {!Snapcheck} *)
+  rebal : rebal_info option;  (** present iff produced by {!Rebalcheck} *)
   decisions : int array;
   crash : crash option;
   detail : string;      (** human-readable failure description *)

@@ -395,6 +395,7 @@ let mk_cx cfg index kind ~decisions ~crash ~detail =
       Some
         { Cx.path = path_name cfg.path; torn = cfg.torn_commit; txns = cfg.txns };
     snap = None;
+    rebal = None;
     decisions;
     crash;
     detail;

@@ -55,6 +55,7 @@ let find_exn name =
 let slot_magic = 61
 let slot_id = 62
 let slot_node_bytes = 63
+let manifest_slots = [ slot_magic; slot_id; slot_node_bytes ]
 let magic = 0x46464d31 (* "FFM1" *)
 
 let write_manifest arena (d : Descriptor.t) (config : Descriptor.config) =

@@ -52,3 +52,8 @@ val open_existing :
 (** Reattach to whatever index the arena's manifest names, with the
     persisted node size.  The caller runs [ops.recover] before use.
     @raise Invalid_argument when the arena carries no manifest. *)
+
+val manifest_slots : int list
+(** The reserved root slots the registry manifest occupies (61-63) —
+    exported so the slot-map audit can check every consumer against
+    {!Ff_pmem.Arena.reserved_words} without duplicating constants. *)

@@ -557,6 +557,16 @@ let clone t =
 
 let dirty_line_count t = List.length (Storelog.dirty_lines t.log)
 
+(* A reattached segment (or any freshly mounted image) starts from the
+   post-crash allocator state: the heap contents and bump pointer are
+   authoritative, the volatile block bookkeeping is not.  Dropping it
+   makes subsequent frees of pre-existing blocks take the
+   unknown-block path, exactly as after [power_fail]. *)
+let forget_allocations t =
+  Hashtbl.reset t.free_lists;
+  Hashtbl.reset t.free_set;
+  Hashtbl.reset t.live_blocks
+
 (* File format: (magic, capacity, bump, persisted image). *)
 let magic = 0xFA57FA12
 

@@ -45,8 +45,11 @@ val reserved_words : int
     never returns them.  Currently 72: shard inner roots (0-55), the
     transaction log anchor (56-57), the shard manifest (58-60), the
     registry manifest (61-63), the published snapshot epoch cell (64),
-    the cross-shard snapshot decision word (65) and the snapshot
-    version-store anchor (66-67). *)
+    the cross-shard snapshot decision word (65), the snapshot
+    version-store anchor (66-67), and the rebalance generation,
+    decision word and plan-block pointer (68-70; 71 is spare).  The
+    slot map is audited against every consumer by
+    [test/test_rebalance.ml]. *)
 
 val create : ?config:Config.t -> words:int -> unit -> t
 val config : t -> Config.t
@@ -277,6 +280,13 @@ val poisoned_lines : t -> int list
 val drain : t -> unit
 (** Quiesce: persist all pending stores (legal under TSO — it is the
     all-lines-evicted state).  Used before {!clone}. *)
+
+val forget_allocations : t -> unit
+(** Drop the volatile allocator metadata (live-block table and free
+    lists) while keeping the heap contents and bump pointer — the
+    fresh-mount state a reattached {!Segment} or reloaded image starts
+    from.  Subsequent {!free}s of pre-existing blocks take the
+    unknown-block path, exactly as after {!power_fail}. *)
 
 val clone : t -> t
 (** Deep copy for crash-point enumeration.  The store log must be

@@ -21,6 +21,8 @@ exception Degraded of { shard : int; addr : int; attempts : int }
 (* Partitioning                                                        *)
 (* ------------------------------------------------------------------ *)
 
+let key_space_hi = (1 lsl 60) - 1
+
 module Partition = struct
   type t = Hash of int | Range of int array
 
@@ -65,6 +67,46 @@ module Partition = struct
 
   let tag = function Hash _ -> 0 | Range _ -> 1
   let bounds = function Hash _ -> [||] | Range b -> Array.copy b
+
+  (* Inclusive key interval shard [i] owns.  Hash scatters the key
+     space, so every hash shard nominally owns all of it. *)
+  let span t i =
+    match t with
+    | Hash _ -> (1, key_space_hi)
+    | Range b ->
+        ( (if i = 0 then 1 else b.(i - 1)),
+          if i = Array.length b then key_space_hi else b.(i) - 1 )
+
+  (* Elastic topology edits (volatile; callers persist separately). *)
+
+  let split t ~shard ~pivot =
+    match t with
+    | Hash _ -> invalid_arg "Partition.split: hash partitions cannot split"
+    | Range b ->
+        let lo, hi = span t shard in
+        if pivot <= lo || pivot > hi then
+          invalid_arg
+            (Printf.sprintf
+               "Partition.split: pivot %d outside shard %d's span (%d, %d]"
+               pivot shard lo hi);
+        let n = Array.length b in
+        let nb = Array.make (n + 1) 0 in
+        Array.blit b 0 nb 0 shard;
+        nb.(shard) <- pivot;
+        Array.blit b shard nb (shard + 1) (n - shard);
+        Range nb
+
+  let merge t ~left =
+    match t with
+    | Hash _ -> invalid_arg "Partition.merge: hash partitions cannot merge"
+    | Range b ->
+        if left < 0 || left >= Array.length b then
+          invalid_arg "Partition.merge: no right neighbour to merge";
+        let n = Array.length b in
+        let nb = Array.make (n - 1) 0 in
+        Array.blit b 0 nb 0 left;
+        Array.blit b (left + 1) nb left (n - left - 1);
+        Range nb
 end
 
 (* ------------------------------------------------------------------ *)
@@ -119,6 +161,13 @@ let shard_config (base : D.config) i = { base with D.root_slot = 2 * i }
 type instance = {
   mutable ops : Intf.ops;
   arena : Arena.t;
+  (* Composite root-slot id: the inner builds at slots [2*slot,
+     2*slot+1].  Decoupled from the instance's position in the array so
+     elastic splices never renumber surviving shards' slots.  Unused
+     (position-equal) in serving mode. *)
+  mutable slot : int;
+  (* Original ops while a rebalance write tap wraps this instance. *)
+  mutable tap_base : Intf.ops option;
   lat : Histogram.t;
   mutable routed : int;
   mutable batches : int;
@@ -129,18 +178,19 @@ type instance = {
 }
 
 type t = {
-  partition : Partition.t;
+  mutable partition : Partition.t;
   inner : D.t;
   inner_config : D.config;
-  instances : instance array;
+  mutable instances : instance array;
   multi : bool; (* one arena per shard (serving) vs one carved arena *)
   batch_cap : int;
   group : bool; (* batches run under a group-flush scope *)
   mutable tracer : Trace.t;
   (* Queued ops carry the id and enqueue time assigned at submit, so a
-     batch records true end-to-end latency (queueing + execution). *)
-  queues : (int * int * Workload.op) list ref array;
-  qlen : int array;
+     batch records true end-to-end latency (queueing + execution).
+     Rebuilt (empty) whenever a splice changes the topology. *)
+  mutable queues : (int * int * Workload.op) list ref array;
+  mutable qlen : int array;
   retry_limit : int;
   backoff_ns : int;
   mutable next_op : int;
@@ -152,19 +202,25 @@ type t = {
   mutable next_gtid : int;
   mutable tx_torn : bool;
   mutable tx_replays : int;
-  (* A global snapshot pin in progress: new mutations stall until every
-     shard sits on the agreed epoch (reads keep flowing). *)
+  (* A global snapshot pin or rebalance cutover in progress: new
+     mutations stall until the quiesced section ends (reads keep
+     flowing). *)
   mutable pinning : bool;
-  (* Cross-shard commits past the write gate but still applying shard
-     by shard; a pin must wait these out or its cut could capture half
-     a committed transaction. *)
+  (* Mutations past the write gate but not yet fully applied — point
+     writes mid-flight, batches executing, cross-shard commits applying
+     shard by shard.  A quiesce must wait these out: a snapshot cut
+     could otherwise capture half a committed transaction, and a
+     rebalance cutover could otherwise lose a write that was applied to
+     the source after the delta buffer was replayed. *)
   mutable commits_in_flight : int;
 }
 
-let mk_instance ops arena =
+let mk_instance ?(slot = 0) ops arena =
   {
     ops;
     arena;
+    slot;
+    tap_base = None;
     lat = Histogram.create ();
     routed = 0;
     batches = 0;
@@ -239,9 +295,9 @@ let create ?(pm_config = Config.default) ?(words = 1 lsl 20)
         p
   in
   let instances =
-    Array.init shards (fun _ ->
+    Array.init shards (fun i ->
         let a = Arena.create ~config:pm_config ~words () in
-        mk_instance (Registry.build ~config:inner_config inner a) a)
+        mk_instance ~slot:i (Registry.build ~config:inner_config inner a) a)
   in
   make ~partition ~inner:d ~inner_config ~instances ~multi:true ~batch_cap
     ~group ~tracer ~retry_limit ~backoff_ns
@@ -249,19 +305,57 @@ let create ?(pm_config = Config.default) ?(words = 1 lsl 20)
 (* Single-arena composite: all shards carved from one arena, so the
    whole ensemble persists, crashes and reloads as one image. *)
 
-let persist_meta arena partition =
+(* Range manifest block: [len; bounds x len; slot map x (len+1)].  The
+   slot map names each partition position's root-slot id, so elastic
+   splices can hand a split-off shard the next free slot pair without
+   renumbering survivors. *)
+let persist_meta arena partition map =
   (match partition with
   | Partition.Hash _ -> Arena.root_set arena slot_bounds 0
   | Partition.Range b ->
       let len = Array.length b in
-      let blk = Arena.alloc arena (len + 1) in
+      if Array.length map <> len + 1 then
+        invalid_arg "Shard.persist_meta: slot map disagrees with bounds";
+      let old = Arena.root_get arena slot_bounds in
+      let words = 1 + len + (len + 1) in
+      let blk = Arena.alloc arena words in
       Arena.write arena blk len;
       Array.iteri (fun i v -> Arena.write arena (blk + 1 + i) v) b;
-      Arena.flush_range arena blk (len + 1);
+      Array.iteri (fun i s -> Arena.write arena (blk + 1 + len + i) s) map;
+      Arena.flush_range arena blk words;
       Arena.fence arena;
-      Arena.root_set arena slot_bounds blk);
+      Arena.root_set arena slot_bounds blk;
+      if old <> 0 then begin
+        let olen = Arena.read arena old in
+        Arena.free arena old (1 + olen + (olen + 1))
+      end);
   Arena.root_set arena slot_policy (Partition.tag partition);
   Arena.root_set arena slot_shards (Partition.shards partition)
+
+let read_meta arena =
+  let n = Arena.root_get arena slot_shards in
+  if n < 1 || n > max_shards then
+    invalid_arg "Shard.attach: arena carries no shard metadata";
+  match Arena.root_get arena slot_policy with
+  | 0 -> (Partition.hash ~shards:n, Array.init n Fun.id)
+  | 1 ->
+      let blk = Arena.root_get arena slot_bounds in
+      let len = Arena.read arena blk in
+      if len <> n - 1 then
+        invalid_arg "Shard.attach: shard manifest is inconsistent";
+      let bounds = Array.init len (fun i -> Arena.read arena (blk + 1 + i)) in
+      let map = Array.init n (fun i -> Arena.read arena (blk + 1 + len + i)) in
+      (Partition.range ~bounds, map)
+  | tag ->
+      invalid_arg
+        (Printf.sprintf "Shard.attach: unknown partition policy tag %d" tag)
+
+(* Arena-level manifest access for the rebalancer: crash resolution
+   must be able to promote a committed topology (or inspect the old
+   one) before any ensemble handle exists. *)
+let manifest_slots = [ slot_bounds; slot_policy; slot_shards ]
+let read_manifest = read_meta
+let write_manifest = persist_meta
 
 let build_single ?(batch_cap = 64) ?(group = false) ?(tracer = Trace.null)
     ?(retry_limit = 3) ?(backoff_ns = 1000) ~inner:(d : D.t) ~partition cfg
@@ -270,31 +364,21 @@ let build_single ?(batch_cap = 64) ?(group = false) ?(tracer = Trace.null)
   check_shards (Partition.shards partition);
   let instances =
     Array.init (Partition.shards partition) (fun i ->
-        mk_instance (d.D.build (shard_config cfg i) arena) arena)
+        mk_instance ~slot:i (d.D.build (shard_config cfg i) arena) arena)
   in
-  persist_meta arena partition;
+  persist_meta arena partition
+    (Array.init (Partition.shards partition) Fun.id);
   make ~partition ~inner:d ~inner_config:cfg ~instances ~multi:false ~batch_cap
     ~group ~tracer ~retry_limit ~backoff_ns
 
 let attach_with ?(batch_cap = 64) ?(group = false) ?(tracer = Trace.null)
     ?(retry_limit = 3) ?(backoff_ns = 1000) (d : D.t) cfg arena =
-  let n = Arena.root_get arena slot_shards in
-  if n < 1 || n > max_shards then
-    invalid_arg "Shard.attach: arena carries no shard metadata";
-  let partition =
-    match Arena.root_get arena slot_policy with
-    | 0 -> Partition.hash ~shards:n
-    | 1 ->
-        let blk = Arena.root_get arena slot_bounds in
-        let len = Arena.read arena blk in
-        Partition.range ~bounds:(Array.init len (fun i -> Arena.read arena (blk + 1 + i)))
-    | tag ->
-        invalid_arg
-          (Printf.sprintf "Shard.attach: unknown partition policy tag %d" tag)
-  in
+  let partition, map = read_meta arena in
   let instances =
-    Array.init n (fun i ->
-        mk_instance (d.D.open_existing (shard_config cfg i) arena) arena)
+    Array.init (Partition.shards partition) (fun i ->
+        mk_instance ~slot:map.(i)
+          (d.D.open_existing (shard_config cfg map.(i)) arena)
+          arena)
   in
   make ~partition ~inner:d ~inner_config:cfg ~instances ~multi:false ~batch_cap
     ~group ~tracer ~retry_limit ~backoff_ns
@@ -304,6 +388,15 @@ let attach ?batch_cap ?group ?tracer ?retry_limit ?backoff_ns
   let d = Registry.find_exn inner in
   require_shardable d;
   attach_with ?batch_cap ?group ?tracer ?retry_limit ?backoff_ns d config arena
+
+(* Build a single-arena composite with an explicit partition (the
+   registered composite descriptor is fixed at 4 hash shards; elastic
+   rebalancing wants range partitions of any width). *)
+let create_composite ?batch_cap ?group ?tracer ?retry_limit ?backoff_ns
+    ?(config = D.default_config) ~inner ~partition arena =
+  let d = Registry.find_exn inner in
+  build_single ?batch_cap ?group ?tracer ?retry_limit ?backoff_ns ~inner:d
+    ~partition config arena
 
 (* ------------------------------------------------------------------ *)
 (* Routed point operations and the merged range cursor                 *)
@@ -344,53 +437,75 @@ let guarded t i f =
   in
   attempt 0
 
-(* Mutations wait out an in-progress global snapshot pin so no write
-   lands on an already-pinned shard while a sibling has yet to pin —
-   the cross-shard cut stays consistent.  Reads are unaffected. *)
+(* Mutations wait out an in-progress global snapshot pin or rebalance
+   cutover so no write lands on an already-pinned shard while a
+   sibling has yet to pin — the cross-shard cut stays consistent.
+   Reads are unaffected. *)
 let write_gate t =
   while t.pinning do
     Arena.cpu_work t.instances.(0).arena 30
   done
 
-let insert t ~key ~value =
+(* Pass the gate and count the mutation as in flight until it is fully
+   applied.  The gate check and the increment share no yield point, so
+   a quiesce raised after the gate waits the whole mutation out —
+   routing, apply, and (during a rebalance) the dual-write tap are one
+   indivisible unit from the quiescer's point of view. *)
+let with_inflight t f =
   write_gate t;
-  let i = shard_of_key t key in
-  let it = t.instances.(i) in
-  it.routed <- it.routed + 1;
-  guarded t i (fun () -> it.ops.Intf.insert key value)
+  t.commits_in_flight <- t.commits_in_flight + 1;
+  Fun.protect
+    ~finally:(fun () -> t.commits_in_flight <- t.commits_in_flight - 1)
+    f
+
+let insert t ~key ~value =
+  with_inflight t (fun () ->
+      let i = shard_of_key t key in
+      let it = t.instances.(i) in
+      it.routed <- it.routed + 1;
+      guarded t i (fun () -> it.ops.Intf.insert key value))
 
 let search t key =
   let i = shard_of_key t key in
   guarded t i (fun () -> t.instances.(i).ops.Intf.search key)
 
 let delete t key =
-  write_gate t;
-  let i = shard_of_key t key in
-  guarded t i (fun () -> t.instances.(i).ops.Intf.delete key)
+  with_inflight t (fun () ->
+      let i = shard_of_key t key in
+      guarded t i (fun () -> t.instances.(i).ops.Intf.delete key))
 
 let update t ~key ~value =
-  write_gate t;
-  let i = shard_of_key t key in
-  guarded t i (fun () -> t.instances.(i).ops.Intf.update key value)
+  with_inflight t (fun () ->
+      let i = shard_of_key t key in
+      guarded t i (fun () -> t.instances.(i).ops.Intf.update key value))
 
 let bulk_insert t pairs =
-  write_gate t;
-  (* Partition first so each inner sees one call and may use its bulk
-     path; within a shard the submission order is preserved. *)
-  let buckets = Array.make (shards t) [] in
-  Array.iter
-    (fun (k, v) ->
-      let i = shard_of_key t k in
-      buckets.(i) <- (k, v) :: buckets.(i))
-    pairs;
-  Array.iteri
-    (fun i b ->
-      if b <> [] then begin
-        let arr = Array.of_list (List.rev b) in
-        t.instances.(i).routed <- t.instances.(i).routed + Array.length arr;
-        t.instances.(i).ops.Intf.bulk_insert arr
-      end)
-    buckets
+  with_inflight t (fun () ->
+      (* Partition first so each inner sees one call and may use its
+         bulk path; within a shard the submission order is preserved. *)
+      let buckets = Array.make (shards t) [] in
+      Array.iter
+        (fun (k, v) ->
+          let i = shard_of_key t k in
+          buckets.(i) <- (k, v) :: buckets.(i))
+        pairs;
+      Array.iteri
+        (fun i b ->
+          if b <> [] then begin
+            let arr = Array.of_list (List.rev b) in
+            t.instances.(i).routed <- t.instances.(i).routed + Array.length arr;
+            t.instances.(i).ops.Intf.bulk_insert arr
+          end)
+        buckets)
+
+(* Scans are clamped to the queried shard's owned span: after a split
+   or merge the source tree may still hold moved keys outside its span
+   (until the background cleanup deletes them), and clamping keeps
+   those stale copies invisible. *)
+let clamped_range t j lo hi f =
+  let sl, sh = Partition.span t.partition j in
+  let qlo = max lo sl and qhi = min hi sh in
+  if qlo <= qhi then t.instances.(j).ops.Intf.range qlo qhi f
 
 (* Cross-shard ordered scan: materialize each overlapping shard's
    slice (already ascending) and k-way merge on a stable min-heap.
@@ -399,14 +514,13 @@ let range t ~lo ~hi f =
   let slo, shi = Partition.overlapping t.partition ~lo ~hi in
   let nsh = shi - slo + 1 in
   if Trace.enabled t.tracer then Trace.instant t.tracer Trace.id_merge nsh;
-  if nsh = 1 then
-    guarded t slo (fun () -> t.instances.(slo).ops.Intf.range lo hi f)
+  if nsh = 1 then guarded t slo (fun () -> clamped_range t slo lo hi f)
   else begin
     let slices =
       Array.init nsh (fun j ->
           guarded t (slo + j) (fun () ->
               let buf = ref [] in
-              t.instances.(slo + j).ops.Intf.range lo hi (fun k v ->
+              clamped_range t (slo + j) lo hi (fun k v ->
                   buf := (k, v) :: !buf);
               Array.of_list (List.rev !buf)))
     in
@@ -462,9 +576,16 @@ let finish_op t it op_id enq op =
    group_end fence makes the whole batch durable.  The batch is a
    span, so its group_end fence is attributed to the "batch" site
    rather than to whichever op happened to run last. *)
+(* The batch counts as one in-flight mutation (no gate: the quiescer's
+   own queue drain runs while [pinning] is up), so a quiesce raised
+   mid-batch waits for the whole batch to apply. *)
 let exec_batch t i =
   if t.qlen.(i) = 0 then 0
   else begin
+    t.commits_in_flight <- t.commits_in_flight + 1;
+    Fun.protect
+      ~finally:(fun () -> t.commits_in_flight <- t.commits_in_flight - 1)
+    @@ fun () ->
     let q = t.queues.(i) in
     let batch =
       List.stable_sort
@@ -512,6 +633,28 @@ let drain_queues t =
   !acc
 
 (* ------------------------------------------------------------------ *)
+(* Quiesce                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [f] with the ensemble quiesced: new mutations stall behind
+   [pinning], mutations already past the gate (point writes, executing
+   batches, cross-shard commits applying shard by shard) are waited
+   out, and the batch queues drain.  Reads keep flowing throughout.
+   Both the snapshot pin and the rebalance cutover commit inside this
+   window. *)
+let quiesce t f =
+  write_gate t;
+  t.pinning <- true;
+  Fun.protect
+    ~finally:(fun () -> t.pinning <- false)
+    (fun () ->
+      while t.commits_in_flight > 0 do
+        Arena.cpu_work t.instances.(0).arena 30
+      done;
+      ignore (drain_queues t);
+      f ())
+
+(* ------------------------------------------------------------------ *)
 (* Cross-shard consistent snapshots                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -534,19 +677,8 @@ let require_snapshottable t =
    epochs. *)
 let snapshot_begin t =
   require_snapshottable t;
-  write_gate t;
-  t.pinning <- true;
-  Fun.protect
-    ~finally:(fun () -> t.pinning <- false)
+  quiesce t
     (fun () ->
-      (* Commits that passed the write gate before the pin flag rose
-         may still be applying shard by shard; wait them out so the
-         cut sits on a transaction boundary (new commits stall at the
-         gate, so the counter drains). *)
-      while t.commits_in_flight > 0 do
-        Arena.cpu_work t.instances.(0).arena 30
-      done;
-      ignore (drain_queues t);
       let g =
         1
         + Array.fold_left
@@ -582,19 +714,24 @@ let read_at t ~epoch k =
 (* As-of variant of the merged range cursor: each overlapping shard's
    pinned slice is already ascending, so the same stable k-way heap
    merge yields a globally ordered cut. *)
+let clamped_range_at t j epoch lo hi f =
+  let sl, sh = Partition.span t.partition j in
+  let qlo = max lo sl and qhi = min hi sh in
+  if qlo <= qhi then t.instances.(j).ops.Intf.range_at epoch qlo qhi f
+
 let range_at t ~epoch ~lo ~hi f =
   require_snapshottable t;
   let slo, shi = Partition.overlapping t.partition ~lo ~hi in
   let nsh = shi - slo + 1 in
   if Trace.enabled t.tracer then Trace.instant t.tracer Trace.id_merge nsh;
   if nsh = 1 then
-    guarded t slo (fun () -> t.instances.(slo).ops.Intf.range_at epoch lo hi f)
+    guarded t slo (fun () -> clamped_range_at t slo epoch lo hi f)
   else begin
     let slices =
       Array.init nsh (fun j ->
           guarded t (slo + j) (fun () ->
               let buf = ref [] in
-              t.instances.(slo + j).ops.Intf.range_at epoch lo hi (fun k v ->
+              clamped_range_at t (slo + j) epoch lo hi (fun k v ->
                   buf := (k, v) :: !buf);
               Array.of_list (List.rev !buf)))
     in
@@ -623,6 +760,136 @@ let gc_before t epoch =
   Array.fold_left
     (fun acc it -> acc + it.ops.Intf.gc_before epoch)
     0 t.instances
+
+(* ------------------------------------------------------------------ *)
+(* Elastic topology: write taps and live splices                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Dual-write tap: wrap one shard's ops handle so every applied point
+   write — insert, update, delete, bulk insert, and transactional
+   install — also reaches [f] with the key and its new binding.  The
+   rebalancer records these in its delta buffer while the background
+   copy runs; [with_inflight] guarantees a quiesce never separates an
+   applied write from its tap record. *)
+let tap_writes t ~shard f =
+  let it = t.instances.(shard) in
+  (match it.tap_base with
+  | Some _ -> invalid_arg "Shard.tap_writes: shard is already tapped"
+  | None -> ());
+  let base = it.ops in
+  it.tap_base <- Some base;
+  it.ops <-
+    {
+      base with
+      Intf.insert =
+        (fun k v ->
+          base.Intf.insert k v;
+          f k (Some v));
+      update =
+        (fun k v ->
+          let r = base.Intf.update k v in
+          if r then f k (Some v);
+          r);
+      delete =
+        (fun k ->
+          let r = base.Intf.delete k in
+          f k None;
+          r);
+      install =
+        (fun k vo ->
+          base.Intf.install k vo;
+          f k vo);
+      bulk_insert =
+        (fun pairs ->
+          base.Intf.bulk_insert pairs;
+          Array.iter (fun (k, v) -> f k (Some v)) pairs);
+    };
+  (* Cached transaction managers hold the untapped handle. *)
+  t.txs <- None
+
+let untap_writes t ~shard =
+  let it = t.instances.(shard) in
+  match it.tap_base with
+  | None -> ()
+  | Some base ->
+      it.ops <- base;
+      it.tap_base <- None;
+      t.txs <- None
+
+(* Splices replace the volatile topology in one step.  They require
+   drained queues (call them inside {!quiesce}) and rebuild the
+   scheduler arrays; persistence of the new topology is the caller's
+   (the rebalancer's) job, sequenced around its decision word. *)
+
+let check_spliceable t =
+  Array.iteri
+    (fun i n -> if n > 0 then
+        invalid_arg
+          (Printf.sprintf "Shard.splice: shard %d has %d queued ops" i n))
+    t.qlen
+
+let rebuild_sched t =
+  let n = Array.length t.instances in
+  t.queues <- Array.init n (fun _ -> ref []);
+  t.qlen <- Array.make n 0;
+  t.txs <- None
+
+let splice_split t ~shard ~slot ~pivot ~ops ~arena =
+  check_spliceable t;
+  let p = Partition.split t.partition ~shard ~pivot in
+  check_shards (Partition.shards p);
+  let n = Array.length t.instances in
+  let nu = mk_instance ~slot ops arena in
+  if Trace.enabled t.tracer then nu.ops.Intf.set_tracer t.tracer;
+  t.instances <-
+    Array.init (n + 1) (fun i ->
+        if i <= shard then t.instances.(i)
+        else if i = shard + 1 then nu
+        else t.instances.(i - 1));
+  t.partition <- p;
+  rebuild_sched t
+
+let splice_merge t ~left =
+  check_spliceable t;
+  let p = Partition.merge t.partition ~left in
+  let n = Array.length t.instances in
+  t.instances <-
+    Array.init (n - 1) (fun i ->
+        if i <= left then t.instances.(i) else t.instances.(i + 1));
+  t.partition <- p;
+  rebuild_sched t
+
+let splice_replace t ~shard ~ops ~arena =
+  check_spliceable t;
+  let old = t.instances.(shard) in
+  let nu = mk_instance ~slot:old.slot ops arena in
+  nu.routed <- old.routed;
+  nu.batches <- old.batches;
+  if Trace.enabled t.tracer then nu.ops.Intf.set_tracer t.tracer;
+  t.instances <- Array.mapi (fun i it -> if i = shard then nu else it) t.instances;
+  rebuild_sched t
+
+let persist_topology t =
+  if not t.multi then
+    persist_meta t.instances.(0).arena t.partition
+      (Array.map (fun it -> it.slot) t.instances)
+
+let instance_slot t i = t.instances.(i).slot
+
+let free_slot t =
+  let used = Array.map (fun it -> it.slot) t.instances in
+  let s = ref 0 in
+  while Array.exists (fun u -> u = !s) used do incr s done;
+  if !s >= max_shards then invalid_arg "Shard.free_slot: all root slots in use";
+  !s
+
+let multi t = t.multi
+let inner_descriptor t = t.inner
+let inner_config t = t.inner_config
+let tracer t = t.tracer
+let instance_ops t i = t.instances.(i).ops
+let instance_arena t i = t.instances.(i).arena
+let shard_span t i = Partition.span t.partition i
 
 (* Enqueue a trace; a shard executes whenever its queue reaches
    [batch_cap].  Range is a scheduling barrier: all queues drain so the
@@ -659,10 +926,15 @@ let submit t ops =
 (* Occupancy and latency statistics                                    *)
 (* ------------------------------------------------------------------ *)
 
-let key_space_hi = (1 lsl 60) - 1
-
+(* Occupancy counts only the keys a shard owns (its partition span),
+   so a source tree's not-yet-cleaned stale keys after a split do not
+   inflate its load. *)
 let occupancy t =
-  Array.map (fun it -> Intf.range_count it.ops 1 key_space_hi) t.instances
+  Array.mapi
+    (fun i it ->
+      let sl, sh = Partition.span t.partition i in
+      Intf.range_count it.ops sl sh)
+    t.instances
 
 let imbalance t =
   let occ = occupancy t in
@@ -697,8 +969,10 @@ let power_fail t mode =
 let reopen_instance t i =
   let it = t.instances.(i) in
   let cfg =
-    if t.multi then t.inner_config else shard_config t.inner_config i
+    if t.multi then t.inner_config else shard_config t.inner_config it.slot
   in
+  (* Reopening supersedes any rebalance write tap on the old handle. *)
+  it.tap_base <- None;
   it.ops <- t.inner.D.open_existing cfg it.arena;
   if Trace.enabled t.tracer then it.ops.Intf.set_tracer t.tracer
 
@@ -1055,18 +1329,33 @@ let composite_scrub inner_name (cfg : D.config) arena =
   let n = Arena.root_get arena slot_shards in
   if n < 1 || n > max_shards then
     invalid_arg "Shard: arena carries no shard metadata";
-  let hooks = Array.init n (fun i -> ip (shard_config cfg i) arena) in
-  (* Length-prefixed bounds array for the Range policy, reachable as
-     one line-rounded block.  The length word is read uncharged; if
-     its line is poisoned the value may be garbage, so clamp to the
-     largest bounds array we could ever have persisted — the stranded
-     poison then keeps the report not-clean rather than crashing. *)
-  let bounds_block () =
-    if Arena.root_get arena slot_policy = 1 then begin
+  (* Manifest words are read uncharged; if their lines are poisoned the
+     values may be garbage, so clamp everything to representable
+     ranges — the stranded poison then keeps the report not-clean
+     rather than crashing. *)
+  let ranged = Arena.root_get arena slot_policy = 1 in
+  let clamp_len len = if len < 0 || len >= max_shards then max_shards - 1 else len in
+  let slot_map () =
+    if not ranged then Array.init n Fun.id
+    else begin
       let blk = Arena.root_get arena slot_bounds in
-      let len = Arena.peek arena blk in
-      let len = if len < 0 || len >= max_shards then max_shards - 1 else len in
-      [ (blk, round_to_lines (len + 1)) ]
+      let len = clamp_len (Arena.peek arena blk) in
+      Array.init n (fun i ->
+          if i > len then i
+          else
+            let s = Arena.peek arena (blk + 1 + len + i) in
+            if s < 0 || s >= max_shards then i else s)
+    end
+  in
+  let map = slot_map () in
+  let hooks = Array.init n (fun i -> ip (shard_config cfg map.(i)) arena) in
+  (* Length-prefixed bounds array plus the position-to-slot map for the
+     Range policy, reachable as one line-rounded block. *)
+  let bounds_block () =
+    if ranged then begin
+      let blk = Arena.root_get arena slot_bounds in
+      let len = clamp_len (Arena.peek arena blk) in
+      [ (blk, round_to_lines (1 + len + (len + 1))) ]
     end
     else []
   in

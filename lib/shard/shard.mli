@@ -46,7 +46,24 @@ module Partition : sig
 
   val bounds : t -> int array
   (** Range bounds ([[||]] for hash). *)
+
+  val span : t -> int -> int * int
+  (** Inclusive key interval shard [i] owns (hash shards nominally own
+      the whole key space). *)
+
+  val split : t -> shard:int -> pivot:int -> t
+  (** Range partitions only: insert [pivot] so position [shard] keeps
+      keys below it and a new position [shard+1] owns the rest of the
+      old span.  @raise Invalid_argument for hash partitions or a
+      pivot outside the shard's span. *)
+
+  val merge : t -> left:int -> t
+  (** Range partitions only: drop the bound between [left] and
+      [left+1], so [left] absorbs its right neighbour's span. *)
 end
+
+val key_space_hi : int
+(** Upper end of the served key space ([2^60 - 1]). *)
 
 type t
 
@@ -99,8 +116,26 @@ val attach :
   Ff_pmem.Arena.t ->
   t
 (** Reattach to a single-arena composite image from its persisted
-    shard manifest (count, policy tag, range bounds).  The caller runs
-    {!recover} before relying on the contents. *)
+    shard manifest (count, policy tag, range bounds plus the
+    position-to-root-slot map).  The caller runs {!recover} before
+    relying on the contents. *)
+
+val create_composite :
+  ?batch_cap:int ->
+  ?group:bool ->
+  ?tracer:Ff_trace.Trace.t ->
+  ?retry_limit:int ->
+  ?backoff_ns:int ->
+  ?config:Ff_index.Descriptor.config ->
+  inner:string ->
+  partition:Partition.t ->
+  Ff_pmem.Arena.t ->
+  t
+(** Build a single-arena composite with an explicit partition (the
+    registered ["sharded-<inner>"] descriptor is fixed at 4 hash
+    shards; elastic rebalancing wants range partitions of any
+    width).  Persists the shard manifest like {!descriptor}'s
+    [build]. *)
 
 (** {1 Topology} *)
 
@@ -109,6 +144,90 @@ val partition : t -> Partition.t
 val group : t -> bool
 val arenas : t -> Ff_pmem.Arena.t array
 val shard_of_key : t -> int -> int
+val multi : t -> bool
+(** Serving mode (one arena per shard) vs single-arena composite. *)
+
+val inner_descriptor : t -> Ff_index.Descriptor.t
+val inner_config : t -> Ff_index.Descriptor.config
+val tracer : t -> Ff_trace.Trace.t
+val instance_ops : t -> int -> Ff_index.Intf.ops
+(** Shard [i]'s current inner ops handle (tapped while a rebalance
+    dual-write tap is installed). *)
+
+val instance_arena : t -> int -> Ff_pmem.Arena.t
+val instance_slot : t -> int -> int
+(** Shard [i]'s composite root-slot id (the inner sits at slots
+    [2*slot, 2*slot+1]); equals the build position in serving mode. *)
+
+val shard_span : t -> int -> int * int
+(** {!Partition.span} of the live partition. *)
+
+val free_slot : t -> int
+(** Smallest composite root-slot id no current shard occupies — where
+    a split installs the new shard's inner.
+    @raise Invalid_argument when all {!max_shards} slot pairs are
+    taken. *)
+
+(** {1 Elastic topology (rebalance primitives)}
+
+    The mechanism {!Ff_rebalance.Rebalance} drives: a {e write tap}
+    dual-applies point writes while a background copy runs, {!quiesce}
+    provides the drained window a crash-atomic cutover commits in, and
+    the {e splices} swap the volatile topology (the rebalancer
+    persists it separately, sequenced around its decision word). *)
+
+val quiesce : t -> (unit -> 'a) -> 'a
+(** Run [f] with the ensemble quiesced: new mutations stall, mutations
+    already past the write gate (point writes, executing batches,
+    cross-shard commits) are waited out, and the batch queues drain.
+    Reads keep flowing.  The snapshot pin commits inside this same
+    window. *)
+
+val tap_writes : t -> shard:int -> (int -> int option -> unit) -> unit
+(** Wrap shard [shard]'s ops handle so every applied point write —
+    insert, update, delete, bulk insert, transactional install — also
+    reaches the tap with the key and its new binding ([None] =
+    deleted).  @raise Invalid_argument if already tapped. *)
+
+val untap_writes : t -> shard:int -> unit
+(** Restore the untapped handle; idempotent. *)
+
+val splice_split :
+  t -> shard:int -> slot:int -> pivot:int -> ops:Ff_index.Intf.ops ->
+  arena:Ff_pmem.Arena.t -> unit
+(** Replace the volatile topology so position [shard] keeps keys below
+    [pivot] and a new position [shard+1] (inner [ops] on [arena],
+    composite root-slot id [slot]) owns the rest.  Queues must be
+    drained (call inside {!quiesce}); the scheduler arrays are
+    rebuilt and cached transaction managers invalidated. *)
+
+val splice_merge : t -> left:int -> unit
+(** Drop position [left+1]; [left] absorbs its span (the data must
+    already have been copied in). *)
+
+val splice_replace :
+  t -> shard:int -> ops:Ff_index.Intf.ops -> arena:Ff_pmem.Arena.t -> unit
+(** Swap shard [shard]'s instance for a migrated replica. *)
+
+val persist_topology : t -> unit
+(** Composite mode: rewrite the shard manifest (bounds, slot map,
+    count) from the live topology.  No-op in serving mode, where
+    topology is rebuilt at startup. *)
+
+val manifest_slots : int list
+(** Reserved root slots the shard manifest occupies (58-60), for the
+    slot-map audit. *)
+
+val read_manifest : Ff_pmem.Arena.t -> Partition.t * int array
+(** Decode a composite arena's persisted shard manifest: the partition
+    and the position-to-root-slot map.  Arena-level (no ensemble
+    handle needed) so rebalance crash resolution can inspect the
+    pre-crash topology. *)
+
+val write_manifest : Ff_pmem.Arena.t -> Partition.t -> int array -> unit
+(** Persist a composite shard manifest (bounds block, slot map, policy
+    tag, count).  The rebalancer's roll-forward uses this to promote a
+    committed topology before the ensemble reattaches. *)
 
 (** {1 Routed operations} *)
 

@@ -70,6 +70,9 @@ let id_tx_commit = 19
 let id_tx_abort = 20
 let id_tx_replay = 21
 let id_untagged = 22
+let id_rebal_copy = 23
+let id_rebal_cutover = 24
+let id_rebal_replay = 25
 
 let predefined =
   [|
@@ -77,6 +80,7 @@ let predefined =
     "sibling_chase"; "dup_skip"; "recovery"; "crash"; "batch"; "merge";
     "scrub"; "op"; "degraded"; "readmit"; "slo_violation"; "tx_begin";
     "tx_log"; "tx_commit"; "tx_abort"; "tx_replay"; "untagged";
+    "rebal_copy"; "rebal_cutover"; "rebal_replay";
   |]
 
 let make ~enabled ~capacity ~threads ~clock ~tid =

@@ -98,6 +98,17 @@ val id_tx_replay : int
 (** Recovery replayed or rolled back a logged tx
     (detail = records resolved). *)
 
+val id_rebal_copy : int
+(** Rebalance background copy — one span per copied chunk
+    (detail = cumulative keys or words moved). *)
+
+val id_rebal_cutover : int
+(** Rebalance cutover — the quiesced commit window
+    (detail = delta records replayed). *)
+
+val id_rebal_replay : int
+(** Rebalance delta-buffer replay (detail = records applied). *)
+
 val intern : t -> string -> int
 (** Id for an arbitrary name (stable within this tracer). *)
 

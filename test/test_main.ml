@@ -21,4 +21,5 @@ let () =
       ("check", Test_check.suite);
       ("tx", Test_tx.suite);
       ("snapshot", Test_snapshot.suite);
+      ("rebalance", Test_rebalance.suite);
     ]
