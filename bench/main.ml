@@ -1054,12 +1054,16 @@ module Obs_ts = Ff_obs.Timeseries
 module Slo = Ff_obs.Slo
 module Profile = Ff_obs.Profile
 module Snapshot = Ff_obs.Snapshot
+module Cluster = Ff_cluster.Cluster
+module Fabric = Ff_net.Fabric
 
 let slo_flag = ref false
 let slo_p99_ns = ref 20_000_000
 let slo_out = ref ""
 let soak_trace_file = ref ""
 let slo_failed = ref false
+let soak_retry_limit = ref 3
+let soak_backoff_ns = ref 1_000
 
 (* End-to-end latency includes queueing behind up to batch_cap ops, so
    the default bound is generous; --slo-p99-ns 1 injects a breach. *)
@@ -1085,6 +1089,27 @@ let soak_rules () =
         events = "shard.degraded";
         ops = "shard.batch_ops";
         max_per_1k = 5.;
+      };
+    (* Replication rules for the chaos phase below.  The multi-window
+       burn rate tolerates the deliberate partition spike (the short
+       window alone exceeds any sane budget while shard 0 is solo) and
+       fires only if unavailability also persists across the long
+       horizon — the SRE page-on-sustained-burn shape. *)
+    Slo.Burn_rate_multi
+      {
+        rule = "repl-unavail-burn";
+        events = "cluster.unavail";
+        ops = "cluster.ops";
+        max_per_1k = 250.;
+        short_ns = 200_000;
+        long_ns = 2_000_000;
+      };
+    Slo.Latency
+      {
+        rule = "failover-blackout";
+        metric = "cluster.blackout_ns";
+        percentile = 99.;
+        bound_ns = 5_000_000;
       };
   ]
 
@@ -1120,6 +1145,7 @@ let soak_scenario () =
     in
     Shard.create ~pm_config:config ~words ~batch_cap:64 ~group:true ~tracer:tr
       ~partition:(Shard.Partition.range ~bounds)
+      ~retry_limit:!soak_retry_limit ~backoff_ns:!soak_backoff_ns
       ~inner:"fastfair" ~shards ()
   in
   let arenas = Shard.arenas t in
@@ -1232,6 +1258,75 @@ let soak_scenario () =
   | Exit -> ()
   | Shard.Degraded _ -> ());
   run_range (total / 2) (3 * total / 4);
+  (* Phase 3.5: replication chaos — a small cluster rides the soak's
+     tracer, so its unavailability and blackout land in the same
+     metrics registry the SLO monitor scores (the repl-unavail-burn
+     and failover-blackout rules above).  The sequence is the failover
+     demo's: partition the hot shard's replica pair, heal, kill the
+     primary, promote, restart.  The cluster runs on the fabric clock,
+     so its elapsed ns is folded into the tracer clock to keep the
+     monitor's windows moving. *)
+  let soak_clock = !clock_ref in
+  let cluster_ns = ref 0 in
+  clock_ref := (fun () -> soak_clock () + !cluster_ns);
+  let cc =
+    {
+      Cluster.default with
+      Cluster.nodes = 3;
+      shards = 2;
+      words = 1 lsl 14;
+      seed = !base_seed;
+    }
+  in
+  let c = Cluster.create ~tracer:tr cc in
+  let cops = max 120 (sc 2_000) in
+  let crng = Prng.create (W.shard_seed ~base:!base_seed ~shard:13) in
+  let victim_node = ref (-1) in
+  for j = 1 to cops do
+    if j = cops / 3 then
+      Cluster.partition c ~a:(Cluster.primary_of c ~shard:0)
+        ~b:(Cluster.backup_of c ~shard:0);
+    if j = cops / 2 then begin
+      Cluster.heal c;
+      let p = Cluster.primary_of c ~shard:0 in
+      victim_node := p;
+      Cluster.kill_node c p;
+      for s = 0 to cc.Cluster.shards - 1 do
+        if Cluster.primary_of c ~shard:s = p then
+          ignore (Cluster.failover c ~shard:s)
+      done
+    end;
+    (* Restart the victim well before the end: the promoted primaries
+       run solo (hence read-only) until their backup resyncs, and the
+       burn-rate budget above assumes that window is bounded. *)
+    if j = 2 * cops / 3 && !victim_node >= 0 then begin
+      Cluster.restart_node c !victim_node;
+      victim_node := -1
+    end;
+    let k = 1 + Prng.int crng 64 in
+    (match Prng.int crng 4 with
+    | 0 -> ignore (Cluster.get c k)
+    | _ -> ignore (Cluster.put c k j));
+    cluster_ns := max !cluster_ns (Cluster.now_ns c);
+    if j land 15 = 0 then begin
+      let now = Trace.now tr in
+      Slo.Monitor.tick mon ~now;
+      Obs_ts.tick ts ~now
+    end
+  done;
+  if !victim_node >= 0 then Cluster.restart_node c !victim_node;
+  for _ = 1 to 3 do
+    Cluster.tick c
+  done;
+  cluster_ns := max !cluster_ns (Cluster.now_ns c);
+  let ccs = Cluster.stats c in
+  Printf.printf
+    "  [replication chaos: %d acks, %d refused, %d failover(s), %d resync(s), \
+     blackout %d ns]\n%!"
+    ccs.Cluster.s_acks
+    (ccs.Cluster.s_read_only + ccs.Cluster.s_unavailable)
+    ccs.Cluster.s_failovers ccs.Cluster.s_resyncs ccs.Cluster.s_last_blackout_ns;
+  Cluster.close c;
   (* Phase 4: scrub repairs the line and the shard is re-admitted;
      with the heat subsided, the elastic story closes by merging the
      two coldest neighbours back (the split scaled out, the merge
@@ -1256,8 +1351,11 @@ let soak_scenario () =
   let report = Slo.Monitor.report mon ~now in
   let profile = Profile.of_trace ~ops:total tr in
   let snap =
+    (* The chaos cluster's fabric time was folded into the tracer
+       clock to keep the SLO windows moving, but the headline kops
+       measures the shard soak: charge only the shard arenas' time. *)
     Snapshot.make ~label:"soak" ~scale:!scale ~seed:!base_seed ~ops:total
-      ~elapsed_ns:now
+      ~elapsed_ns:(now - !cluster_ns)
       ~latency:(Shard.merged_latency t)
       ~slo:report ~profile ()
   in
@@ -1445,6 +1543,154 @@ let rebalance_target () =
   print_endline
     "   (simulated ns; p99 over foreground point ops before / during / after \
      the rebalance)"
+
+(* ------------------------------------------------------------------ *)
+(* Cluster: failover blackout, replication overhead, partition p99     *)
+(* ------------------------------------------------------------------ *)
+
+type cl_row = {
+  cl_label : string;
+  cl_ops : int;
+  cl_acks : int;
+  cl_refused : int;
+  cl_failovers : int;
+  cl_resyncs : int;
+  cl_blackout_ns : int;
+  cl_repl_records : int;
+  cl_repl_resent : int;
+  cl_fences_per_ack : float;
+  cl_p99_before : int;
+  cl_p99_during : int;
+  cl_p99_after : int;
+}
+
+(* One 3-node/2-shard run per fabric profile: steady state, then a
+   partition isolates shard 0's replica pair (read-only degradation),
+   then heal + primary kill + promote + restart.  Client latency is
+   the fabric-clock delta around each op, bucketed by phase, so the
+   three p99s isolate the partition window and the post-failover
+   recovery from steady state. *)
+let cl_row label faults =
+  let ops = max 240 (sc 4_000) in
+  let cc =
+    {
+      Cluster.default with
+      Cluster.nodes = 3;
+      shards = 2;
+      words = 1 lsl 15;
+      seed = !base_seed;
+      faults;
+    }
+  in
+  let c = Cluster.create cc in
+  let rng = Prng.create (W.shard_seed ~base:!base_seed ~shard:17) in
+  let before = ref [] and during = ref [] and after = ref [] in
+  let bucket = ref before in
+  for j = 1 to ops do
+    if j = ops / 3 then begin
+      Cluster.partition c ~a:(Cluster.primary_of c ~shard:0)
+        ~b:(Cluster.backup_of c ~shard:0);
+      bucket := during
+    end;
+    if j = ops / 2 then begin
+      Cluster.heal c;
+      let p = Cluster.primary_of c ~shard:0 in
+      Cluster.kill_node c p;
+      for s = 0 to cc.Cluster.shards - 1 do
+        if Cluster.primary_of c ~shard:s = p then
+          ignore (Cluster.failover c ~shard:s)
+      done;
+      Cluster.restart_node c p;
+      bucket := after
+    end;
+    let k = 1 + Prng.int rng 128 in
+    let t0 = Cluster.now_ns c in
+    (match Prng.int rng 4 with
+    | 0 -> ignore (Cluster.get c k)
+    | _ -> ignore (Cluster.put c k j));
+    !bucket := (Cluster.now_ns c - t0) :: !(!bucket)
+  done;
+  let cs = Cluster.stats c in
+  let fences = Cluster.fences c in
+  let row =
+    {
+      cl_label = label;
+      cl_ops = ops;
+      cl_acks = cs.Cluster.s_acks;
+      cl_refused = cs.Cluster.s_read_only + cs.Cluster.s_unavailable;
+      cl_failovers = cs.Cluster.s_failovers;
+      cl_resyncs = cs.Cluster.s_resyncs;
+      cl_blackout_ns = cs.Cluster.s_last_blackout_ns;
+      cl_repl_records = cs.Cluster.s_repl_records;
+      cl_repl_resent = cs.Cluster.s_repl_resent;
+      cl_fences_per_ack =
+        float_of_int fences /. float_of_int (max 1 cs.Cluster.s_acks);
+      cl_p99_before = p99_of !before;
+      cl_p99_during = p99_of !during;
+      cl_p99_after = p99_of !after;
+    }
+  in
+  Cluster.close c;
+  row
+
+(* Unreplicated baseline for the overhead column: the same op mix on a
+   plain 2-shard ensemble; cluster fences/ack minus this is the price
+   of durable-on-backup-before-ack. *)
+let cl_solo_fences_per_op () =
+  let ops = max 240 (sc 4_000) in
+  let t =
+    Shard.create
+      ~pm_config:(Config.pm ~read_ns:300 ~write_ns:300 ())
+      ~words:(1 lsl 15) ~inner:"fastfair" ~shards:2 ()
+  in
+  let rng = Prng.create (W.shard_seed ~base:!base_seed ~shard:17) in
+  for j = 1 to ops do
+    let k = 1 + Prng.int rng 128 in
+    match Prng.int rng 4 with
+    | 0 -> ignore (Shard.search t k)
+    | _ -> Shard.insert t ~key:k ~value:j
+  done;
+  let fences =
+    Array.fold_left
+      (fun acc a -> acc + (Arena.total_stats a).Stats.fences)
+      0 (Shard.arenas t)
+  in
+  float_of_int fences /. float_of_int ops
+
+(* Both fabric profiles run once each; cached so a `cluster` target
+   and a --json report in the same invocation measure a single run. *)
+let cl_rows_cache = ref None
+
+let cluster_rows () =
+  match !cl_rows_cache with
+  | Some r -> r
+  | None ->
+      let r =
+        ( cl_solo_fences_per_op (),
+          [ cl_row "lossy" Fabric.default_faults; cl_row "calm" Fabric.calm ] )
+      in
+      cl_rows_cache := Some r;
+      r
+
+let cluster_target () =
+  print_endline
+    "== cluster: primary/backup replication under partition + failover (3 \
+     nodes, 2 shards) ==";
+  let solo, rows = cluster_rows () in
+  Printf.printf "%-6s %6s %6s %8s %5s %11s %10s %11s %12s %11s %12s\n" "fabric"
+    "acks" "refuse" "failover" "rsync" "blackout_ns" "fences/ack" "repl_recs"
+    "p99_before" "p99_part" "p99_after";
+  List.iter
+    (fun r ->
+      Printf.printf "%-6s %6d %6d %8d %5d %11d %10.1f %5d+%-5d %12d %11d %12d\n"
+        r.cl_label r.cl_acks r.cl_refused r.cl_failovers r.cl_resyncs
+        r.cl_blackout_ns r.cl_fences_per_ack r.cl_repl_records r.cl_repl_resent
+        r.cl_p99_before r.cl_p99_during r.cl_p99_after)
+    rows;
+  Printf.printf
+    "   (fabric-clock ns; unreplicated 2-shard baseline %.1f fences/op — the \
+     delta is the durable-on-backup-before-ack price)\n"
+    solo
 
 (* ------------------------------------------------------------------ *)
 (* Transactions: logged vs shadow commit-path cost, TPC-C aborts       *)
@@ -1846,6 +2092,24 @@ let json_report file =
         ("p99_after_ns", J.Int r.rb_p99_after);
       ]
   in
+  let cl_row_json r =
+    J.Obj
+      [
+        ("fabric", J.Str r.cl_label);
+        ("ops", J.Int r.cl_ops);
+        ("acks", J.Int r.cl_acks);
+        ("refused", J.Int r.cl_refused);
+        ("failovers", J.Int r.cl_failovers);
+        ("resyncs", J.Int r.cl_resyncs);
+        ("blackout_ns", J.Int r.cl_blackout_ns);
+        ("repl_records", J.Int r.cl_repl_records);
+        ("repl_resent", J.Int r.cl_repl_resent);
+        ("fences_per_ack", J.Float r.cl_fences_per_ack);
+        ("p99_before_ns", J.Int r.cl_p99_before);
+        ("p99_partition_ns", J.Int r.cl_p99_during);
+        ("p99_after_ns", J.Int r.cl_p99_after);
+      ]
+  in
   let sharded_row_json r =
     J.Obj
       [
@@ -1886,6 +2150,13 @@ let json_report file =
              ] );
          ("snapshot", J.Arr (List.map snap_row_json (snap_rows ())));
          ("rebalance", J.Arr (List.map rb_row_json (rebalance_rows ())));
+         ( "cluster",
+           let solo, rows = cluster_rows () in
+           J.Obj
+             [
+               ("solo_fences_per_op", J.Float solo);
+               ("rows", J.Arr (List.map cl_row_json rows));
+             ] );
        ]
       @ (if !shard_counts = [] then []
          else [ ("sharded", J.Arr (List.map sharded_row_json (sharded_rows ()))) ])
@@ -1988,6 +2259,7 @@ let targets =
     ("scrub", scrub_target);
     ("soak", soak_target);
     ("rebalance", rebalance_target);
+    ("cluster", cluster_target);
     ("tx", tx_target);
     ("snapshot", snapshot_target);
   ]
@@ -2066,6 +2338,13 @@ let () =
       ( "--soak-trace",
         Arg.Set_string soak_trace_file,
         "FILE  write the soak target's Perfetto trace" );
+      ( "--retry-limit",
+        Arg.Set_int soak_retry_limit,
+        "N  degraded-shard retry budget for the soak ensemble (default 3)" );
+      ( "--backoff-ns",
+        Arg.Set_int soak_backoff_ns,
+        "N  base delay for the soak ensemble's jittered exponential retry \
+         backoff, in simulated ns (default 1000)" );
     ]
   in
   let usage =

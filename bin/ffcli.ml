@@ -17,7 +17,9 @@
      check       model-check schedules and crash states (--tx switches
                  to whole-transaction durable serializability,
                  --snapshot to snapshot serializability, --rebalance
-                 to lost-write freedom under live resharding)
+                 to lost-write freedom under live resharding, --replica
+                 to no-lost-acks replication; --all smoke-sweeps every
+                 family with one verdict line each)
      tx          failure-atomic multi-key transfers: crash one transfer
                  mid-commit at every sampled store, audit the balances
      snapshot    MVCC time travel: pin epochs, crash, read the old
@@ -25,7 +27,10 @@
      backup      online backup of a pinned snapshot into a second
                  arena while the source keeps serving writes
      rebalance   live shard split / merge / migrate under a concurrent
-                 writer, auditing zero lost acknowledged writes *)
+                 writer, auditing zero lost acknowledged writes
+     cluster     replicated serving over a lossy fabric: partition and
+                 power-fail the hot shard's primary under a concurrent
+                 writer, fail over, resync, audit zero lost acks *)
 
 module Arena = Ff_pmem.Arena
 module Config = Ff_pmem.Config
@@ -348,7 +353,7 @@ let print_pm_text keys s =
    root-node line of the first K shards and probes each with one
    routed search, so the degraded/fault blocks show live values (the
    siblings keep serving; a scrubbed recover would re-admit). *)
-let stats index_name keys seed json shards degrade =
+let stats index_name keys seed json shards degrade retry_limit backoff_ns =
   if shards = 0 then begin
     let arena = mk_arena (max (keys * 64) (1 lsl 16)) in
     let t = Registry.build index_name arena in
@@ -376,7 +381,7 @@ let stats index_name keys seed json shards degrade =
   else begin
     match
       Shard.create ~words:(max (keys * 64 / shards) (1 lsl 16))
-        ~inner:index_name ~shards ()
+        ~retry_limit ~backoff_ns ~inner:index_name ~shards ()
     with
     | exception Invalid_argument msg ->
         Printf.printf "stats: %s\n" msg;
@@ -1365,6 +1370,131 @@ let rebalance_demo kind keys seed bytes_per_ms chunk_ops mutate =
           2)
 
 (* ------------------------------------------------------------------ *)
+(* cluster: replicated serving over a lossy fabric                     *)
+(* ------------------------------------------------------------------ *)
+
+module Cluster = Ff_cluster.Cluster
+
+(* A concurrent writer keeps acking while shard 0's primary is first
+   partitioned from its backup, then power-failed; the backup is
+   promoted, the fabric heals, the dead node restarts and resyncs, and
+   the audit requires every acknowledged write to read back.  The
+   ack-before-replicate mutant makes the same run lose acks. *)
+let cluster_demo nodes shards ops keyspace seed mutate =
+  let prev = !Cluster.mutant_ack_before_replicate in
+  Cluster.mutant_ack_before_replicate := mutate;
+  Fun.protect
+    ~finally:(fun () -> Cluster.mutant_ack_before_replicate := prev)
+  @@ fun () ->
+  let cfg =
+    { Cluster.default with Cluster.nodes; shards; seed; words = 1 lsl 15 }
+  in
+  let cl = Cluster.create cfg in
+  Printf.printf
+    "cluster: %d nodes, %d shards, lossy fabric (seed %d)%s\n" nodes shards
+    seed
+    (if mutate then " [MUTANT: ack before replicate]" else "");
+  (* Last acked value and indeterminate (errored) attempts per key. *)
+  let acked = Hashtbl.create 97 in
+  let pending = Hashtbl.create 97 in
+  let part_at = max 1 (ops / 3) in
+  let kill_at = max 2 (ops / 2) in
+  let victim = ref (-1) in
+  for j = 1 to ops do
+    if j = part_at then begin
+      let p = Cluster.primary_of cl ~shard:0 in
+      let b = Cluster.backup_of cl ~shard:0 in
+      Printf.printf "  t=%dns: partition node %d <-/-> node %d (shard 0)\n"
+        (Cluster.now_ns cl) p b;
+      Cluster.partition cl ~a:p ~b
+    end;
+    if j = kill_at then begin
+      let v = Cluster.primary_of cl ~shard:0 in
+      Printf.printf "  t=%dns: power-fail node %d (shard 0 primary)\n"
+        (Cluster.now_ns cl) v;
+      Cluster.kill_node cl v;
+      victim := v;
+      for s = 0 to shards - 1 do
+        if Cluster.primary_of cl ~shard:s = v then
+          if Cluster.failover cl ~shard:s then
+            Printf.printf
+              "  t=%dns: shard %d failed over to node %d (term %d)\n"
+              (Cluster.now_ns cl) s
+              (Cluster.primary_of cl ~shard:s)
+              (Cluster.term_of cl ~shard:s)
+      done
+    end;
+    let k = (j mod keyspace) + 1 in
+    match Cluster.put cl k j with
+    | Ok () ->
+        Hashtbl.replace acked k j;
+        Hashtbl.remove pending k
+    | Error _ ->
+        Hashtbl.replace pending k
+          (j :: Option.value ~default:[] (Hashtbl.find_opt pending k))
+  done;
+  Cluster.heal cl;
+  if !victim >= 0 then begin
+    Cluster.restart_node cl !victim;
+    Printf.printf "  t=%dns: node %d restarted and resynced\n"
+      (Cluster.now_ns cl) !victim
+  end;
+  for _ = 1 to 3 do
+    Cluster.tick cl
+  done;
+  let lost = ref 0 in
+  let checked = ref 0 in
+  Hashtbl.iter
+    (fun k v ->
+      incr checked;
+      let rec read tries =
+        match Cluster.get cl k with
+        | Ok r -> Some r
+        | Error _ ->
+            if tries <= 0 then None
+            else begin
+              Cluster.tick cl;
+              read (tries - 1)
+            end
+      in
+      let pend = Option.value ~default:[] (Hashtbl.find_opt pending k) in
+      match read 10 with
+      | None ->
+          incr lost;
+          Printf.printf "  LOST: key %d unreadable (last acked %d)\n" k v
+      | Some r ->
+          let ok =
+            match r with Some x -> x = v || List.mem x pend | None -> false
+          in
+          if not ok then begin
+            incr lost;
+            Printf.printf "  LOST: key %d reads %s, last acked %d\n" k
+              (match r with None -> "absent" | Some x -> string_of_int x)
+              v
+          end)
+    acked;
+  let st = Cluster.stats cl in
+  Printf.printf
+    "  acks=%d read_only_refusals=%d unavailable=%d failovers=%d resyncs=%d\n"
+    st.Cluster.s_acks st.Cluster.s_read_only st.Cluster.s_unavailable
+    st.Cluster.s_failovers st.Cluster.s_resyncs;
+  Printf.printf
+    "  repl_records=%d resent=%d rpc_sent=%d dropped=%d dup=%d blackout=%s\n"
+    st.Cluster.s_repl_records st.Cluster.s_repl_resent st.Cluster.s_rpc_sent
+    st.Cluster.s_rpc_dropped st.Cluster.s_rpc_dup
+    (if st.Cluster.s_last_blackout_ns < 0 then "none"
+     else Printf.sprintf "%dns" st.Cluster.s_last_blackout_ns);
+  Cluster.close cl;
+  if !lost = 0 then begin
+    Printf.printf "  audit: %d acknowledged keys, zero lost\n" !checked;
+    0
+  end
+  else begin
+    Printf.printf "  audit: %d acknowledged keys, %d LOST\n" !checked !lost;
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* check: model-check schedules and crash states                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1386,13 +1516,96 @@ let print_check_report ~out (r : Ff_check.Check.report) =
     r.Ff_check.Check.violations;
   if r.Ff_check.Check.violations = [] then 0 else 1
 
-let check index_name writers readers ops keyspace prefill seed explorer schedules
-    no_crashes crash_budget non_tso elide tx txns tx_path torn snapshot rounds
-    snap_mutant rebalance rebal_kind rebal_mutant out replay =
+(* check --all: one bounded sweep per checker family with a one-line
+   verdict each; the exit code is the OR across families.  Budgets are
+   sized for a smoke sweep, not a deep audit — CI runs the deep sweeps
+   per family. *)
+let check_all index_name seed out =
   let module C = Ff_check.Check in
   let module TC = Ff_check.Txcheck in
   let module SC = Ff_check.Snapcheck in
   let module RC = Ff_check.Rebalcheck in
+  let module RepC = Ff_check.Replcheck in
+  let snap_index =
+    let candidate = "snap-" ^ index_name in
+    if Registry.find candidate <> None then candidate else index_name
+  in
+  let families =
+    [
+      ( "linearizability",
+        fun () ->
+          C.run
+            ~config:{ C.default with C.seed; schedules = 6; crash_budget = 64 }
+            index_name );
+      ( "tx",
+        fun () ->
+          TC.run
+            ~config:
+              { TC.default with TC.seed; schedules = 4; crash_budget = 64 }
+            index_name );
+      ( "snapshot",
+        fun () ->
+          (* ops_per_round mirrors the `check --snapshot` CLI default
+             rather than SC.default: the deeper 4-op rounds expose a
+             known prefix-window artifact (see ROADMAP) that the smoke
+             sweep should not trip over. *)
+          SC.run
+            ~config:
+              {
+                SC.default with
+                SC.seed;
+                ops_per_round = 2;
+                schedules = 4;
+                crash_budget = 64;
+              }
+            snap_index );
+      ( "rebalance",
+        fun () ->
+          RC.run
+            ~config:
+              { RC.default with RC.seed; schedules = 2; crash_budget = 24 }
+            index_name );
+      ( "replica",
+        fun () ->
+          RepC.run
+            ~config:{ RepC.default with RepC.seed; schedules = 4 }
+            index_name );
+    ]
+  in
+  List.fold_left
+    (fun acc (fam, f) ->
+      let r = f () in
+      match r.C.skipped with
+      | Some reason ->
+          Printf.printf "%-16s skipped: %s\n" fam reason;
+          acc
+      | None ->
+          Printf.printf "%-16s %s\n" fam (C.report_summary r);
+          List.iteri
+            (fun i (v : C.violation) ->
+              match out with
+              | None -> ()
+              | Some dir ->
+                  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                  let path =
+                    Filename.concat dir
+                      (Printf.sprintf "%s-cx-%d.json" fam (i + 1))
+                  in
+                  Ff_check.Counterexample.save v.C.counterexample path;
+                  Printf.printf "  counterexample saved to %s\n" path)
+            r.C.violations;
+          if r.C.violations <> [] then 1 else acc)
+    0 families
+
+let check index_name writers readers ops keyspace prefill seed explorer schedules
+    no_crashes crash_budget non_tso elide tx txns tx_path torn snapshot rounds
+    snap_mutant rebalance rebal_kind rebal_mutant replica repl_mutant all out
+    replay =
+  let module C = Ff_check.Check in
+  let module TC = Ff_check.Txcheck in
+  let module SC = Ff_check.Snapcheck in
+  let module RC = Ff_check.Rebalcheck in
+  let module RepC = Ff_check.Replcheck in
   match replay with
   | Some path -> (
       match Ff_check.Counterexample.load path with
@@ -1406,10 +1619,12 @@ let check index_name writers readers ops keyspace prefill seed explorer schedule
           let is_tx = cx.Ff_check.Counterexample.tx <> None in
           let is_snap = cx.Ff_check.Counterexample.snap <> None in
           let is_rebal = cx.Ff_check.Counterexample.rebal <> None in
+          let is_repl = cx.Ff_check.Counterexample.repl <> None in
           Printf.printf "replaying %s%s counterexample for %s (crash: %s)\n"
             (if is_tx then "transaction "
              else if is_snap then "snapshot "
              else if is_rebal then "rebalance "
+             else if is_repl then "replication "
              else "")
             cx.Ff_check.Counterexample.kind cx.Ff_check.Counterexample.index
             (match cx.Ff_check.Counterexample.crash with
@@ -1421,6 +1636,7 @@ let check index_name writers readers ops keyspace prefill seed explorer schedule
             if is_tx then TC.replay cx
             else if is_snap then SC.replay cx
             else if is_rebal then RC.replay cx
+            else if is_repl then RepC.replay cx
             else C.replay cx
           in
           let rc = print_check_report ~out:None r in
@@ -1439,7 +1655,25 @@ let check index_name writers readers ops keyspace prefill seed explorer schedule
         | "pct" -> C.Pct
         | s -> invalid_arg (Printf.sprintf "unknown explorer %S (dfs, pct)" s)
       in
-      if rebalance then begin
+      if all then check_all index_name seed out
+      else if replica then begin
+        let config =
+          {
+            RepC.default with
+            RepC.ops = (if ops > 2 then ops else RepC.default.RepC.ops);
+            keyspace;
+            seed;
+            mutant = repl_mutant;
+            schedules;
+          }
+        in
+        match RepC.checkable (Registry.find_exn index_name) config with
+        | Some msg ->
+            Printf.printf "check --replica: %s\n" msg;
+            2
+        | None -> print_check_report ~out (RepC.run ~config index_name)
+      end
+      else if rebalance then begin
         let config =
           {
             RC.default with
@@ -1611,9 +1845,20 @@ let stats_cmd =
                shards and probe each once, so the fault and degradation \
                blocks report live values (needs --shards).")
   in
+  let retry_limit =
+    Arg.(value & opt int 3 & info [ "retry-limit" ] ~docv:"N"
+         ~doc:"With --shards: worker attempts per op before parking the \
+               batch (jittered exponential backoff between attempts).")
+  in
+  let backoff_ns =
+    Arg.(value & opt int 1000 & info [ "backoff-ns" ] ~docv:"NS"
+         ~doc:"With --shards: base backoff charged before retry n is \
+               base*2^n plus up to the same again of seeded jitter.")
+  in
   Cmd.v
     (Cmd.info "stats" ~doc:"PM event statistics for a bulk load")
-    Term.(const stats $ index_arg $ keys $ seed_arg $ json $ shards $ degrade)
+    Term.(const stats $ index_arg $ keys $ seed_arg $ json $ shards $ degrade
+          $ retry_limit $ backoff_ns)
 
 let dump_cmd =
   let keys =
@@ -1806,6 +2051,27 @@ let check_cmd =
                the dual-written delta records — the sweep must fail and emit \
                a replayable counterexample.")
   in
+  let replica =
+    Arg.(value & flag & info [ "replica" ]
+         ~doc:"Check multi-node replication instead of individual operations: \
+               a client script runs against a simulated cluster over a lossy \
+               fabric while the hot shard's primary is partitioned and \
+               power-failed; after failover and resync, every acknowledged \
+               write must read back. $(b,--ops) becomes the client script \
+               length.")
+  in
+  let repl_mutant =
+    Arg.(value & flag & info [ "mutate-ack-before-replicate" ]
+         ~doc:"Fault injection (with --replica): the primary acks client \
+               writes before the backup is durable — the sweep must fail and \
+               emit a replayable counterexample.")
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ]
+         ~doc:"Run every checker family (linearizability, tx, snapshot, \
+               rebalance, replica) as one bounded smoke sweep with a one-line \
+               verdict per family; the exit code is the OR across families.")
+  in
   let out =
     Arg.(value & opt (some string) (Some "counterexamples") & info [ "out"; "o" ] ~docv:"DIR"
          ~doc:"Directory for counterexample artifacts.")
@@ -1819,11 +2085,13 @@ let check_cmd =
        ~doc:"Model-check an index: explore schedules, verify linearizability, and crash \
              every explored schedule at each fence; --tx checks whole transactions \
              for durable serializability, --rebalance checks lost-write freedom \
-             under live resharding instead")
+             under live resharding, --replica checks no-lost-acks replication, \
+             --all runs every family as one smoke sweep")
     Term.(const check $ index_arg $ writers $ readers $ ops $ keyspace $ prefill $ seed_arg
           $ explorer $ schedules $ no_crashes $ crash_budget $ non_tso $ elide
           $ tx $ txns $ tx_path $ torn $ snapshot $ rounds $ snap_mutant
-          $ rebalance $ rebal_kind $ rebal_mutant $ out $ replay)
+          $ rebalance $ rebal_kind $ rebal_mutant $ replica $ repl_mutant $ all
+          $ out $ replay)
 
 let tx_cmd =
   let path =
@@ -1924,6 +2192,38 @@ let rebalance_cmd =
     Term.(const rebalance_demo $ kind $ keys $ seed_arg $ bytes_per_ms
           $ chunk_ops $ mutate)
 
+let cluster_cmd =
+  let nodes =
+    Arg.(value & opt int 3 & info [ "nodes" ] ~docv:"N"
+         ~doc:"Simulated nodes (each hosts a full shard ensemble).")
+  in
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N"
+         ~doc:"Logical shards, each with one primary and one backup replica.")
+  in
+  let ops =
+    Arg.(value & opt int 400 & info [ "ops"; "n" ] ~docv:"N"
+         ~doc:"Client writes issued by the concurrent writer.")
+  in
+  let keyspace =
+    Arg.(value & opt int 64 & info [ "keyspace" ] ~docv:"K"
+         ~doc:"Keys drawn from 1..K.")
+  in
+  let mutate =
+    Arg.(value & flag & info [ "mutate-ack-before-replicate" ]
+         ~doc:"Fault injection: the primary acks client writes before the \
+               backup is durable — the audit must then report lost \
+               acknowledged writes and exit 1.")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Replicated serving over a lossy fabric: partition and power-fail \
+             the hot shard's primary under a concurrent writer, promote the \
+             backup, resync the rejoining node, and audit that no \
+             acknowledged write is lost")
+    Term.(const cluster_demo $ nodes $ shards $ ops $ keyspace $ seed_arg
+          $ mutate)
+
 let () =
   let info = Cmd.info "ffcli" ~doc:"FAST+FAIR persistent B+-tree playground" in
   exit
@@ -1931,4 +2231,4 @@ let () =
        (Cmd.group info
           [ list_cmd; fuzz_cmd; crash_cmd; check_cmd; scrub_cmd; stats_cmd; dump_cmd;
             persist_cmd; trace_cmd; top_cmd; tx_cmd; snapshot_cmd; backup_cmd;
-            rebalance_cmd ]))
+            rebalance_cmd; cluster_cmd ]))

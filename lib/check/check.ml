@@ -377,6 +377,7 @@ let mk_cx cfg index kind ~decisions ~crash ~detail =
     tx = None;
     snap = None;
     rebal = None;
+    repl = None;
     decisions;
     crash;
     detail;

@@ -36,6 +36,15 @@ type rebal_info = {
   rb_arena : int;   (* crash-plan arena: 0 = source, 1 = migrate dst *)
 }
 
+type repl_info = {
+  rp_mutant : bool;    (* ack-before-replicate mutant armed *)
+  rp_nodes : int;      (* cluster node count *)
+  rp_shards : int;     (* shards per node ensemble *)
+  rp_fault_seed : int; (* fabric fault-plan seed *)
+  rp_kill_at : int;    (* kill primary after this many acks; -1 = never *)
+  rp_partition : bool; (* partition primary/backup before the kill *)
+}
+
 type t = {
   index : string;
   node_bytes : int option;
@@ -44,6 +53,7 @@ type t = {
   tx : tx_info option;
   snap : snap_info option;
   rebal : rebal_info option;
+  repl : repl_info option;
   decisions : int array;
   crash : crash option;
   detail : string;
@@ -102,6 +112,19 @@ let to_json t =
                    ("rb_mutant", Json.Bool r.rb_mutant);
                    ("rb_shards", Json.Int r.rb_shards);
                    ("rb_arena", Json.Int r.rb_arena);
+                 ] );
+         ( "repl",
+           match t.repl with
+           | None -> Json.Null
+           | Some r ->
+               Json.Obj
+                 [
+                   ("rp_mutant", Json.Bool r.rp_mutant);
+                   ("rp_nodes", Json.Int r.rp_nodes);
+                   ("rp_shards", Json.Int r.rp_shards);
+                   ("rp_fault_seed", Json.Int r.rp_fault_seed);
+                   ("rp_kill_at", Json.Int r.rp_kill_at);
+                   ("rp_partition", Json.Bool r.rp_partition);
                  ] );
          ( "decisions",
            Json.Arr (Array.to_list (Array.map (fun d -> Json.Int d) t.decisions)) );
@@ -206,6 +229,41 @@ let of_json s =
               in
               Ok (Some { rb_kind; rb_mutant; rb_shards; rb_arena })
         in
+        (* Optional replication extension (same tolerant-parse
+           convention; version stays 1). *)
+        let* repl =
+          match Json.member "repl" j with
+          | None | Some Json.Null -> Ok None
+          | Some rj ->
+              let* rp_nodes = field "rp_nodes" Json.to_int rj in
+              let* rp_shards = field "rp_shards" Json.to_int rj in
+              let* rp_fault_seed = field "rp_fault_seed" Json.to_int rj in
+              let rp_mutant =
+                match Json.member "rp_mutant" rj with
+                | Some (Json.Bool b) -> b
+                | _ -> false
+              in
+              let rp_kill_at =
+                match Json.member "rp_kill_at" rj with
+                | Some (Json.Int k) -> k
+                | _ -> -1
+              in
+              let rp_partition =
+                match Json.member "rp_partition" rj with
+                | Some (Json.Bool b) -> b
+                | _ -> false
+              in
+              Ok
+                (Some
+                   {
+                     rp_mutant;
+                     rp_nodes;
+                     rp_shards;
+                     rp_fault_seed;
+                     rp_kill_at;
+                     rp_partition;
+                   })
+        in
         let* decisions = field "decisions" Json.to_list j in
         let* decisions =
           try
@@ -253,6 +311,7 @@ let of_json s =
             tx;
             snap;
             rebal;
+            repl;
             decisions;
             crash;
             detail;

@@ -57,6 +57,18 @@ type rebal_info = {
     optional ["rebal"] member with the same tolerant-parse convention
     as [tx] and [snap] (version stays 1). *)
 
+type repl_info = {
+  rp_mutant : bool;     (** ack-before-replicate mutant was active *)
+  rp_nodes : int;       (** cluster node count *)
+  rp_shards : int;      (** shards per node ensemble *)
+  rp_fault_seed : int;  (** fabric fault-plan seed *)
+  rp_kill_at : int;     (** kill the primary after this many acks; -1 = never *)
+  rp_partition : bool;  (** partition primary/backup before the kill *)
+}
+(** Replication-checker extension ({!Replcheck}).  Serialized as an
+    optional ["repl"] member with the same tolerant-parse convention
+    as [tx], [snap] and [rebal] (version stays 1). *)
+
 type t = {
   index : string;       (** registry name *)
   node_bytes : int option;
@@ -65,6 +77,7 @@ type t = {
   tx : tx_info option;  (** present iff produced by {!Txcheck} *)
   snap : snap_info option;  (** present iff produced by {!Snapcheck} *)
   rebal : rebal_info option;  (** present iff produced by {!Rebalcheck} *)
+  repl : repl_info option;  (** present iff produced by {!Replcheck} *)
   decisions : int array;
   crash : crash option;
   detail : string;      (** human-readable failure description *)

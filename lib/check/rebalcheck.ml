@@ -407,6 +407,7 @@ let mk_cx cfg index kind ~arena ~decisions ~crash ~detail =
           rb_shards = (match cfg.kind with Rb_merge -> 2 | _ -> 1);
           rb_arena = arena;
         };
+    repl = None;
     decisions;
     crash;
     detail;

@@ -1,0 +1,402 @@
+module Trace = Ff_trace.Trace
+module D = Ff_index.Descriptor
+module Registry = Ff_index.Registry
+module Prng = Ff_util.Prng
+module Storelog = Ff_pmem.Storelog
+module Cluster = Ff_cluster.Cluster
+module Fabric = Ff_net.Fabric
+module Cx = Counterexample
+
+type config = {
+  nodes : int;
+  shards : int;
+  ops : int;
+  keyspace : int;
+  seed : int;
+  mutant : bool;
+  faulty_fabric : bool;
+  schedules : int;
+  node_bytes : int option;
+}
+
+let default =
+  {
+    nodes = 3;
+    shards = 2;
+    ops = 60;
+    keyspace = 12;
+    seed = 42;
+    mutant = false;
+    faulty_fabric = true;
+    schedules = 12;
+    node_bytes = None;
+  }
+
+let checkable d cfg =
+  let c = d.D.caps in
+  if not (c.D.is_persistent && c.D.has_recovery) then
+    Some "not replication-checkable: volatile or no recovery"
+  else if cfg.nodes < 2 then Some "need at least 2 nodes"
+  else if cfg.ops < 1 || cfg.keyspace < 2 then
+    Some "need at least 1 op and keyspace >= 2"
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic client script                                         *)
+(* ------------------------------------------------------------------ *)
+
+type sop = S_put of int * int | S_del of int | S_get of int
+
+(* Values are the script position + 1, so per-key values are strictly
+   increasing and a stale read is detectable by inequality alone. *)
+let gen_script cfg =
+  let rng = Prng.create (cfg.seed * 31 + 17) in
+  Array.init cfg.ops (fun j ->
+      let k = 1 + Prng.int rng cfg.keyspace in
+      match Prng.int rng 10 with
+      | 0 | 1 -> S_get k
+      | 2 -> S_del k
+      | _ -> S_put (k, j + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Oracle state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* [acked] is the last acknowledged binding per key.  [pending] holds
+   the bindings attempted since that ack whose outcome is
+   indeterminate (the op errored or timed out, but the mutation — or
+   just its ack — may have been lost in flight). *)
+type oracle = {
+  acked : (int, int option) Hashtbl.t;
+  pending : (int, int option list) Hashtbl.t;
+}
+
+let oracle_create () = { acked = Hashtbl.create 64; pending = Hashtbl.create 64 }
+
+let oracle_ack o k v =
+  Hashtbl.replace o.acked k v;
+  Hashtbl.remove o.pending k
+
+let oracle_attempt o k v =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt o.pending k) in
+  Hashtbl.replace o.pending k (v :: prev)
+
+let oracle_allowed o k v =
+  let pend = Option.value ~default:[] (Hashtbl.find_opt o.pending k) in
+  match Hashtbl.find_opt o.acked k with
+  | Some a -> v = a || List.mem v pend
+  | None -> v = None || List.mem v pend
+
+let describe_binding = function
+  | None -> "absent"
+  | Some v -> string_of_int v
+
+let expectation o k =
+  match (Hashtbl.find_opt o.acked k, Hashtbl.find_opt o.pending k) with
+  | Some a, _ -> Printf.sprintf "last ack %s" (describe_binding a)
+  | None, Some _ -> "never acked (attempts pending)"
+  | None, None -> "never written"
+
+(* ------------------------------------------------------------------ *)
+(* Counterexamples and reports                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mode_to_string = function
+  | Storelog.Keep_none -> "keep_none"
+  | Storelog.Keep_all -> "keep_all"
+  | _ -> "keep_all"
+
+let mode_of_string = function
+  | "keep_none" -> Storelog.Keep_none
+  | _ -> Storelog.Keep_all
+
+let mk_cx cfg ~name ~kind ~fault_seed ~kill_at ~partition ~mode ~detail =
+  {
+    Cx.index = name;
+    node_bytes = cfg.node_bytes;
+    kind = Check.kind_to_string kind;
+    workload =
+      {
+        writers = 1;
+        readers = 0;
+        ops_per_thread = cfg.ops;
+        keyspace = cfg.keyspace;
+        prefill = 0;
+        seed = cfg.seed;
+        non_tso = false;
+        elide_flush = false;
+      };
+    tx = None;
+    snap = None;
+    rebal = None;
+    repl =
+      Some
+        {
+          Cx.rp_mutant = cfg.mutant;
+          rp_nodes = cfg.nodes;
+          rp_shards = cfg.shards;
+          rp_fault_seed = fault_seed;
+          rp_kill_at = kill_at;
+          rp_partition = partition;
+        };
+    decisions = [||];
+    crash =
+      (if kill_at < 0 then None
+       else
+         Some
+           {
+             Cx.store_count = kill_at;
+             mode = mode_to_string mode;
+             crash_seed = fault_seed;
+             cutoff = None;
+           });
+    detail;
+  }
+
+let empty_report index =
+  {
+    Check.index;
+    schedules_run = 0;
+    exhausted = false;
+    crash_runs = 0;
+    ops_checked = 0;
+    violations = [];
+    skipped = None;
+    crash_note = None;
+  }
+
+let with_mutant armed f =
+  let prev = !Cluster.mutant_ack_before_replicate in
+  Cluster.mutant_ack_before_replicate := armed;
+  Fun.protect
+    ~finally:(fun () -> Cluster.mutant_ack_before_replicate := prev)
+    f
+
+(* ------------------------------------------------------------------ *)
+(* One scenario                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive the script against a fresh cluster; kill the hot shard's
+   primary after [kill_at] acks (optionally partitioning it from its
+   backup a few ops earlier), fail over, finish the script, then heal,
+   restart the dead node and audit every key. *)
+let run_scenario cfg ~tracer ~name ~fault_seed ~kill_at ~partition ~mode =
+  let script = gen_script cfg in
+  let ccfg =
+    {
+      Cluster.default with
+      nodes = cfg.nodes;
+      shards = cfg.shards;
+      inner = name;
+      words = 1 lsl 14;
+      seed = fault_seed;
+      faults = (if cfg.faulty_fabric then Fabric.default_faults else Fabric.calm);
+    }
+  in
+  let cl = Cluster.create ~tracer ccfg in
+  let o = oracle_create () in
+  let violations = ref [] in
+  let crash_runs = ref 0 in
+  let killed = ref (-1) in
+  let acks = ref 0 in
+  let hot = 0 in
+  let add kind detail =
+    violations :=
+      {
+        Check.kind;
+        detail;
+        counterexample =
+          mk_cx cfg ~name ~kind ~fault_seed ~kill_at ~partition ~mode ~detail;
+      }
+      :: !violations
+  in
+  let check_read ~where k = function
+    | Error _ -> ()
+    | Ok v ->
+        if not (oracle_allowed o k v) then
+          add Check.Linearizability
+            (Printf.sprintf
+               "stale read (%s): key %d returned %s, expected %s \
+                [fault_seed=%d kill_at=%d partition=%b mode=%s]"
+               where k (describe_binding v) (expectation o k) fault_seed
+               kill_at partition (mode_to_string mode))
+  in
+  (* The partition opens a few acks before the kill, so a primary
+     that acks unreplicated writes (the mutant) has a window to do
+     damage before it dies. *)
+  let part_at =
+    if partition && kill_at >= 0 then max 0 (kill_at - 6) else max_int
+  in
+  let partitioned = ref false in
+  let maybe_partition () =
+    if (not !partitioned) && !killed < 0 && !acks >= part_at then begin
+      Cluster.partition cl
+        ~a:(Cluster.primary_of cl ~shard:hot)
+        ~b:(Cluster.backup_of cl ~shard:hot);
+      partitioned := true
+    end
+  in
+  let maybe_kill () =
+    if !killed < 0 && kill_at >= 0 && !acks >= kill_at then begin
+      let victim = Cluster.primary_of cl ~shard:hot in
+      Cluster.kill_node ~mode cl victim;
+      incr crash_runs;
+      killed := victim;
+      (* The detector's action, taken deterministically: promote the
+         backup of every shard the victim led. *)
+      for s = 0 to cfg.shards - 1 do
+        if Cluster.primary_of cl ~shard:s = victim then
+          ignore (Cluster.failover cl ~shard:s)
+      done
+    end
+  in
+  Array.iter
+    (fun op ->
+      maybe_partition ();
+      maybe_kill ();
+      match op with
+      | S_put (k, v) -> (
+          match Cluster.put cl k v with
+          | Ok () ->
+              oracle_ack o k (Some v);
+              incr acks
+          | Error _ -> oracle_attempt o k (Some v))
+      | S_del k -> (
+          match Cluster.del cl k with
+          | Ok () ->
+              oracle_ack o k None;
+              incr acks
+          | Error _ -> oracle_attempt o k None)
+      | S_get k -> check_read ~where:"during run" k (Cluster.get cl k))
+    script;
+  maybe_kill ();
+  (* Settle: heal the fabric, bring the dead node back (segment
+     resync) and audit the whole keyspace against the oracle. *)
+  Cluster.heal cl;
+  if !killed >= 0 then Cluster.restart_node cl !killed;
+  for _ = 1 to 3 do
+    Cluster.tick cl
+  done;
+  for k = 1 to cfg.keyspace do
+    let rec read tries =
+      match Cluster.get cl k with
+      | Ok v -> Some v
+      | Error _ ->
+          if tries <= 0 then None
+          else begin
+            Cluster.tick cl;
+            read (tries - 1)
+          end
+    in
+    match read 10 with
+    | None ->
+        add Check.Tolerance
+          (Printf.sprintf
+             "audit read unavailable after recovery: key %d [fault_seed=%d \
+              kill_at=%d partition=%b mode=%s]"
+             k fault_seed kill_at partition (mode_to_string mode))
+    | Some v ->
+        if not (oracle_allowed o k v) then
+          add
+            (if Hashtbl.mem o.acked k then Check.Durability
+             else Check.Linearizability)
+            (Printf.sprintf
+               "lost acknowledged write: key %d read back %s after recovery, \
+                expected %s [fault_seed=%d kill_at=%d partition=%b mode=%s]"
+               k (describe_binding v) (expectation o k) fault_seed kill_at
+               partition (mode_to_string mode))
+  done;
+  Cluster.close cl;
+  (List.rev !violations, !crash_runs, Array.length script + cfg.keyspace)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario product                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let scenario cfg i =
+  let kill_points = [| -1; cfg.ops / 4; cfg.ops / 2; 3 * cfg.ops / 4 |] in
+  let fault_seed = (cfg.seed * 7919) + (101 * i) in
+  let kill_at = kill_points.(i mod Array.length kill_points) in
+  let partition = i / Array.length kill_points mod 2 = 1 in
+  let mode = if i mod 2 = 0 then Storelog.Keep_all else Storelog.Keep_none in
+  (fault_seed, kill_at, partition, mode)
+
+let run ?(config = default) ?(tracer = Trace.null) name =
+  let cfg = config in
+  let d = Registry.find_exn name in
+  match checkable d cfg with
+  | Some reason -> { (empty_report name) with Check.skipped = Some reason }
+  | None ->
+      with_mutant cfg.mutant @@ fun () ->
+      let scen_span = Trace.intern tracer "replcheck.scenario" in
+      let crash_runs = ref 0 in
+      let ops_checked = ref 0 in
+      let violations = ref [] in
+      for i = 0 to cfg.schedules - 1 do
+        let fault_seed, kill_at, partition, mode = scenario cfg i in
+        Trace.span_begin tracer scen_span i;
+        let vs, cr, ops =
+          run_scenario cfg ~tracer ~name ~fault_seed ~kill_at ~partition ~mode
+        in
+        Trace.span_end tracer scen_span;
+        violations := !violations @ vs;
+        crash_runs := !crash_runs + cr;
+        ops_checked := !ops_checked + ops
+      done;
+      {
+        Check.index = name;
+        schedules_run = cfg.schedules;
+        exhausted = false;
+        crash_runs = !crash_runs;
+        ops_checked = !ops_checked;
+        violations = !violations;
+        skipped = None;
+        crash_note = None;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let repl_of_cx (cx : Cx.t) =
+  match cx.repl with
+  | Some r -> r
+  | None -> invalid_arg "Replcheck.replay: counterexample has no repl extension"
+
+let config_of_counterexample (cx : Cx.t) =
+  let r = repl_of_cx cx in
+  {
+    default with
+    nodes = r.rp_nodes;
+    shards = r.rp_shards;
+    ops = cx.workload.ops_per_thread;
+    keyspace = cx.workload.keyspace;
+    seed = cx.workload.seed;
+    mutant = r.rp_mutant;
+    schedules = 1;
+    node_bytes = cx.node_bytes;
+  }
+
+let replay ?(tracer = Trace.null) (cx : Cx.t) =
+  let r = repl_of_cx cx in
+  let cfg = config_of_counterexample cx in
+  let mode =
+    match cx.crash with
+    | Some c -> mode_of_string c.mode
+    | None -> Storelog.Keep_all
+  in
+  with_mutant cfg.mutant @@ fun () ->
+  let vs, cr, ops =
+    run_scenario cfg ~tracer ~name:cx.index ~fault_seed:r.rp_fault_seed
+      ~kill_at:r.rp_kill_at ~partition:r.rp_partition ~mode
+  in
+  {
+    Check.index = cx.index;
+    schedules_run = 1;
+    exhausted = false;
+    crash_runs = cr;
+    ops_checked = ops;
+    violations = vs;
+    skipped = None;
+    crash_note = None;
+  }

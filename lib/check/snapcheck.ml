@@ -328,6 +328,7 @@ let mk_cx cfg index kind ~decisions ~crash ~detail =
     tx = None;
     snap = Some { Cx.mutant = cfg.mutant; rounds = cfg.rounds };
     rebal = None;
+    repl = None;
     decisions;
     crash;
     detail;

@@ -396,6 +396,7 @@ let mk_cx cfg index kind ~decisions ~crash ~detail =
         { Cx.path = path_name cfg.path; torn = cfg.torn_commit; txns = cfg.txns };
     snap = None;
     rebal = None;
+    repl = None;
     decisions;
     crash;
     detail;

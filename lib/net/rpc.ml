@@ -1,0 +1,95 @@
+module Prng = Ff_util.Prng
+
+type ('req, 'resp) endpoint = {
+  ep_node : int;
+  mutable ep_up : bool;
+  mutable ep_handler : 'req -> 'resp;
+  ep_dedup : (int * int, 'resp) Hashtbl.t;
+  mutable ep_served : int;
+  mutable ep_deduped : int;
+}
+
+let endpoint ~node handler =
+  {
+    ep_node = node;
+    ep_up = true;
+    ep_handler = handler;
+    ep_dedup = Hashtbl.create 64;
+    ep_served = 0;
+    ep_deduped = 0;
+  }
+
+let set_handler ep h = ep.ep_handler <- h
+let node ep = ep.ep_node
+let up ep = ep.ep_up
+
+let set_up ep b =
+  if b && not ep.ep_up then Hashtbl.reset ep.ep_dedup;
+  ep.ep_up <- b
+
+let served ep = ep.ep_served
+let deduped ep = ep.ep_deduped
+
+type error = Timeout
+
+let serve ep ~src ~token req =
+  match Hashtbl.find_opt ep.ep_dedup (src, token) with
+  | Some r ->
+      ep.ep_deduped <- ep.ep_deduped + 1;
+      r
+  | None ->
+      let r = ep.ep_handler req in
+      ep.ep_served <- ep.ep_served + 1;
+      Hashtbl.replace ep.ep_dedup (src, token) r;
+      r
+
+let call ?(timeout_ns = 20_000) ?(retries = 4) ?(backoff_ns = 2_000) ~fabric
+    ~rng ~src ~token ep req =
+  let rec attempt n =
+    if n > retries then Error Timeout
+    else begin
+      if n > 0 then begin
+        (* Jittered exponential backoff: base << (n-1) plus a uniform
+           draw of the same magnitude. *)
+        let base = backoff_ns lsl (n - 1) in
+        Fabric.charge fabric (base + Prng.int rng (max 1 base))
+      end;
+      let v = Fabric.transmit fabric ~src ~dst:ep.ep_node in
+      match v.Fabric.v_deliveries with
+      | [] ->
+          Fabric.charge fabric timeout_ns;
+          attempt (n + 1)
+      | ds when not ep.ep_up ->
+          (* The request reaches a dead host: same as a loss, but the
+             delivery delay is still charged before the timeout. *)
+          List.iter (fun _ -> ()) ds;
+          Fabric.charge fabric timeout_ns;
+          attempt (n + 1)
+      | ds -> begin
+          (* Deliver every copy: duplicates re-enter the endpoint and
+             are answered from the idempotency cache. *)
+          let resp =
+            List.fold_left
+              (fun _ d ->
+                Fabric.charge fabric d;
+                Some (serve ep ~src ~token req))
+              None ds
+          in
+          match resp with
+          | None -> assert false
+          | Some r -> begin
+              let rv = Fabric.transmit fabric ~src:ep.ep_node ~dst:src in
+              match rv.Fabric.v_deliveries with
+              | [] ->
+                  (* Reply lost: the handler ran; the retry is served
+                     from the cache without re-executing it. *)
+                  Fabric.charge fabric timeout_ns;
+                  attempt (n + 1)
+              | d :: _ ->
+                  Fabric.charge fabric d;
+                  Ok r
+            end
+        end
+    end
+  in
+  attempt 0

@@ -1,0 +1,51 @@
+(** Request/response RPC over the {!Fabric} with timeouts, idempotency
+    tokens and jittered exponential backoff.
+
+    Calls are executed inline on the caller's simulated thread: the
+    fabric decides delivery, the caller charges the delays, and the
+    endpoint's handler runs synchronously.  A lost request or reply
+    costs the caller [timeout_ns] and triggers a retry after a
+    jittered exponential backoff.  Every call carries an idempotency
+    token; the endpoint caches the response per [(caller, token)], so
+    duplicate deliveries and retries of a request whose {e reply} was
+    lost return the cached response instead of re-executing the
+    handler — exactly-once effects over an at-least-once fabric. *)
+
+type ('req, 'resp) endpoint
+
+val endpoint : node:int -> ('req -> 'resp) -> ('req, 'resp) endpoint
+(** An endpoint living at fabric address [node], initially up. *)
+
+val set_handler : ('req, 'resp) endpoint -> ('req -> 'resp) -> unit
+val node : ('req, 'resp) endpoint -> int
+
+val up : ('req, 'resp) endpoint -> bool
+val set_up : ('req, 'resp) endpoint -> bool -> unit
+(** A down endpoint swallows requests (the caller sees timeouts).
+    Bringing it back up clears the volatile dedup cache, as a restart
+    would. *)
+
+val served : ('req, 'resp) endpoint -> int
+(** Handler executions (cache misses). *)
+
+val deduped : ('req, 'resp) endpoint -> int
+(** Duplicate deliveries answered from the idempotency cache. *)
+
+type error = Timeout
+
+val call :
+  ?timeout_ns:int ->
+  ?retries:int ->
+  ?backoff_ns:int ->
+  fabric:Fabric.t ->
+  rng:Ff_util.Prng.t ->
+  src:int ->
+  token:int ->
+  ('req, 'resp) endpoint ->
+  'req ->
+  ('resp, error) result
+(** [call ep req] with up to [retries] (default 4) retransmissions.
+    Each lost leg charges [timeout_ns] (default 20us); retry [n]
+    first charges [backoff_ns lsl (n-1)] plus a uniform jitter of the
+    same magnitude (default base 2us), drawn from [rng] — so
+    concurrent callers do not retry in lockstep. *)

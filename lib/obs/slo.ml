@@ -23,8 +23,25 @@ type rule =
       ops : string; (* counter prefix *)
       max_per_1k : float;
     }
+  | Burn_rate_multi of {
+      rule : string;
+      events : string;
+      ops : string;
+      max_per_1k : float;
+      short_ns : int;
+      long_ns : int;
+    }
+      (* SRE-style multi-window burn rate: fire only when the rate
+         exceeds the budget over BOTH the short window (the problem is
+         happening now) and the long window (it has been happening
+         long enough to matter).  Windowed rates need sample history,
+         which lives in the Monitor; the stateless check degrades to
+         the lifetime rate. *)
 
-let rule_name = function Latency r -> r.rule | Burn_rate r -> r.rule
+let rule_name = function
+  | Latency r -> r.rule
+  | Burn_rate r -> r.rule
+  | Burn_rate_multi r -> r.rule
 
 let rule_describe = function
   | Latency r ->
@@ -33,6 +50,10 @@ let rule_describe = function
   | Burn_rate r ->
       Printf.sprintf "%s: sum(%s*) per 1k sum(%s*) <= %g" r.rule r.events
         r.ops r.max_per_1k
+  | Burn_rate_multi r ->
+      Printf.sprintf
+        "%s: sum(%s*) per 1k sum(%s*) <= %g over both %dns and %dns windows"
+        r.rule r.events r.ops r.max_per_1k r.short_ns r.long_ns
 
 type violation = {
   rule : string;
@@ -70,7 +91,10 @@ let check_rule m ~now rule =
                 at_ns = now;
               }
           else None)
-  | Burn_rate { rule; events; ops; max_per_1k } ->
+  | Burn_rate { rule; events; ops; max_per_1k }
+  | Burn_rate_multi { rule; events; ops; max_per_1k; _ } ->
+      (* The stateless check sees no history: a multi-window rule
+         degrades to its lifetime rate here. *)
       let ev = Metrics.counter_prefix_sum m events in
       let n = Metrics.counter_prefix_sum m ops in
       if n = 0 then None
@@ -170,6 +194,9 @@ let pp_report ppf r =
 (* ------------------------------------------------------------------ *)
 
 module Monitor = struct
+  (* Counter readings at past checks, for windowed burn rates. *)
+  type sample = { s_at : int; s_ev : int; s_ops : int }
+
   type nonrec t = {
     rules : rule array;
     tracer : Trace.t;
@@ -180,6 +207,9 @@ module Monitor = struct
        one instant event per window (the per-rule counter still counts
        every violating window). *)
     worst : violation option array;
+    (* Per-rule sample history, newest first (multi-window rules
+       only); pruned to the long window plus one straddling sample. *)
+    hist : sample list array;
   }
 
   let create ?(window_ns = 100_000) ~tracer rules =
@@ -191,14 +221,73 @@ module Monitor = struct
       next_ns = 0;
       checks = 0;
       worst = Array.make (max 1 (List.length rules)) None;
+      hist = Array.make (max 1 (List.length rules)) [];
     }
+
+  (* Rate per 1k ops since the newest sample at or before
+     [now - window_ns] (the oldest retained sample when history is
+     still shorter than the window). *)
+  let windowed_rate hist ~now ~window_ns ~ev ~ops =
+    let boundary = now - window_ns in
+    let rec anchor = function
+      | [] -> { s_at = 0; s_ev = 0; s_ops = 0 }
+      | [ s ] -> s
+      | s :: rest -> if s.s_at <= boundary then s else anchor rest
+    in
+    let a = anchor hist in
+    let dev = ev - a.s_ev and dops = ops - a.s_ops in
+    if dev <= 0 then 0.
+    else 1000. *. float_of_int dev /. float_of_int (max 1 dops)
+
+  let prune ~boundary hist =
+    let rec go = function
+      | [] -> []
+      | s :: rest -> if s.s_at > boundary then s :: go rest else [ s ]
+    in
+    go hist
+
+  (* Multi-window burn rate: both the short and the long window must
+     exceed the budget.  Needs the monitor's history, so it lives
+     here rather than in the stateless [check_rule]. *)
+  let check_multi m i ~now ~reg ~rule ~events ~ops ~max_per_1k ~short_ns
+      ~long_ns =
+    let ev = Metrics.counter_prefix_sum reg events in
+    let n = Metrics.counter_prefix_sum reg ops in
+    let hist = m.hist.(i) in
+    let short_r = windowed_rate hist ~now ~window_ns:short_ns ~ev ~ops:n in
+    let long_r = windowed_rate hist ~now ~window_ns:long_ns ~ev ~ops:n in
+    m.hist.(i) <-
+      prune ~boundary:(now - long_ns)
+        ({ s_at = now; s_ev = ev; s_ops = n } :: hist);
+    if short_r > max_per_1k && long_r > max_per_1k then
+      Some
+        {
+          rule;
+          detail =
+            Printf.sprintf
+              "%s burning at %.3f/1k (%dns window) and %.3f/1k (%dns window) \
+               > budget %g"
+              events short_r short_ns long_r long_ns max_per_1k;
+          observed = short_r;
+          bound = max_per_1k;
+          at_ns = now;
+        }
+    else None
 
   let check m ~now =
     m.checks <- m.checks + 1;
     let reg = Trace.metrics m.tracer in
     Array.iteri
       (fun i rule ->
-        match check_rule reg ~now rule with
+        let result =
+          match rule with
+          | Burn_rate_multi { rule; events; ops; max_per_1k; short_ns; long_ns }
+            ->
+              check_multi m i ~now ~reg ~rule ~events ~ops ~max_per_1k
+                ~short_ns ~long_ns
+          | rule -> check_rule reg ~now rule
+        in
+        match result with
         | None -> ()
         | Some v ->
             Trace.instant m.tracer Trace.id_slo_violation i;

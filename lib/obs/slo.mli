@@ -20,6 +20,20 @@ type rule =
       ops : string;  (** counter prefix, e.g. ["shard.batch_ops"] *)
       max_per_1k : float;
     }
+  | Burn_rate_multi of {
+      rule : string;
+      events : string;
+      ops : string;
+      max_per_1k : float;
+      short_ns : int;  (** fast window: the problem is happening now *)
+      long_ns : int;  (** slow window: it has lasted long enough to page *)
+    }
+      (** SRE-style multi-window burn rate: fires only when the event
+          rate exceeds the budget over {e both} windows, suppressing
+          one-off blips (short window recovers) and stale alerts (long
+          window never accumulates).  Windowed evaluation needs sample
+          history and therefore lives in {!Monitor}; the stateless
+          {!evaluate} degrades the rule to its lifetime rate. *)
 
 val rule_name : rule -> string
 val rule_describe : rule -> string
@@ -48,7 +62,12 @@ val pp_report : Format.formatter -> report -> unit
     violating window emits an [id_slo_violation] instant (detail =
     rule index) into the tracer — visible in the Perfetto export — and
     bumps the ["slo.violations.<rule>"] counter; the final report
-    keeps the worst observed violation per rule. *)
+    keeps the worst observed violation per rule.
+
+    For {!Burn_rate_multi} rules the monitor records a counter sample
+    at every check and evaluates the rate over the short and long
+    windows against that history (pruned to the long window); the rule
+    fires only when both windows exceed the budget. *)
 module Monitor : sig
   type t
 

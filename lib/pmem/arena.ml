@@ -42,8 +42,12 @@ let words_per_line = 8
      64     published snapshot epoch cell (Epoch)
      65     cross-shard global snapshot decision word
      66-67  snapshot version-store anchor
-     68-71  unassigned *)
-let reserved_words = 72
+     68-70  rebalance generation / decision word / plan-block pointer
+     71     replication term/role word (Cluster)
+     72     replication applied-seqno high-water (Cluster)
+     73     replication epoch-of-resync marker (Cluster)
+     74-79  unassigned (the window stays line-aligned) *)
+let reserved_words = 80
 
 type ctx = { cache : Cachesim.t; stats : Stats.t }
 

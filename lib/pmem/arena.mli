@@ -42,14 +42,15 @@ val words_per_line : int
 
 val reserved_words : int
 (** Words [0 .. reserved_words-1] are root/metadata slots; {!alloc}
-    never returns them.  Currently 72: shard inner roots (0-55), the
+    never returns them.  Currently 80: shard inner roots (0-55), the
     transaction log anchor (56-57), the shard manifest (58-60), the
     registry manifest (61-63), the published snapshot epoch cell (64),
     the cross-shard snapshot decision word (65), the snapshot
-    version-store anchor (66-67), and the rebalance generation,
-    decision word and plan-block pointer (68-70; 71 is spare).  The
-    slot map is audited against every consumer by
-    [test/test_rebalance.ml]. *)
+    version-store anchor (66-67), the rebalance generation, decision
+    word and plan-block pointer (68-70), and the replication term/role
+    word, applied-seqno high-water and resync marker (71-73; 74-79 are
+    spare, keeping the window line-aligned).  The slot map is audited
+    against every consumer by [test/test_rebalance.ml]. *)
 
 val create : ?config:Config.t -> words:int -> unit -> t
 val config : t -> Config.t

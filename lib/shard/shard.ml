@@ -193,6 +193,7 @@ type t = {
   mutable qlen : int array;
   retry_limit : int;
   backoff_ns : int;
+  backoff_rng : Ff_util.Prng.t;
   mutable next_op : int;
   mutable last_scrub : Scrub.report list;
   (* Transaction machinery: one manager per shard arena (multi mode)
@@ -255,6 +256,9 @@ let make ~partition ~inner ~inner_config ~instances ~multi ~batch_cap ~group
     qlen = Array.make n 0;
     retry_limit;
     backoff_ns;
+    (* Deterministic jitter source: seeded from the topology so runs
+       replay, but distinct shards draw distinct sequences. *)
+    backoff_rng = Ff_util.Prng.create (0x5eed_ba5e + (n lsl 8));
     next_op = 0;
     last_scrub = [];
     txs = None;
@@ -431,7 +435,12 @@ let guarded t i f =
         end
         else begin
           it.retries <- it.retries + 1;
-          Arena.cpu_work it.arena (t.backoff_ns lsl n);
+          (* Jittered exponential backoff: base << n plus a uniform
+             draw of the same magnitude, so degraded shards do not
+             retry in lockstep. *)
+          let base = t.backoff_ns lsl n in
+          Arena.cpu_work it.arena
+            (base + Ff_util.Prng.int t.backoff_rng (max 1 base));
           attempt (n + 1)
         end
   in

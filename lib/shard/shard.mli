@@ -99,9 +99,11 @@ val create :
     {!Partition.hash}; [group] (default true) runs scheduler batches
     under a group-flush scope.  A point op that raises
     {!Ff_pmem.Arena.Media_error} is retried up to [retry_limit]
-    (default 3) times with exponential backoff starting at
-    [backoff_ns] (default 1000) simulated ns before surfacing as
-    {!Degraded}.
+    (default 3) times with jittered exponential backoff starting at
+    [backoff_ns] (default 1000) simulated ns — each retry [n] waits
+    [backoff_ns lsl n] plus a deterministic uniform draw of the same
+    magnitude, so degraded shards do not retry in lockstep — before
+    surfacing as {!Degraded}.
     @raise Invalid_argument if the inner structure lacks a required
     capability, or the partition disagrees with [shards]. *)
 

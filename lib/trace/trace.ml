@@ -73,6 +73,10 @@ let id_untagged = 22
 let id_rebal_copy = 23
 let id_rebal_cutover = 24
 let id_rebal_replay = 25
+let id_rpc = 26
+let id_repl = 27
+let id_failover = 28
+let id_catchup = 29
 
 let predefined =
   [|
@@ -80,7 +84,8 @@ let predefined =
     "sibling_chase"; "dup_skip"; "recovery"; "crash"; "batch"; "merge";
     "scrub"; "op"; "degraded"; "readmit"; "slo_violation"; "tx_begin";
     "tx_log"; "tx_commit"; "tx_abort"; "tx_replay"; "untagged";
-    "rebal_copy"; "rebal_cutover"; "rebal_replay";
+    "rebal_copy"; "rebal_cutover"; "rebal_replay"; "rpc"; "repl";
+    "failover"; "catchup";
   |]
 
 let make ~enabled ~capacity ~threads ~clock ~tid =

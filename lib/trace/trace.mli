@@ -109,6 +109,18 @@ val id_rebal_cutover : int
 val id_rebal_replay : int
 (** Rebalance delta-buffer replay (detail = records applied). *)
 
+val id_rpc : int
+(** One fabric RPC call completed (detail = attempts taken). *)
+
+val id_repl : int
+(** One replication record durably acked by a backup (detail = seq). *)
+
+val id_failover : int
+(** A backup was promoted to primary (detail = shard). *)
+
+val id_catchup : int
+(** A rejoining replica finished a segment resync (detail = shard). *)
+
 val intern : t -> string -> int
 (** Id for an arbitrary name (stable within this tracer). *)
 

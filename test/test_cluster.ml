@@ -1,0 +1,361 @@
+module Fabric = Ff_net.Fabric
+module Rpc = Ff_net.Rpc
+module Cluster = Ff_cluster.Cluster
+module Prng = Ff_util.Prng
+
+let calm_config =
+  {
+    Cluster.default with
+    Cluster.faults = Fabric.calm;
+    words = 1 lsl 14;
+    seed = 7;
+  }
+
+let faulty_config =
+  { calm_config with Cluster.faults = Fabric.default_faults }
+
+(* ------------------------------------------------------------------ *)
+(* Fabric                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let drive_fabric fab calls =
+  List.map
+    (fun (src, dst) -> Fabric.transmit fab ~src ~dst)
+    calls
+
+let test_fabric_faults () =
+  let fab = Fabric.create ~seed:11 ~endpoints:4 () in
+  let calls = List.init 500 (fun i -> (i mod 4, (i + 1) mod 4)) in
+  let _ = drive_fabric fab calls in
+  Alcotest.(check int) "every send logged" 500 (Fabric.sends fab);
+  Alcotest.(check bool) "some drops" true (Fabric.drops fab > 0);
+  Alcotest.(check bool) "some dups" true (Fabric.dups fab > 0);
+  Alcotest.(check int) "log length" 500 (List.length (Fabric.log fab))
+
+let test_fabric_partition () =
+  let fab = Fabric.create ~faults:Fabric.calm ~seed:3 ~endpoints:3 () in
+  Fabric.partition fab ~a:0 ~b:1;
+  let v = Fabric.transmit fab ~src:0 ~dst:1 in
+  Alcotest.(check bool) "cut" true (v.Fabric.v_cut && v.Fabric.v_deliveries = []);
+  let v2 = Fabric.transmit fab ~src:0 ~dst:2 in
+  Alcotest.(check bool) "other link open" true
+    (v2.Fabric.v_deliveries <> []);
+  Fabric.heal fab;
+  let v3 = Fabric.transmit fab ~src:0 ~dst:1 in
+  Alcotest.(check bool) "healed" true (v3.Fabric.v_deliveries <> [])
+
+let test_fabric_timed_partition () =
+  let fab = Fabric.create ~faults:Fabric.calm ~seed:3 ~endpoints:2 () in
+  Fabric.partition_for fab ~a:0 ~b:1 ~ns:1_000;
+  Alcotest.(check bool) "cut now" true (Fabric.partitioned fab ~a:0 ~b:1);
+  Fabric.charge fab 2_000;
+  Alcotest.(check bool) "self-heals" false (Fabric.partitioned fab ~a:0 ~b:1)
+
+(* Satellite: same seed => identical delivery schedule (QCheck). *)
+let prop_fabric_deterministic =
+  QCheck.Test.make ~count:50 ~name:"fabric fault plan is deterministic"
+    QCheck.(pair small_int (small_list (pair (int_bound 3) (int_bound 3))))
+    (fun (seed, calls) ->
+      let run () =
+        let fab = Fabric.create ~seed ~endpoints:4 () in
+        let vs = drive_fabric fab calls in
+        List.map
+          (fun v -> (v.Fabric.v_seq, v.Fabric.v_deliveries, v.Fabric.v_cut))
+          vs
+      in
+      run () = run ())
+
+(* ------------------------------------------------------------------ *)
+(* RPC                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rpc_dedup () =
+  (* Force duplicates: every message is duplicated, none dropped. *)
+  let faults = { Fabric.calm with Fabric.dup_per_1k = 1000 } in
+  let fab = Fabric.create ~faults ~seed:5 ~endpoints:2 () in
+  let hits = ref 0 in
+  let ep =
+    Rpc.endpoint ~node:1 (fun x ->
+        incr hits;
+        x * 2)
+  in
+  let rng = Prng.create 9 in
+  (match Rpc.call ~fabric:fab ~rng ~src:0 ~token:1 ep 21 with
+  | Ok v -> Alcotest.(check int) "response" 42 v
+  | Error _ -> Alcotest.fail "rpc failed on a calm fabric");
+  Alcotest.(check int) "handler ran once" 1 !hits;
+  Alcotest.(check bool) "duplicate deduped" true (Rpc.deduped ep >= 1)
+
+let test_rpc_retry_after_drop () =
+  (* Drop everything at first: exhausts retries. *)
+  let faults = { Fabric.calm with Fabric.drop_per_1k = 1000 } in
+  let fab = Fabric.create ~faults ~seed:5 ~endpoints:2 () in
+  let ep = Rpc.endpoint ~node:1 (fun x -> x) in
+  let rng = Prng.create 9 in
+  (match Rpc.call ~retries:2 ~fabric:fab ~rng ~src:0 ~token:1 ep 1 with
+  | Ok _ -> Alcotest.fail "should time out"
+  | Error Rpc.Timeout -> ());
+  Alcotest.(check int) "three transmits" 3 (Fabric.sends fab)
+
+let test_rpc_down_endpoint () =
+  let fab = Fabric.create ~faults:Fabric.calm ~seed:5 ~endpoints:2 () in
+  let ep = Rpc.endpoint ~node:1 (fun x -> x) in
+  Rpc.set_up ep false;
+  let rng = Prng.create 9 in
+  match Rpc.call ~retries:1 ~fabric:fab ~rng ~src:0 ~token:1 ep 1 with
+  | Ok _ -> Alcotest.fail "down endpoint must not answer"
+  | Error Rpc.Timeout -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Cluster replication and failover                                    *)
+(* ------------------------------------------------------------------ *)
+
+let put_exn c k v =
+  match Cluster.put c k v with
+  | Ok () -> ()
+  | Error _ -> Alcotest.failf "put %d rejected" k
+
+let get_exn c k =
+  match Cluster.get c k with
+  | Ok v -> v
+  | Error _ -> Alcotest.failf "get %d unavailable" k
+
+let test_cluster_basic () =
+  let c = Cluster.create calm_config in
+  for k = 1 to 200 do
+    put_exn c k (k * 10)
+  done;
+  for k = 1 to 200 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "get %d" k)
+      (Some (k * 10))
+      (get_exn c k)
+  done;
+  let s = Cluster.stats c in
+  Alcotest.(check int) "all acked" 200 s.Cluster.s_acks;
+  Alcotest.(check bool) "replicated" true (s.Cluster.s_repl_records >= 200);
+  Cluster.close c
+
+let test_cluster_faulty_fabric () =
+  let c = Cluster.create faulty_config in
+  for k = 1 to 150 do
+    put_exn c k k
+  done;
+  for k = 1 to 150 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "get %d" k)
+      (Some k) (get_exn c k)
+  done;
+  Cluster.close c
+
+let test_cluster_failover () =
+  let c = Cluster.create calm_config in
+  for k = 1 to 100 do
+    put_exn c k k
+  done;
+  (* Kill the primary of the shard owning key 1; writes to that shard
+     must keep their acked history and the backup must take over. *)
+  let s = Cluster.shard_of_key c 1 in
+  let p = Cluster.primary_of c ~shard:s in
+  let b = Cluster.backup_of c ~shard:s in
+  Cluster.kill_node c p;
+  Alcotest.(check bool) "failover succeeds" true (Cluster.failover c ~shard:s);
+  Alcotest.(check int) "backup promoted" b (Cluster.primary_of c ~shard:s);
+  Alcotest.(check bool) "term bumped" true (Cluster.term_of c ~shard:s > 1);
+  (* All acked writes must still read back through the new primary. *)
+  for k = 1 to 100 do
+    if Cluster.shard_of_key c k = s then
+      Alcotest.(check (option int))
+        (Printf.sprintf "key %d survives" k)
+        (Some k) (get_exn c k)
+  done;
+  (* The shard is solo: writes are refused, reads keep serving. *)
+  (match
+     Cluster.put c
+       (let rec find k = if Cluster.shard_of_key c k = s then k else find (k + 1) in
+        find 1)
+       999
+   with
+  | Error Cluster.Read_only -> ()
+  | Ok () -> Alcotest.fail "solo shard must refuse write acks"
+  | Error Cluster.Unavailable -> Alcotest.fail "should be read-only, not down");
+  Cluster.close c
+
+let test_cluster_rejoin_catchup () =
+  let c = Cluster.create calm_config in
+  for k = 1 to 80 do
+    put_exn c k k
+  done;
+  let s = Cluster.shard_of_key c 1 in
+  let p = Cluster.primary_of c ~shard:s in
+  Cluster.kill_node c p;
+  Alcotest.(check bool) "failover" true (Cluster.failover c ~shard:s);
+  Alcotest.(check bool) "read-only while solo" true (Cluster.read_only c ~shard:s);
+  (* Restart the dead node: it resyncs via segment ship and the shard
+     leaves read-only degradation. *)
+  Cluster.restart_node c p;
+  Alcotest.(check bool) "resynced" false (Cluster.read_only c ~shard:s);
+  Alcotest.(check bool) "resync counted" true
+    ((Cluster.stats c).Cluster.s_resyncs > 0);
+  (* Writes flow again and replicate to the rejoined backup. *)
+  for k = 300 to 360 do
+    if Cluster.shard_of_key c k = s then put_exn c k (k * 3)
+  done;
+  for k = 300 to 360 do
+    if Cluster.shard_of_key c k = s then
+      Alcotest.(check (option int))
+        (Printf.sprintf "new key %d" k)
+        (Some (k * 3))
+        (get_exn c k)
+  done;
+  Cluster.close c
+
+let test_cluster_term_fencing () =
+  let c = Cluster.create calm_config in
+  for k = 1 to 40 do
+    put_exn c k k
+  done;
+  let s = Cluster.shard_of_key c 1 in
+  let p = Cluster.primary_of c ~shard:s in
+  let b = Cluster.backup_of c ~shard:s in
+  (* Partition primary away from its backup: replication fails, the
+     shard degrades to read-only rather than acking unreplicated
+     writes. *)
+  Cluster.partition c ~a:p ~b;
+  let k1 =
+    let rec find k = if Cluster.shard_of_key c k = s then k else find (k + 1) in
+    find 1
+  in
+  (match Cluster.put c k1 123_456 with
+  | Error Cluster.Read_only -> ()
+  | Ok () -> Alcotest.fail "partitioned primary must not ack"
+  | Error Cluster.Unavailable -> Alcotest.fail "expected read-only degradation");
+  (* Promote the backup while the old primary is still alive; the old
+     primary is deposed and fenced by term. *)
+  Cluster.heal c;
+  Alcotest.(check bool) "promote" true (Cluster.failover c ~shard:s);
+  Alcotest.(check bool) "acked history intact" true (get_exn c k1 = Some k1);
+  (* Resync the deposed primary as the new backup; writes then ack at
+     the new term. *)
+  Cluster.demote c ~shard:s;
+  Alcotest.(check bool) "resync deposed" true (Cluster.resync c ~shard:s);
+  put_exn c k1 777;
+  Alcotest.(check (option int)) "write at new term" (Some 777) (get_exn c k1);
+  Cluster.close c
+
+let test_cluster_full_crash_recover_all () =
+  let c = Cluster.create calm_config in
+  for k = 1 to 120 do
+    put_exn c k (k + 5)
+  done;
+  for n = 0 to calm_config.Cluster.nodes - 1 do
+    Cluster.kill_node c n
+  done;
+  Cluster.recover_all c;
+  for k = 1 to 120 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "acked key %d survives full crash" k)
+      (Some (k + 5))
+      (get_exn c k)
+  done;
+  Cluster.close c
+
+let test_cluster_mutant_loses_acks () =
+  (* Ack-before-replicate + a primary<->backup partition + primary
+     kill: some acked writes must vanish — the bug Replcheck exists to
+     catch. *)
+  let c = Cluster.create calm_config in
+  for k = 1 to 40 do
+    put_exn c k k
+  done;
+  let s = Cluster.shard_of_key c 1 in
+  let p = Cluster.primary_of c ~shard:s in
+  let b = Cluster.backup_of c ~shard:s in
+  Cluster.partition c ~a:p ~b;
+  Cluster.mutant_ack_before_replicate := true;
+  let acked = ref [] in
+  for k = 500 to 540 do
+    if Cluster.shard_of_key c k = s then
+      match Cluster.put c k k with Ok () -> acked := k :: !acked | Error _ -> ()
+  done;
+  Cluster.mutant_ack_before_replicate := false;
+  Alcotest.(check bool) "mutant acked unreplicated writes" true (!acked <> []);
+  Cluster.heal c;
+  Cluster.kill_node c p;
+  Alcotest.(check bool) "failover" true (Cluster.failover c ~shard:s);
+  let lost =
+    List.exists (fun k -> get_exn c k = None) !acked
+  in
+  Alcotest.(check bool) "acked writes lost under the mutant" true lost;
+  Cluster.close c
+
+(* ------------------------------------------------------------------ *)
+(* The Replcheck family                                                *)
+(* ------------------------------------------------------------------ *)
+
+module RepC = Ff_check.Replcheck
+module C = Ff_check.Check
+module Cx = Ff_check.Counterexample
+
+let repc_config =
+  { RepC.default with RepC.ops = 40; keyspace = 8; schedules = 6; seed = 42 }
+
+let test_replcheck_clean () =
+  let r = RepC.run ~config:repc_config "fastfair" in
+  Alcotest.(check (list string))
+    "clean sweep" []
+    (List.map (fun v -> v.C.detail) r.C.violations);
+  Alcotest.(check bool) "killed some primaries" true (r.C.crash_runs > 0);
+  Alcotest.(check int) "all scenarios ran" repc_config.RepC.schedules
+    r.C.schedules_run
+
+let test_replcheck_mutant_fails () =
+  (* The ack-before-replicate mutant must lose acks somewhere in the
+     partition x kill scenarios and every counterexample must carry a
+     replayable repl extension. *)
+  let cfg = { repc_config with RepC.mutant = true; schedules = 8 } in
+  let r = RepC.run ~config:cfg "fastfair" in
+  if r.C.violations = [] then
+    Alcotest.fail "ack-before-replicate mutant slipped past the sweep";
+  let v =
+    match
+      List.find_opt (fun v -> v.C.kind = C.Durability) r.C.violations
+    with
+    | Some v -> v
+    | None -> List.hd r.C.violations
+  in
+  let cx = v.C.counterexample in
+  (match cx.Cx.repl with
+  | Some rp -> Alcotest.(check bool) "mutant recorded" true rp.Cx.rp_mutant
+  | None -> Alcotest.fail "counterexample lacks the repl extension");
+  match Cx.of_json (Cx.to_json cx) with
+  | Error e -> Alcotest.failf "counterexample does not round-trip: %s" e
+  | Ok cx' ->
+      Alcotest.(check bool) "repl survives the round-trip" true
+        (cx'.Cx.repl = cx.Cx.repl);
+      let r2 = RepC.replay cx' in
+      if r2.C.violations = [] then
+        Alcotest.fail "replay did not reproduce the lost ack"
+
+let suite =
+  [
+    Alcotest.test_case "fabric faults" `Quick test_fabric_faults;
+    Alcotest.test_case "fabric partition" `Quick test_fabric_partition;
+    Alcotest.test_case "fabric timed partition" `Quick
+      test_fabric_timed_partition;
+    QCheck_alcotest.to_alcotest prop_fabric_deterministic;
+    Alcotest.test_case "rpc dedup" `Quick test_rpc_dedup;
+    Alcotest.test_case "rpc retry" `Quick test_rpc_retry_after_drop;
+    Alcotest.test_case "rpc down endpoint" `Quick test_rpc_down_endpoint;
+    Alcotest.test_case "replicated puts" `Quick test_cluster_basic;
+    Alcotest.test_case "faulty fabric" `Quick test_cluster_faulty_fabric;
+    Alcotest.test_case "failover keeps acks" `Quick test_cluster_failover;
+    Alcotest.test_case "rejoin catch-up" `Quick test_cluster_rejoin_catchup;
+    Alcotest.test_case "term fencing" `Quick test_cluster_term_fencing;
+    Alcotest.test_case "full crash recover_all" `Quick
+      test_cluster_full_crash_recover_all;
+    Alcotest.test_case "ack-before-replicate loses acks" `Quick
+      test_cluster_mutant_loses_acks;
+    Alcotest.test_case "replcheck clean" `Slow test_replcheck_clean;
+    Alcotest.test_case "replcheck mutant" `Slow test_replcheck_mutant_fails;
+  ]

@@ -22,4 +22,5 @@ let () =
       ("tx", Test_tx.suite);
       ("snapshot", Test_snapshot.suite);
       ("rebalance", Test_rebalance.suite);
+      ("cluster", Test_cluster.suite);
     ]

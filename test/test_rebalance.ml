@@ -53,6 +53,7 @@ let test_slot_audit () =
       ("epoch cells", [ Epoch.slot_epoch; Epoch.slot_global ]);
       ("snapshot anchor", [ Ff_snapshot.Snapshot.slot_anchor ]);
       ("rebalance", Rebalance.reserved_slots);
+      ("cluster replication", Ff_cluster.Cluster.reserved_slots);
     ]
   in
   let seen = Hashtbl.create 97 in
@@ -74,7 +75,9 @@ let test_slot_audit () =
   (* The window may keep spares, but every claimed slot must fit and
      the rebalance trio must be exactly where the arena doc says. *)
   Alcotest.(check (list int))
-    "rebalance slots" [ 68; 69; 70 ] Rebalance.reserved_slots
+    "rebalance slots" [ 68; 69; 70 ] Rebalance.reserved_slots;
+  Alcotest.(check (list int))
+    "cluster slots" [ 71; 72; 73 ] Ff_cluster.Cluster.reserved_slots
 
 (* ------------------------------------------------------------------ *)
 (* Relocatable segments                                                *)
