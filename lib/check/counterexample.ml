@@ -43,6 +43,7 @@ type repl_info = {
   rp_fault_seed : int; (* fabric fault-plan seed *)
   rp_kill_at : int;    (* kill primary after this many acks; -1 = never *)
   rp_partition : bool; (* partition primary/backup before the kill *)
+  rp_recovery : string; (* "failover" | "restart" | "restart_refail" *)
 }
 
 type t = {
@@ -125,6 +126,7 @@ let to_json t =
                    ("rp_fault_seed", Json.Int r.rp_fault_seed);
                    ("rp_kill_at", Json.Int r.rp_kill_at);
                    ("rp_partition", Json.Bool r.rp_partition);
+                   ("rp_recovery", Json.Str r.rp_recovery);
                  ] );
          ( "decisions",
            Json.Arr (Array.to_list (Array.map (fun d -> Json.Int d) t.decisions)) );
@@ -253,6 +255,11 @@ let of_json s =
                 | Some (Json.Bool b) -> b
                 | _ -> false
               in
+              let rp_recovery =
+                match Json.member "rp_recovery" rj with
+                | Some (Json.Str s) -> s
+                | _ -> "failover"
+              in
               Ok
                 (Some
                    {
@@ -262,6 +269,7 @@ let of_json s =
                      rp_fault_seed;
                      rp_kill_at;
                      rp_partition;
+                     rp_recovery;
                    })
         in
         let* decisions = field "decisions" Json.to_list j in

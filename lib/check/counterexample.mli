@@ -64,6 +64,12 @@ type repl_info = {
   rp_fault_seed : int;  (** fabric fault-plan seed *)
   rp_kill_at : int;     (** kill the primary after this many acks; -1 = never *)
   rp_partition : bool;  (** partition primary/backup before the kill *)
+  rp_recovery : string;
+      (** what follows the kill: ["failover"] (promote the backup, the
+          victim rejoins as a backup at settle), ["restart"] (the
+          victim restarts in place, still the route primary, with no
+          failover), or ["restart_refail"] (restart in place, then a
+          second kill with a forced failover later in the script) *)
 }
 (** Replication-checker extension ({!Replcheck}).  Serialized as an
     optional ["repl"] member with the same tolerant-parse convention

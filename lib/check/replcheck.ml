@@ -110,7 +110,26 @@ let mode_of_string = function
   | "keep_none" -> Storelog.Keep_none
   | _ -> Storelog.Keep_all
 
-let mk_cx cfg ~name ~kind ~fault_seed ~kill_at ~partition ~mode ~detail =
+(* What follows the kill.  [Failover] promotes the backup and the
+   victim rejoins as a backup at settle; [Restart] brings the victim
+   straight back while it is still the route primary (no failover at
+   all); [Restart_refail] does that and then kills the primary a
+   second time later in the script, failing over for real, so the
+   audit reads from the backup the post-restart acks had to reach. *)
+type recovery = Failover | Restart | Restart_refail
+
+let recovery_to_string = function
+  | Failover -> "failover"
+  | Restart -> "restart"
+  | Restart_refail -> "restart_refail"
+
+let recovery_of_string = function
+  | "restart" -> Restart
+  | "restart_refail" -> Restart_refail
+  | _ -> Failover
+
+let mk_cx cfg ~name ~kind ~fault_seed ~kill_at ~recovery ~partition ~mode
+    ~detail =
   {
     Cx.index = name;
     node_bytes = cfg.node_bytes;
@@ -138,6 +157,7 @@ let mk_cx cfg ~name ~kind ~fault_seed ~kill_at ~partition ~mode ~detail =
           rp_fault_seed = fault_seed;
           rp_kill_at = kill_at;
           rp_partition = partition;
+          rp_recovery = recovery_to_string recovery;
         };
     decisions = [||];
     crash =
@@ -178,9 +198,12 @@ let with_mutant armed f =
 
 (* Drive the script against a fresh cluster; kill the hot shard's
    primary after [kill_at] acks (optionally partitioning it from its
-   backup a few ops earlier), fail over, finish the script, then heal,
-   restart the dead node and audit every key. *)
-let run_scenario cfg ~tracer ~name ~fault_seed ~kill_at ~partition ~mode =
+   backup a few ops earlier), recover per [recovery] — fail over, or
+   restart the victim in place with no failover, or restart in place
+   and fail over on a second kill — finish the script, then heal,
+   restart any dead node and audit every key. *)
+let run_scenario cfg ~tracer ~name ~fault_seed ~kill_at ~recovery ~partition
+    ~mode =
   let script = gen_script cfg in
   let ccfg =
     {
@@ -206,20 +229,25 @@ let run_scenario cfg ~tracer ~name ~fault_seed ~kill_at ~partition ~mode =
         Check.kind;
         detail;
         counterexample =
-          mk_cx cfg ~name ~kind ~fault_seed ~kill_at ~partition ~mode ~detail;
+          mk_cx cfg ~name ~kind ~fault_seed ~kill_at ~recovery ~partition
+            ~mode ~detail;
       }
       :: !violations
+  in
+  let scen_tag =
+    Printf.sprintf
+      "[fault_seed=%d kill_at=%d recovery=%s partition=%b mode=%s]" fault_seed
+      kill_at
+      (recovery_to_string recovery)
+      partition (mode_to_string mode)
   in
   let check_read ~where k = function
     | Error _ -> ()
     | Ok v ->
         if not (oracle_allowed o k v) then
           add Check.Linearizability
-            (Printf.sprintf
-               "stale read (%s): key %d returned %s, expected %s \
-                [fault_seed=%d kill_at=%d partition=%b mode=%s]"
-               where k (describe_binding v) (expectation o k) fault_seed
-               kill_at partition (mode_to_string mode))
+            (Printf.sprintf "stale read (%s): key %d returned %s, expected %s %s"
+               where k (describe_binding v) (expectation o k) scen_tag)
   in
   (* The partition opens a few acks before the kill, so a primary
      that acks unreplicated writes (the mutant) has a window to do
@@ -236,24 +264,58 @@ let run_scenario cfg ~tracer ~name ~fault_seed ~kill_at ~partition ~mode =
       partitioned := true
     end
   in
+  let dead = ref (-1) in
+  let promote_away victim =
+    (* The detector's action, taken deterministically: promote the
+       backup of every shard the victim led. *)
+    for s = 0 to cfg.shards - 1 do
+      if Cluster.primary_of cl ~shard:s = victim then
+        ignore (Cluster.failover cl ~shard:s)
+    done
+  in
   let maybe_kill () =
     if !killed < 0 && kill_at >= 0 && !acks >= kill_at then begin
       let victim = Cluster.primary_of cl ~shard:hot in
       Cluster.kill_node ~mode cl victim;
       incr crash_runs;
       killed := victim;
-      (* The detector's action, taken deterministically: promote the
-         backup of every shard the victim led. *)
-      for s = 0 to cfg.shards - 1 do
-        if Cluster.primary_of cl ~shard:s = victim then
-          ignore (Cluster.failover cl ~shard:s)
-      done
+      match recovery with
+      | Failover ->
+          dead := victim;
+          promote_away victim
+      | Restart | Restart_refail ->
+          (* Crash-restart in place: the victim comes straight back
+             while it is still the route primary, with no failover in
+             between — the schedule that catches a reborn primary
+             recycling seqnos its live backup already acked. *)
+          Cluster.restart_node cl victim
+    end
+  in
+  (* Second act of [Restart_refail]: once the restarted primary has
+     taken more acked writes, kill it again and this time fail over,
+     so the audit reads from the backup those acks had to reach. *)
+  let rekill_at =
+    if kill_at < 0 then max_int else kill_at + max 6 (cfg.ops / 6)
+  in
+  let maybe_rekill () =
+    if
+      recovery = Restart_refail
+      && !killed >= 0
+      && !dead < 0
+      && !acks >= rekill_at
+    then begin
+      let victim = Cluster.primary_of cl ~shard:hot in
+      Cluster.kill_node ~mode cl victim;
+      incr crash_runs;
+      dead := victim;
+      promote_away victim
     end
   in
   Array.iter
     (fun op ->
       maybe_partition ();
       maybe_kill ();
+      maybe_rekill ();
       match op with
       | S_put (k, v) -> (
           match Cluster.put cl k v with
@@ -270,10 +332,11 @@ let run_scenario cfg ~tracer ~name ~fault_seed ~kill_at ~partition ~mode =
       | S_get k -> check_read ~where:"during run" k (Cluster.get cl k))
     script;
   maybe_kill ();
-  (* Settle: heal the fabric, bring the dead node back (segment
+  maybe_rekill ();
+  (* Settle: heal the fabric, bring any dead node back (segment
      resync) and audit the whole keyspace against the oracle. *)
   Cluster.heal cl;
-  if !killed >= 0 then Cluster.restart_node cl !killed;
+  if !dead >= 0 then Cluster.restart_node cl !dead;
   for _ = 1 to 3 do
     Cluster.tick cl
   done;
@@ -291,10 +354,8 @@ let run_scenario cfg ~tracer ~name ~fault_seed ~kill_at ~partition ~mode =
     match read 10 with
     | None ->
         add Check.Tolerance
-          (Printf.sprintf
-             "audit read unavailable after recovery: key %d [fault_seed=%d \
-              kill_at=%d partition=%b mode=%s]"
-             k fault_seed kill_at partition (mode_to_string mode))
+          (Printf.sprintf "audit read unavailable after recovery: key %d %s" k
+             scen_tag)
     | Some v ->
         if not (oracle_allowed o k v) then
           add
@@ -302,9 +363,8 @@ let run_scenario cfg ~tracer ~name ~fault_seed ~kill_at ~partition ~mode =
              else Check.Linearizability)
             (Printf.sprintf
                "lost acknowledged write: key %d read back %s after recovery, \
-                expected %s [fault_seed=%d kill_at=%d partition=%b mode=%s]"
-               k (describe_binding v) (expectation o k) fault_seed kill_at
-               partition (mode_to_string mode))
+                expected %s %s"
+               k (describe_binding v) (expectation o k) scen_tag)
   done;
   Cluster.close cl;
   (List.rev !violations, !crash_runs, Array.length script + cfg.keyspace)
@@ -315,11 +375,15 @@ let run_scenario cfg ~tracer ~name ~fault_seed ~kill_at ~partition ~mode =
 
 let scenario cfg i =
   let kill_points = [| -1; cfg.ops / 4; cfg.ops / 2; 3 * cfg.ops / 4 |] in
+  let recoveries = [| Failover; Restart; Restart_refail |] in
   let fault_seed = (cfg.seed * 7919) + (101 * i) in
   let kill_at = kill_points.(i mod Array.length kill_points) in
-  let partition = i / Array.length kill_points mod 2 = 1 in
+  let recovery =
+    recoveries.(i / Array.length kill_points mod Array.length recoveries)
+  in
+  let partition = i / 2 mod 2 = 1 in
   let mode = if i mod 2 = 0 then Storelog.Keep_all else Storelog.Keep_none in
-  (fault_seed, kill_at, partition, mode)
+  (fault_seed, kill_at, recovery, partition, mode)
 
 let run ?(config = default) ?(tracer = Trace.null) name =
   let cfg = config in
@@ -333,10 +397,11 @@ let run ?(config = default) ?(tracer = Trace.null) name =
       let ops_checked = ref 0 in
       let violations = ref [] in
       for i = 0 to cfg.schedules - 1 do
-        let fault_seed, kill_at, partition, mode = scenario cfg i in
+        let fault_seed, kill_at, recovery, partition, mode = scenario cfg i in
         Trace.span_begin tracer scen_span i;
         let vs, cr, ops =
-          run_scenario cfg ~tracer ~name ~fault_seed ~kill_at ~partition ~mode
+          run_scenario cfg ~tracer ~name ~fault_seed ~kill_at ~recovery
+            ~partition ~mode
         in
         Trace.span_end tracer scen_span;
         violations := !violations @ vs;
@@ -388,7 +453,9 @@ let replay ?(tracer = Trace.null) (cx : Cx.t) =
   with_mutant cfg.mutant @@ fun () ->
   let vs, cr, ops =
     run_scenario cfg ~tracer ~name:cx.index ~fault_seed:r.rp_fault_seed
-      ~kill_at:r.rp_kill_at ~partition:r.rp_partition ~mode
+      ~kill_at:r.rp_kill_at
+      ~recovery:(recovery_of_string r.rp_recovery)
+      ~partition:r.rp_partition ~mode
   in
   {
     Check.index = cx.index;

@@ -670,7 +670,18 @@ let restart_node t n =
     (fun s r ->
       let rep = nd.reps.(s) in
       if rep.rterm < r.term && rep.role = Primary then rep.role <- Idle;
-      if r.backup = n then ignore (resync t ~shard:s : bool))
+      if r.backup = n then ignore (resync t ~shard:s : bool)
+      else if r.primary = n && rep.role = Primary then begin
+        (* The node resumes primacy with issued/acked reloaded from
+           slot_applied — a word only backups advance — so the live
+           backup's applied high-water may exceed the reborn issued
+           counter and its [mseq <= applied] branch would falsely ack
+           fresh seqnos without applying them.  Re-image the backup,
+           which coherently resets both sides' watermarks, before the
+           shard takes writes again; if that fails, degrade rather
+           than risk acks that are durable on one node only. *)
+        if not (resync t ~shard:s) then r.ro <- t.cfg.read_only_when_solo
+      end)
     t.routes
 
 let recover_all t =
@@ -689,7 +700,7 @@ let recover_all t =
   Array.iteri
     (fun s r ->
       let best = ref (-1) and best_key = ref (-1, -1, -1) in
-      let second = ref (-1) in
+      let second = ref (-1) and second_key = ref (-1, -1, -1) in
       Array.iter
         (fun nd ->
           let a = Shard.instance_arena nd.ens s in
@@ -701,10 +712,14 @@ let recover_all t =
             in
             if key > !best_key then begin
               second := !best;
-              best_key := key;
-              best := nd.nid
+              second_key := !best_key;
+              best := nd.nid;
+              best_key := key
             end
-            else if !second < 0 then second := nd.nid
+            else if key > !second_key then begin
+              second := nd.nid;
+              second_key := key
+            end
           end)
         t.nodes;
       if !best >= 0 then begin

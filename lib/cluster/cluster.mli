@@ -129,7 +129,13 @@ val restart_node : t -> int -> unit
 (** Recover the node's ensemble, re-derive its replica state from the
     persisted term words, and resync every shard it backs from the
     current primary (segment ship + log-tail stream), lifting
-    read-only degradation where the resync succeeds. *)
+    read-only degradation where the resync succeeds.  Where the node
+    instead {e resumes primacy} (it restarted without being deposed),
+    its backup is re-imaged first so both sides' replication
+    watermarks restart coherently — its volatile issued counter
+    reloads from a word only backups advance, and a live backup left
+    ahead of it would falsely ack recycled seqnos; if that resync
+    fails the shard degrades to read-only instead. *)
 
 val failover : t -> shard:int -> bool
 (** Explicit promote of the shard's backup (the detector's action);

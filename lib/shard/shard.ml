@@ -175,6 +175,10 @@ type instance = {
   mutable media_errors : int;
   mutable retries : int;
   mutable rejected : int;
+  (* Deterministic jitter source for this shard's retry backoff:
+     seeded from the composite slot, so runs replay and distinct
+     shards draw distinct sequences. *)
+  backoff_rng : Ff_util.Prng.t;
 }
 
 type t = {
@@ -193,7 +197,6 @@ type t = {
   mutable qlen : int array;
   retry_limit : int;
   backoff_ns : int;
-  backoff_rng : Ff_util.Prng.t;
   mutable next_op : int;
   mutable last_scrub : Scrub.report list;
   (* Transaction machinery: one manager per shard arena (multi mode)
@@ -229,6 +232,7 @@ let mk_instance ?(slot = 0) ops arena =
     media_errors = 0;
     retries = 0;
     rejected = 0;
+    backoff_rng = Ff_util.Prng.create (0x5eed_ba5e + (slot lsl 8));
   }
 
 (* Pushing the ensemble tracer into every inner instance puts tree
@@ -256,9 +260,6 @@ let make ~partition ~inner ~inner_config ~instances ~multi ~batch_cap ~group
     qlen = Array.make n 0;
     retry_limit;
     backoff_ns;
-    (* Deterministic jitter source: seeded from the topology so runs
-       replay, but distinct shards draw distinct sequences. *)
-    backoff_rng = Ff_util.Prng.create (0x5eed_ba5e + (n lsl 8));
     next_op = 0;
     last_scrub = [];
     txs = None;
@@ -436,11 +437,11 @@ let guarded t i f =
         else begin
           it.retries <- it.retries + 1;
           (* Jittered exponential backoff: base << n plus a uniform
-             draw of the same magnitude, so degraded shards do not
-             retry in lockstep. *)
+             draw of the same magnitude from this shard's own stream,
+             so degraded shards do not retry in lockstep. *)
           let base = t.backoff_ns lsl n in
           Arena.cpu_work it.arena
-            (base + Ff_util.Prng.int t.backoff_rng (max 1 base));
+            (base + Ff_util.Prng.int it.backoff_rng (max 1 base));
           attempt (n + 1)
         end
   in

@@ -260,6 +260,48 @@ let test_cluster_full_crash_recover_all () =
   done;
   Cluster.close c
 
+let test_cluster_restart_primary_in_place () =
+  (* Kill and restart the primary with NO failover: it resumes primacy
+     with issued/acked reloaded from a word only backups advance, so
+     without the restart-time backup resync the live backup's higher
+     applied watermark would falsely dedup — and falsely ack —
+     recycled seqnos.  Acks taken after the restart must survive a
+     real failover to that backup. *)
+  let c = Cluster.create calm_config in
+  for k = 1 to 60 do
+    put_exn c k k
+  done;
+  let s = Cluster.shard_of_key c 1 in
+  let p = Cluster.primary_of c ~shard:s in
+  Cluster.kill_node c p;
+  Cluster.restart_node c p;
+  Alcotest.(check int) "still route primary" p (Cluster.primary_of c ~shard:s);
+  Alcotest.(check bool) "writable after restart" false
+    (Cluster.read_only c ~shard:s);
+  let acked = ref [] in
+  for k = 700 to 760 do
+    if Cluster.shard_of_key c k = s then begin
+      put_exn c k (k * 7);
+      acked := k :: !acked
+    end
+  done;
+  Alcotest.(check bool) "took new acks" true (!acked <> []);
+  Cluster.kill_node c p;
+  Alcotest.(check bool) "failover" true (Cluster.failover c ~shard:s);
+  List.iter
+    (fun k ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "post-restart ack %d survives failover" k)
+        (Some (k * 7)) (get_exn c k))
+    !acked;
+  for k = 1 to 60 do
+    if Cluster.shard_of_key c k = s then
+      Alcotest.(check (option int))
+        (Printf.sprintf "pre-restart key %d survives" k)
+        (Some k) (get_exn c k)
+  done;
+  Cluster.close c
+
 let test_cluster_mutant_loses_acks () =
   (* Ack-before-replicate + a primary<->backup partition + primary
      kill: some acked writes must vanish — the bug Replcheck exists to
@@ -297,8 +339,11 @@ module RepC = Ff_check.Replcheck
 module C = Ff_check.Check
 module Cx = Ff_check.Counterexample
 
+(* 12 schedules: the product needs i in [0, 12) to cover every
+   recovery mode (failover, restart-in-place, restart-then-refail)
+   against every kill point. *)
 let repc_config =
-  { RepC.default with RepC.ops = 40; keyspace = 8; schedules = 6; seed = 42 }
+  { RepC.default with RepC.ops = 40; keyspace = 8; schedules = 12; seed = 42 }
 
 let test_replcheck_clean () =
   let r = RepC.run ~config:repc_config "fastfair" in
@@ -354,6 +399,8 @@ let suite =
     Alcotest.test_case "term fencing" `Quick test_cluster_term_fencing;
     Alcotest.test_case "full crash recover_all" `Quick
       test_cluster_full_crash_recover_all;
+    Alcotest.test_case "restart primary in place" `Quick
+      test_cluster_restart_primary_in_place;
     Alcotest.test_case "ack-before-replicate loses acks" `Quick
       test_cluster_mutant_loses_acks;
     Alcotest.test_case "replcheck clean" `Slow test_replcheck_clean;
